@@ -1,0 +1,120 @@
+// Command ldpcollect demonstrates the full networked collection pipeline: a
+// TCP collector server, a fleet of concurrent clients perturbing a synthetic
+// dataset, and the collector-side naive + HDR4ME-enhanced estimates.
+//
+//	ldpcollect -users 20000 -d 100 -m 100 -eps 0.8 -mech piecewise
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+
+	"github.com/hdr4me/hdr4me/internal/analysis"
+	"github.com/hdr4me/hdr4me/internal/dataset"
+	"github.com/hdr4me/hdr4me/internal/highdim"
+	"github.com/hdr4me/hdr4me/internal/ldp"
+	"github.com/hdr4me/hdr4me/internal/mathx"
+	"github.com/hdr4me/hdr4me/internal/metrics"
+	"github.com/hdr4me/hdr4me/internal/recal"
+	"github.com/hdr4me/hdr4me/internal/transport"
+)
+
+func main() {
+	users := flag.Int("users", 20_000, "number of simulated users")
+	d := flag.Int("d", 100, "dimensions")
+	m := flag.Int("m", 0, "reported dimensions per user (default: d)")
+	eps := flag.Float64("eps", 0.8, "collective privacy budget")
+	mechName := flag.String("mech", "piecewise", "mechanism: laplace|piecewise|squarewave|duchi|hybrid|staircase")
+	conns := flag.Int("conns", 8, "concurrent client connections")
+	addr := flag.String("addr", "127.0.0.1:0", "collector listen address")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *m <= 0 || *m > *d {
+		*m = *d
+	}
+	mech, err := ldp.ByName(*mechName)
+	if err != nil {
+		log.Fatalf("ldpcollect: %v", err)
+	}
+	p, err := highdim.NewProtocol(mech, *eps, *d, *m)
+	if err != nil {
+		log.Fatalf("ldpcollect: %v", err)
+	}
+
+	srv := transport.NewServer(highdim.NewAggregator(p))
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("ldpcollect: listen: %v", err)
+	}
+	defer srv.Close()
+	fmt.Printf("collector listening on %s (%s, ε=%g, d=%d, m=%d)\n", bound, mech.Name(), *eps, *d, *m)
+
+	ds := dataset.Memoize(dataset.NewGaussian(*users, *d, *seed))
+	var wg sync.WaitGroup
+	for c := 0; c < *conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := transport.Dial(bound.String())
+			if err != nil {
+				log.Printf("client %d: %v", c, err)
+				return
+			}
+			defer cl.Close()
+			client := highdim.NewClient(p, mathx.NewRNG(*seed^0xc11e).Child(uint64(c)))
+			row := make([]float64, *d)
+			for i := c; i < *users; i += *conns {
+				ds.Row(i, row)
+				if err := cl.Send(client.Report(row)); err != nil {
+					log.Printf("client %d: send: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	cl, err := transport.Dial(bound.String())
+	if err != nil {
+		log.Fatalf("ldpcollect: %v", err)
+	}
+	defer cl.Close()
+	est, err := cl.Estimate()
+	if err != nil {
+		log.Fatalf("ldpcollect: estimate: %v", err)
+	}
+	counts, err := cl.Counts()
+	if err != nil {
+		log.Fatalf("ldpcollect: counts: %v", err)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	fmt.Printf("collected %d (dimension, value) pairs from %d users\n", total, *users)
+
+	truth := ds.TrueMean()
+	fmt.Printf("naive aggregation MSE:    %.6g\n", metrics.MSE(est, truth))
+
+	// Collector-side HDR4ME using the framework with an uninformative
+	// 21-atom uniform prior (no access to the raw data).
+	vals := make([]float64, 21)
+	for i := range vals {
+		vals[i] = -1 + 2*float64(i)/20
+	}
+	spec := analysis.UniformSpec(vals...)
+	fw := analysis.Framework{Mech: mech, EpsPerDim: p.EpsPerDim(), R: p.ExpectedReports(*users)}
+	var dev analysis.Deviation
+	if mech.Bounded() {
+		dev = fw.Deviation(&spec)
+	} else {
+		dev = fw.Deviation(nil)
+	}
+	for _, reg := range []recal.Reg{recal.RegL1, recal.RegL2} {
+		enhanced := recal.Enhance(est, []analysis.Deviation{dev}, recal.DefaultConfig(reg))
+		fmt.Printf("HDR4ME %s-enhanced MSE:   %.6g\n", reg, metrics.MSE(enhanced, truth))
+	}
+}

@@ -1,0 +1,20 @@
+// Package hdr4me is a Go implementation of "Utility Analysis and Enhancement
+// of LDP Mechanisms in High-Dimensional Space" (Duan, Ye, Hu — ICDE 2022):
+// an analytical framework that predicts the utility of any local-
+// differential-privacy mechanism in high-dimensional mean estimation without
+// running an experiment, and HDR4ME, a one-off re-calibration of the
+// collector-side aggregation that improves that utility without touching the
+// mechanism.
+//
+// The package is a facade: it re-exports the stable surface of the internal
+// packages so applications program against one import path.
+//
+//	ds := hdr4me.NewGaussianDataset(100_000, 100, 1)
+//	p, _ := hdr4me.NewProtocol(hdr4me.Piecewise(), 0.8, 100, 100)
+//	agg, _ := hdr4me.Simulate(p, ds, hdr4me.NewRNG(7), 0)
+//	naive := agg.Estimate()
+//	enhanced, _ := hdr4me.EnhanceWithFramework(p, ds, naive, hdr4me.DefaultEnhanceConfig(hdr4me.RegL1))
+//
+// See README.md for the architecture and EXPERIMENTS.md for the
+// paper-reproduction results.
+package hdr4me

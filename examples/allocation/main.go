@@ -1,0 +1,65 @@
+// Allocation: not every dimension matters equally. A retailer collecting
+// 60 privatized KPIs cares far more about 10 of them; the importance-aware
+// budget allocation (the §II-B line of work the paper surveys) spends more
+// of the ε budget on those, under the worst-case m-subset privacy
+// constraint. The variance-optimal rule is εⱼ ∝ wⱼ^{1/3}.
+//
+//	go run ./examples/allocation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hdr4me "github.com/hdr4me/hdr4me"
+)
+
+func main() {
+	const (
+		users = 30_000
+		dims  = 60
+		eps   = 2.0
+	)
+	ds := hdr4me.Memoize(hdr4me.NewUniformDataset(users, dims, 5))
+	truth := ds.TrueMean()
+
+	// First 10 dimensions are business-critical (weight 1), the rest are
+	// nice-to-have (weight 0.02).
+	weights := make([]float64, dims)
+	for j := range weights {
+		if j < 10 {
+			weights[j] = 1
+		} else {
+			weights[j] = 0.02
+		}
+	}
+
+	p, err := hdr4me.NewProtocol(hdr4me.Laplace(), eps, dims, dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	uniform, err := hdr4me.Simulate(p, ds, hdr4me.NewRNG(1), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alloc, err := hdr4me.OptimalMSEAllocation(eps, weights, dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weighted, err := hdr4me.SimulateAllocated(p, alloc, ds, hdr4me.NewRNG(2), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ue, we := uniform.Estimate(), weighted.Estimate()
+	fmt.Printf("%d users × %d dims, ε=%g; critical dims get ε_j=%.4g, others %.4g (uniform: %.4g)\n\n",
+		users, dims, eps, alloc.Eps[0], alloc.Eps[dims-1], eps/float64(dims))
+	fmt.Printf("%-28s %12s %12s\n", "", "uniform ε/m", "optimal ∝w^1/3")
+	fmt.Printf("%-28s %12.6f %12.6f\n", "importance-weighted MSE",
+		hdr4me.WeightedMSE(ue, truth, weights), hdr4me.WeightedMSE(we, truth, weights))
+	fmt.Printf("%-28s %12.6f %12.6f\n", "plain MSE (all dims equal)",
+		hdr4me.MSE(ue, truth), hdr4me.MSE(we, truth))
+	fmt.Println("\nreading: the weighted split buys accuracy on the dimensions that matter,")
+	fmt.Println("paying with noise on the ones that don't — plain MSE gets slightly worse.")
+}

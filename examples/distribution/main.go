@@ -1,0 +1,90 @@
+// Distribution: reconstruct a whole value *distribution* (not just its
+// mean) under ε-LDP with the Square Wave mechanism and Li et al.'s EMS
+// deconvolution — the substrate SW was designed for. The example renders
+// the true and reconstructed histograms side by side and compares the
+// EMS-derived mean against the paper's naive SW aggregation.
+//
+//	go run ./examples/distribution
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	hdr4me "github.com/hdr4me/hdr4me"
+)
+
+func main() {
+	const (
+		users = 50_000
+		eps   = 3.0
+	)
+	// Bimodal salaries-like data in [−1, 1].
+	rng := hdr4me.NewRNG(2025)
+	col := make([]float64, users)
+	for i := range col {
+		if rng.Bernoulli(0.65) {
+			col[i] = clamp(rng.Normal(-0.4, 0.12))
+		} else {
+			col[i] = clamp(rng.Normal(0.55, 0.1))
+		}
+	}
+
+	e := hdr4me.NewEMS(eps)
+	e.InBins = 32
+	res, err := e.CollectAndEstimate(col, rng.Child(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// True histogram on the same grid (input frame [0, 1]).
+	truth := make([]float64, e.InBins)
+	for _, v := range col {
+		i := int((v + 1) / 2 * float64(e.InBins))
+		if i >= e.InBins {
+			i = e.InBins - 1
+		}
+		truth[i]++
+	}
+	for i := range truth {
+		truth[i] /= float64(users)
+	}
+
+	fmt.Printf("%d users, ε=%g, %d bins — true (▒) vs EMS reconstruction (█)\n\n", users, eps, e.InBins)
+	maxP := 0.0
+	for i := range truth {
+		maxP = math.Max(maxP, math.Max(truth[i], res.P[i]))
+	}
+	for i := range truth {
+		fmt.Printf("%+.2f %-30s|%-30s\n", 2*e.InCenter(i)-1,
+			strings.Repeat("▒", int(truth[i]/maxP*30)),
+			strings.Repeat("█", int(res.P[i]/maxP*30)))
+	}
+
+	trueMean := mean(col)
+	fmt.Printf("\ntrue mean          %+.4f\n", trueMean)
+	fmt.Printf("EMS mean           %+.4f (err %.4f, converged after %d iters)\n",
+		res.MeanCentered(), math.Abs(res.MeanCentered()-trueMean), res.Iters)
+
+	// The paper's naive SW aggregation for comparison.
+	sw := hdr4me.SquareWave()
+	var sum float64
+	for _, v := range col {
+		sum += sw.Perturb(rng, v, eps)
+	}
+	naive := sum / users
+	fmt.Printf("naive SW mean      %+.4f (err %.4f — the residual bias the paper's framework models)\n",
+		naive, math.Abs(naive-trueMean))
+}
+
+func clamp(x float64) float64 { return math.Max(-1, math.Min(1, x)) }
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,75 @@
+// Survey: estimate answer frequencies of a 40-question multiple-choice
+// survey under ε-LDP (§V-C of the paper). Each respondent reports a random
+// subset of questions; every answer is histogram-encoded and each entry is
+// perturbed with ε/(2m). HDR4ME re-calibrates the noisy frequency table.
+//
+// The example sweeps the number of questions each respondent answers (m).
+// Larger m dilutes the per-entry budget — that is the high-noise regime
+// where the paper's re-calibration pays off; at small m the naive estimate
+// is already below the Lemma 4 threshold and HDR4ME correctly should *not*
+// be applied (the guarded variant detects this by itself).
+//
+//	go run ./examples/survey
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hdr4me "github.com/hdr4me/hdr4me"
+)
+
+const (
+	respondents = 40_000
+	questions   = 40
+	choices     = 6
+	eps         = 1.0
+)
+
+func main() {
+	cards := make([]int, questions)
+	for j := range cards {
+		cards[j] = choices
+	}
+	// Zipf-like popularity: a couple of answers dominate each question.
+	ds := hdr4me.NewZipfCatDataset(respondents, cards, 1.2, 7)
+	truth := hdr4me.TrueFreqs(ds)
+
+	fmt.Printf("%d respondents, %d questions × %d choices, ε=%g\n\n", respondents, questions, choices, eps)
+	fmt.Printf("%6s %12s %14s %14s %16s\n", "m", "ε/(2m)", "naive MSE", "HDR4ME-L1 MSE", "guarded-L1 MSE")
+
+	for _, m := range []int{2, 5, 10, 20, 40} {
+		p := hdr4me.FreqProtocol{Mech: hdr4me.Laplace(), Eps: eps, Cards: cards, M: m}
+		agg, err := hdr4me.SimulateFreq(p, ds, hdr4me.NewRNG(uint64(100+m)), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		naive, enhanced := agg.EstimateEnhanced(hdr4me.DefaultEnhanceConfig(hdr4me.RegL1))
+		guardedCfg := hdr4me.DefaultEnhanceConfig(hdr4me.RegL1)
+		guardedCfg.Guarded = true
+		_, guarded := agg.EstimateEnhanced(guardedCfg)
+
+		hdr4me.ProjectSimplex(naive)
+		hdr4me.ProjectSimplex(enhanced)
+		hdr4me.ProjectSimplex(guarded)
+
+		fmt.Printf("%6d %12.4g %14.6g %14.6g %16.6g\n",
+			m, p.EpsPerEntry(), freqMSE(naive, truth), freqMSE(enhanced, truth), freqMSE(guarded, truth))
+	}
+
+	fmt.Println("\nreading: at large m (diluted budget) L1 suppresses the overwhelming noise;")
+	fmt.Println("at small m the naive estimate is already accurate and the guard leaves it alone.")
+}
+
+func freqMSE(est, truth [][]float64) float64 {
+	var sum float64
+	var n int
+	for j := range truth {
+		for k := range truth[j] {
+			d := est[j][k] - truth[j][k]
+			sum += d * d
+			n++
+		}
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,279 @@
+package hdr4me
+
+import (
+	"github.com/hdr4me/hdr4me/internal/analysis"
+	"github.com/hdr4me/hdr4me/internal/dataset"
+	"github.com/hdr4me/hdr4me/internal/dist"
+	"github.com/hdr4me/hdr4me/internal/freq"
+	"github.com/hdr4me/hdr4me/internal/highdim"
+	"github.com/hdr4me/hdr4me/internal/ldp"
+	"github.com/hdr4me/hdr4me/internal/mathx"
+	"github.com/hdr4me/hdr4me/internal/metrics"
+	"github.com/hdr4me/hdr4me/internal/recal"
+	"github.com/hdr4me/hdr4me/internal/transport"
+)
+
+// Mechanism is a one-dimensional ε-LDP perturbation on [−1, 1]; see the
+// methods' documentation in the internal ldp package.
+type Mechanism = ldp.Mechanism
+
+// Mechanism constructors for the seven implemented mechanisms.
+func Laplace() Mechanism    { return ldp.Laplace{} }
+func Piecewise() Mechanism  { return ldp.Piecewise{} }
+func SquareWave() Mechanism { return ldp.SquareWave{} }
+func Duchi() Mechanism      { return ldp.Duchi{} }
+func Hybrid() Mechanism     { return ldp.Hybrid{} }
+func Staircase() Mechanism  { return ldp.Staircase{} }
+func SCDF() Mechanism       { return ldp.SCDF{} }
+
+// MechanismByName resolves "laplace", "piecewise", "squarewave", "duchi",
+// "hybrid", "staircase" or "scdf".
+func MechanismByName(name string) (Mechanism, error) { return ldp.ByName(name) }
+
+// EvaluatedMechanisms returns the three mechanisms of the paper's
+// evaluation: Laplace, Piecewise, Square Wave.
+func EvaluatedMechanisms() []Mechanism { return ldp.Evaluated() }
+
+// RNG is the deterministic splittable random source used everywhere.
+type RNG = mathx.RNG
+
+// NewRNG returns a deterministic RNG for the given seed.
+func NewRNG(seed uint64) *RNG { return mathx.NewRNG(seed) }
+
+// Dataset is a fixed population of d-dimensional tuples in [−1, 1]; see the
+// internal dataset package.
+type Dataset = dataset.Dataset
+
+// Memoized wraps a Dataset with a cached exact mean.
+type Memoized = dataset.Memoized
+
+// Dataset constructors (paper §VI workloads).
+func NewUniformDataset(n, d int, seed uint64) Dataset   { return dataset.NewUniform(n, d, seed) }
+func NewGaussianDataset(n, d int, seed uint64) Dataset  { return dataset.NewGaussian(n, d, seed) }
+func NewPoissonDataset(n, d int, seed uint64) Dataset   { return dataset.NewPoisson(n, d, seed) }
+func NewCOV19LikeDataset(n, d int, seed uint64) Dataset { return dataset.NewCOV19Like(n, d, seed) }
+
+// Memoize caches a dataset's exact mean across uses.
+func Memoize(ds Dataset) *Memoized { return dataset.Memoize(ds) }
+
+// TrueMean streams ds once and returns its exact per-dimension mean.
+func TrueMean(ds Dataset) []float64 { return dataset.TrueMean(ds, 0) }
+
+// Protocol, Client, Aggregator and Report form the high-dimensional
+// collection protocol (§III-B): m of d dimensions per user at ε/m each.
+type (
+	Protocol   = highdim.Protocol
+	Client     = highdim.Client
+	Aggregator = highdim.Aggregator
+	Report     = highdim.Report
+)
+
+// NewProtocol validates and returns a protocol configuration.
+func NewProtocol(mech Mechanism, eps float64, d, m int) (Protocol, error) {
+	return highdim.NewProtocol(mech, eps, d, m)
+}
+
+// NewClient returns a user-side perturber.
+func NewClient(p Protocol, rng *RNG) *Client { return highdim.NewClient(p, rng) }
+
+// NewAggregator returns an empty collector for p.
+func NewAggregator(p Protocol) *Aggregator { return highdim.NewAggregator(p) }
+
+// Simulate runs one full collection round over ds with the given worker
+// parallelism (0 = default).
+func Simulate(p Protocol, ds Dataset, rng *RNG, workers int) (*Aggregator, error) {
+	return highdim.Simulate(p, ds, rng, workers)
+}
+
+// Allocation assigns per-dimension budgets (the §II-B importance-aware
+// extension); see internal/highdim for the privacy constraint.
+type Allocation = highdim.Allocation
+
+// UniformAllocation is the paper's ε/m split.
+func UniformAllocation(eps float64, d, m int) Allocation {
+	return highdim.UniformAllocation(eps, d, m)
+}
+
+// OptimalMSEAllocation distributes budget as εⱼ ∝ wⱼ^{1/3}, the
+// weighted-MSE optimum.
+func OptimalMSEAllocation(eps float64, weights []float64, m int) (Allocation, error) {
+	return highdim.OptimalMSEAllocation(eps, weights, m)
+}
+
+// SimulateAllocated runs a collection round under a per-dimension budget
+// allocation.
+func SimulateAllocated(p Protocol, alloc Allocation, ds Dataset, rng *RNG, workers int) (*Aggregator, error) {
+	return highdim.SimulateAllocated(p, alloc, ds, rng, workers)
+}
+
+// WeightedMSE is the importance-weighted error metric the allocators target.
+func WeightedMSE(est, truth, weights []float64) float64 {
+	return metrics.WeightedMSE(est, truth, weights)
+}
+
+// Framework evaluates the paper's §IV analytical framework; Deviation is
+// the per-dimension Gaussian of θ̂ⱼ − θ̄ⱼ, JointDeviation the Theorem 1
+// product law, DataSpec the Lemma 3 data model.
+type (
+	Framework      = analysis.Framework
+	Deviation      = analysis.Deviation
+	JointDeviation = analysis.JointDeviation
+	DataSpec       = analysis.DataSpec
+	TableIIRow     = analysis.TableIIRow
+)
+
+// NewFramework returns the framework for one mechanism at per-dimension
+// budget ε/m and expected per-dimension report count r.
+func NewFramework(mech Mechanism, epsPerDim, r float64) Framework {
+	return Framework{Mech: mech, EpsPerDim: epsPerDim, R: r}
+}
+
+// Homogeneous builds the Theorem 1 joint law with d identical coordinates.
+func Homogeneous(d int, dev Deviation) JointDeviation { return analysis.Homogeneous(d, dev) }
+
+// SpecFromSamples discretizes continuous samples into a k-atom DataSpec.
+func SpecFromSamples(samples []float64, k int) DataSpec {
+	return analysis.SpecFromSamples(samples, k)
+}
+
+// SpecFromCounts builds a DataSpec from discrete observations.
+func SpecFromCounts(col []float64) DataSpec { return analysis.SpecFromCounts(col) }
+
+// BerryEsseen returns the Theorem 2 approximation-error bound.
+func BerryEsseen(rho, s, r float64) float64 { return analysis.BerryEsseen(rho, s, r) }
+
+// CaseStudyTableII evaluates the §IV-C benchmark (Table II) analytically.
+func CaseStudyTableII() []TableIIRow { return analysis.NewCaseStudy().TableII() }
+
+// Reg selects HDR4ME's regularizer; EnhanceConfig parameterizes it.
+type (
+	Reg           = recal.Reg
+	EnhanceConfig = recal.Config
+)
+
+// Regularizer flavors.
+const (
+	RegNone = recal.RegNone
+	RegL1   = recal.RegL1
+	RegL2   = recal.RegL2
+)
+
+// DefaultEnhanceConfig returns the paper configuration for reg.
+func DefaultEnhanceConfig(reg Reg) EnhanceConfig { return recal.DefaultConfig(reg) }
+
+// Enhance applies HDR4ME to a naive estimate given per-dimension framework
+// deviations (len 1 = shared across dimensions).
+func Enhance(est []float64, devs []Deviation, cfg EnhanceConfig) []float64 {
+	return recal.Enhance(est, devs, cfg)
+}
+
+// ShouldEnhance is the pre-flight check: true when the Theorem 3/4 lower
+// bound on HDR4ME improving the aggregation reaches minProb.
+func ShouldEnhance(joint JointDeviation, reg Reg, minProb float64) bool {
+	return recal.ShouldEnhance(joint, reg, minProb)
+}
+
+// EnhanceWithFramework is the one-call collector pipeline: it derives the
+// Lemma 2/3 deviations for protocol p — sampling up to 1,000 users of ds to
+// build the per-dimension data specs when the mechanism is bounded — and
+// re-calibrates est with cfg.
+func EnhanceWithFramework(p Protocol, ds Dataset, est []float64, cfg EnhanceConfig) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	fw := NewFramework(p.Mech, p.EpsPerDim(), p.ExpectedReports(ds.NumUsers()))
+	var devs []Deviation
+	if !p.Mech.Bounded() {
+		devs = []Deviation{fw.Deviation(nil)}
+	} else {
+		users := ds.NumUsers()
+		if users > 1000 {
+			users = 1000
+		}
+		d := ds.Dim()
+		cols := make([][]float64, d)
+		for j := range cols {
+			cols[j] = make([]float64, users)
+		}
+		row := make([]float64, d)
+		for i := 0; i < users; i++ {
+			ds.Row(i, row)
+			for j, v := range row {
+				cols[j][i] = v
+			}
+		}
+		devs = make([]Deviation, d)
+		for j := range devs {
+			spec := analysis.SpecFromSamples(cols[j], 10)
+			devs[j] = fw.Deviation(&spec)
+		}
+	}
+	return recal.Enhance(est, devs, cfg), nil
+}
+
+// MSE is the paper's Eq. 3 utility metric; L2Deviation its Eq. 2 form.
+func MSE(est, truth []float64) float64         { return metrics.MSE(est, truth) }
+func L2Deviation(est, truth []float64) float64 { return metrics.L2Deviation(est, truth) }
+
+// Frequency estimation (§V-C): categorical dimensions are histogram-encoded
+// and reduced to mean estimation, so the framework and HDR4ME apply.
+type (
+	CatDataset     = freq.CatDataset
+	FreqProtocol   = freq.Protocol
+	FreqAggregator = freq.Aggregator
+)
+
+// NewZipfCatDataset returns a synthetic categorical dataset with Zipf-like
+// category popularity (exponent s).
+func NewZipfCatDataset(n int, cards []int, s float64, seed uint64) CatDataset {
+	return freq.NewZipfCat(n, cards, s, seed)
+}
+
+// NewUniformCatDataset returns a flat categorical dataset.
+func NewUniformCatDataset(n int, cards []int, seed uint64) CatDataset {
+	return freq.NewUniformCat(n, cards, seed)
+}
+
+// TrueFreqs streams ds and returns the exact per-dimension frequencies.
+func TrueFreqs(ds CatDataset) [][]float64 { return freq.TrueFreqs(ds) }
+
+// SimulateFreq runs one frequency-collection round.
+func SimulateFreq(p FreqProtocol, ds CatDataset, rng *RNG, workers int) (*FreqAggregator, error) {
+	return freq.Simulate(p, ds, rng, workers)
+}
+
+// ProjectSimplex clips and renormalizes frequency estimates per dimension.
+func ProjectSimplex(freqs [][]float64) [][]float64 { return freq.ProjectSimplex(freqs) }
+
+// EMS is Li et al.'s Expectation–Maximization-with-Smoothing estimator for
+// reconstructing a full input distribution from Square Wave reports.
+type EMS = dist.EMS
+
+// EMSResult is the reconstruction outcome.
+type EMSResult = dist.Result
+
+// NewEMS returns an EMS estimator with the reference defaults.
+func NewEMS(eps float64) *EMS { return dist.NewEMS(eps) }
+
+// DuchiMD is Duchi et al.'s whole-tuple multidimensional mechanism.
+type DuchiMD = highdim.DuchiMD
+
+// NewDuchiMD validates and returns the multidimensional mechanism.
+func NewDuchiMD(d int, eps float64) (DuchiMD, error) { return highdim.NewDuchiMD(d, eps) }
+
+// SimulateDuchiMD runs a whole-tuple collection round.
+func SimulateDuchiMD(m DuchiMD, ds Dataset, rng *RNG, workers int) ([]float64, error) {
+	return highdim.SimulateDuchiMD(m, ds, rng, workers)
+}
+
+// CollectorServer is a TCP collector; CollectorClient its network client.
+type (
+	CollectorServer = transport.Server
+	CollectorClient = transport.Client
+)
+
+// NewCollectorServer wraps an aggregator in a TCP collector.
+func NewCollectorServer(agg *Aggregator) *CollectorServer { return transport.NewServer(agg) }
+
+// DialCollector connects to a collector at addr.
+func DialCollector(addr string) (*CollectorClient, error) { return transport.Dial(addr) }

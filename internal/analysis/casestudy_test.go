@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCaseStudyPiecewiseSigma(t *testing.T) {
+	// Paper Eq. 15: σ²_PM = 533.210 at ε/m = 0.001, r = 10000.
+	cs := NewCaseStudy()
+	if got := cs.Piecewise.Sigma2; math.Abs(got-533.210)/533.210 > 1e-3 {
+		t.Fatalf("σ²_PM = %v, want ≈533.210", got)
+	}
+	if cs.Piecewise.Delta != 0 {
+		t.Fatalf("δ_PM = %v, want 0 (unbiased)", cs.Piecewise.Delta)
+	}
+}
+
+func TestCaseStudySquareMoments(t *testing.T) {
+	// Paper Eq. 19: δ_SW ≈ −0.049, σ²_SW ≈ 3.365e−5.
+	cs := NewCaseStudy()
+	if got := cs.Square.Delta; math.Abs(got-(-0.049)) > 0.002 {
+		t.Fatalf("δ_SW = %v, want ≈ −0.049", got)
+	}
+	if got := cs.Square.Sigma2; math.Abs(got-3.365e-5)/3.365e-5 > 0.02 {
+		t.Fatalf("σ²_SW = %v, want ≈ 3.365e−5", got)
+	}
+}
+
+func TestCaseStudyPDFConstantsMatchPaper(t *testing.T) {
+	// Eq. 16: f(x) = (1/57.900)·exp(−x²/1066.420) for PM. The normalizer is
+	// √(2π)·σ and the denominator 2σ².
+	cs := NewCaseStudy()
+	sigma := cs.Piecewise.Sigma()
+	if norm := math.Sqrt(2*math.Pi) * sigma; math.Abs(norm-57.900)/57.900 > 1e-3 {
+		t.Errorf("PM pdf normalizer = %v, want ≈57.900", norm)
+	}
+	if den := 2 * cs.Piecewise.Sigma2; math.Abs(den-1066.420)/1066.420 > 1e-3 {
+		t.Errorf("PM pdf denominator = %v, want ≈1066.420", den)
+	}
+	// Eq. 20: SW normalizer ≈ 0.015 (√(2π)·σ_SW).
+	swNorm := math.Sqrt(2*math.Pi) * cs.Square.Sigma()
+	if math.Abs(swNorm-0.0145) > 0.002 {
+		t.Errorf("SW pdf normalizer = %v, want ≈0.015", swNorm)
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	// The paper's qualitative Table II result: PM wins for ξ ∈ {0.001, 0.01}
+	// (unbiasedness), SW wins for ξ ∈ {0.05, 0.1} (tiny variance), and SW's
+	// probability at ξ=0.1 saturates at ≈1.
+	rows := NewCaseStudy().TableII()
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Winner != "Piecewise" || rows[1].Winner != "Piecewise" {
+		t.Errorf("small-ξ winner should be Piecewise: %+v", rows[:2])
+	}
+	if rows[2].Winner != "Square" || rows[3].Winner != "Square" {
+		t.Errorf("large-ξ winner should be Square: %+v", rows[2:])
+	}
+	if rows[3].Square < 0.9999 {
+		t.Errorf("SW at ξ=0.1 = %v, want ≈1", rows[3].Square)
+	}
+	// PM's column should match the paper's values to a few percent:
+	// {3.46e−5, 3.46e−4, 0.002 (1 s.f.), 0.004 (1 s.f.)}.
+	if math.Abs(rows[0].Piecewise-3.46e-5)/3.46e-5 > 0.05 {
+		t.Errorf("PM(0.001) = %v, want ≈3.46e−5", rows[0].Piecewise)
+	}
+	if math.Abs(rows[1].Piecewise-3.46e-4)/3.46e-4 > 0.05 {
+		t.Errorf("PM(0.01) = %v, want ≈3.46e−4", rows[1].Piecewise)
+	}
+	if rows[2].Piecewise < 0.0015 || rows[2].Piecewise > 0.0025 {
+		t.Errorf("PM(0.05) = %v, want ≈0.002", rows[2].Piecewise)
+	}
+	if rows[3].Piecewise < 0.003 || rows[3].Piecewise > 0.005 {
+		t.Errorf("PM(0.1) = %v, want ≈0.004", rows[3].Piecewise)
+	}
+	// Monotonicity in ξ for both mechanisms.
+	for i := 1; i < 4; i++ {
+		if rows[i].Piecewise < rows[i-1].Piecewise || rows[i].Square < rows[i-1].Square {
+			t.Errorf("probabilities must be monotone in ξ: %+v", rows)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"math"
+
+	"github.com/hdr4me/hdr4me/internal/mathx"
+)
+
+// JointDeviation is Theorem 1: because dimensions are perturbed
+// independently, the deviation vector θ̂ − θ̄ approximately follows a
+// d-dimensional Gaussian with independent coordinates, each given by
+// Lemma 2 or Lemma 3.
+type JointDeviation struct {
+	Dims []Deviation
+}
+
+// Homogeneous builds a joint deviation with d identical coordinates — the
+// common case when every dimension shares one data model, as in all of the
+// paper's experiments.
+func Homogeneous(d int, dev Deviation) JointDeviation {
+	dims := make([]Deviation, d)
+	for i := range dims {
+		dims[i] = dev
+	}
+	return JointDeviation{Dims: dims}
+}
+
+// LogPDF evaluates the log of the Theorem 1 density at deviation vector x.
+// (The plain product underflows beyond a few hundred dimensions, so the log
+// form is primary.)
+func (j JointDeviation) LogPDF(x []float64) float64 {
+	if len(x) != len(j.Dims) {
+		panic("analysis: deviation vector has wrong dimension")
+	}
+	var sum mathx.KahanSum
+	for i, d := range j.Dims {
+		s2 := d.Sigma2
+		z := x[i] - d.Delta
+		sum.Add(-0.5*math.Log(2*math.Pi*s2) - z*z/(2*s2))
+	}
+	return sum.Value()
+}
+
+// PDF evaluates the Theorem 1 density (Eq. 12) at x.
+func (j JointDeviation) PDF(x []float64) float64 { return math.Exp(j.LogPDF(x)) }
+
+// LogBoxProbability returns log Π_j P[|devⱼ| ≤ ξⱼ] — the log of the §IV-B
+// integral ∫_S f(θ̂−θ̄) over the supremum box S.
+func (j JointDeviation) LogBoxProbability(xi []float64) float64 {
+	if len(xi) != len(j.Dims) {
+		panic("analysis: supremum vector has wrong dimension")
+	}
+	var sum mathx.KahanSum
+	for i, d := range j.Dims {
+		p := d.ProbWithin(xi[i])
+		if p <= 0 {
+			return math.Inf(-1)
+		}
+		sum.Add(math.Log(p))
+	}
+	return sum.Value()
+}
+
+// BoxProbability returns Π_j P[|devⱼ| ≤ ξⱼ]: the probability that the
+// deviation stays within the supremum box ξ. The mechanism with the highest
+// box probability is the §IV benchmark winner for that tolerance.
+func (j JointDeviation) BoxProbability(xi []float64) float64 {
+	return math.Exp(j.LogBoxProbability(xi))
+}
+
+// UniformBox returns the box probability for a shared tolerance ξ in every
+// dimension.
+func (j JointDeviation) UniformBox(xi float64) float64 {
+	box := make([]float64, len(j.Dims))
+	for i := range box {
+		box[i] = xi
+	}
+	return j.BoxProbability(box)
+}
+
+// Theorem3LowerBound returns the paper's lower bound on the probability that
+// HDR4ME with L1-regularization strictly improves the Euclidean deviation:
+// 1 − ∫_{[−1,1]^d} f(θ̂−θ̄), i.e. one minus the probability that every
+// per-dimension deviation is already below the Lemma 4 threshold of 1.
+func (j JointDeviation) Theorem3LowerBound() float64 {
+	return 1 - j.UniformBox(1)
+}
+
+// Theorem4LowerBound is the L2 analogue (Lemma 5 threshold of 2):
+// 1 − ∫_{[−2,2]^d} f(θ̂−θ̄).
+func (j JointDeviation) Theorem4LowerBound() float64 {
+	return 1 - j.UniformBox(2)
+}

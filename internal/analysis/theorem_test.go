@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/ldp"
+	"github.com/hdr4me/hdr4me/internal/mathx"
+)
+
+func TestJointPDFMatchesProductOfMarginals(t *testing.T) {
+	j := JointDeviation{Dims: []Deviation{
+		{Delta: 0, Sigma2: 1},
+		{Delta: -0.5, Sigma2: 0.25},
+		{Delta: 0.2, Sigma2: 4},
+	}}
+	x := []float64{0.3, -0.4, 1.1}
+	want := 1.0
+	for i, d := range j.Dims {
+		want *= mathx.NormPDF(x[i], d.Delta, d.Sigma())
+	}
+	if got := j.PDF(x); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("joint pdf %v, want %v", got, want)
+	}
+}
+
+func TestLogPDFSurvivesHighDimensions(t *testing.T) {
+	// d=750 with small σ: plain product overflows/underflows, log must not.
+	j := Homogeneous(750, Deviation{Delta: 0, Sigma2: 1e-4})
+	x := make([]float64, 750)
+	lp := j.LogPDF(x)
+	if math.IsInf(lp, 0) || math.IsNaN(lp) {
+		t.Fatalf("LogPDF = %v", lp)
+	}
+}
+
+func TestBoxProbabilityProduct(t *testing.T) {
+	dev := Deviation{Delta: 0, Sigma2: 1}
+	j := Homogeneous(3, dev)
+	one := dev.ProbWithin(0.5)
+	if got := j.UniformBox(0.5); math.Abs(got-one*one*one)/got > 1e-12 {
+		t.Fatalf("box prob %v, want %v", got, one*one*one)
+	}
+}
+
+func TestBoxProbabilityZeroUnderflow(t *testing.T) {
+	// A biased deviation far outside the box should give probability ~0
+	// without NaNs.
+	j := Homogeneous(10, Deviation{Delta: 50, Sigma2: 0.01})
+	if got := j.UniformBox(0.001); got != 0 {
+		t.Fatalf("expected exact 0 on underflow, got %v", got)
+	}
+	if lp := j.LogBoxProbability([]float64{0.001, 0.001, 0.001, 0.001, 0.001, 0.001, 0.001, 0.001, 0.001, 0.001}); !math.IsInf(lp, -1) {
+		t.Fatalf("log box prob = %v, want -Inf", lp)
+	}
+}
+
+func TestTheorem3And4Bounds(t *testing.T) {
+	// High-dimensional Laplace at tiny per-dim budget: deviations hugely
+	// exceed 1 and 2, so the improvement-probability lower bounds approach 1.
+	f := Framework{Mech: ldp.Laplace{}, EpsPerDim: 0.001, R: 10000}
+	j := Homogeneous(500, f.Deviation(nil))
+	if lb := j.Theorem3LowerBound(); lb < 0.999 {
+		t.Errorf("Theorem 3 bound = %v, want ≈1", lb)
+	}
+	if lb := j.Theorem4LowerBound(); lb < 0.99 {
+		t.Errorf("Theorem 4 bound = %v, want ≈1", lb)
+	}
+	// Low-dimensional, generous budget: deviations are tiny; bounds near 0 —
+	// the regime where the paper warns HDR4ME "can be harmful".
+	f2 := Framework{Mech: ldp.Laplace{}, EpsPerDim: 1, R: 100000}
+	j2 := Homogeneous(2, f2.Deviation(nil))
+	if lb := j2.Theorem3LowerBound(); lb > 0.01 {
+		t.Errorf("low-dim Theorem 3 bound = %v, want ≈0", lb)
+	}
+	// Theorem 4's threshold (2) is weaker than Theorem 3's (1), so its
+	// bound can never exceed Theorem 3's.
+	if j.Theorem4LowerBound() > j.Theorem3LowerBound()+1e-12 {
+		t.Error("Theorem 4 bound must not exceed Theorem 3 bound")
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	j := Homogeneous(2, Deviation{Sigma2: 1})
+	for _, fn := range []func(){
+		func() { j.LogPDF([]float64{1}) },
+		func() { j.BoxProbability([]float64{1, 2, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on dimension mismatch")
+				}
+			}()
+			fn()
+		}()
+	}
+}

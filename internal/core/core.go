@@ -1,0 +1,54 @@
+// Package core re-exports the paper's primary contribution — the §IV
+// analytical framework and the §V HDR4ME re-calibration protocol — under a
+// single import, per the repository layout convention. New code should
+// prefer the richer internal/analysis and internal/recal packages (or the
+// root hdr4me facade) directly; core exists so the contribution is
+// discoverable in one place.
+package core
+
+import (
+	"github.com/hdr4me/hdr4me/internal/analysis"
+	"github.com/hdr4me/hdr4me/internal/recal"
+)
+
+// Framework is the §IV analytical framework (Lemmas 2/3, Theorems 1/2).
+type Framework = analysis.Framework
+
+// Deviation is the per-dimension Gaussian law of θ̂ⱼ − θ̄ⱼ.
+type Deviation = analysis.Deviation
+
+// JointDeviation is the Theorem 1 multivariate law.
+type JointDeviation = analysis.JointDeviation
+
+// DataSpec is the Lemma 3 data model for bounded mechanisms.
+type DataSpec = analysis.DataSpec
+
+// Config parameterizes one HDR4ME application; Reg selects L1/L2.
+type (
+	Config = recal.Config
+	Reg    = recal.Reg
+)
+
+// Regularizer flavors.
+const (
+	RegNone = recal.RegNone
+	RegL1   = recal.RegL1
+	RegL2   = recal.RegL2
+)
+
+// Enhance applies HDR4ME (Eqs. 34/42) to a naive aggregation.
+func Enhance(est []float64, devs []Deviation, cfg Config) []float64 {
+	return recal.Enhance(est, devs, cfg)
+}
+
+// SoftThreshold and Shrink are the one-off closed-form solvers.
+var (
+	SoftThreshold = recal.SoftThreshold
+	Shrink        = recal.Shrink
+)
+
+// BerryEsseen is the Theorem 2 approximation-error bound.
+var BerryEsseen = analysis.BerryEsseen
+
+// ShouldEnhance is the Theorem 3/4 pre-flight check for enabling HDR4ME.
+var ShouldEnhance = recal.ShouldEnhance

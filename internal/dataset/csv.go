@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// ReadCSV parses a headerless CSV of float64 values into a Matrix dataset,
+// validating shape and the [−1, 1] domain.
+func ReadCSV(r io.Reader, label string) (*Matrix, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	var rows [][]float64
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading %s: %w", label, err)
+		}
+		row := make([]float64, len(rec))
+		for j, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: %s row %d col %d: %w", label, len(rows), j, err)
+			}
+			row[j] = v
+		}
+		rows = append(rows, row)
+	}
+	return NewMatrix(label, rows)
+}
+
+// ReadCSVFile opens path and parses it with ReadCSV.
+func ReadCSVFile(path, label string) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, label)
+}
+
+// WriteCSV streams any dataset to w as headerless CSV (one user per row).
+func WriteCSV(w io.Writer, ds Dataset) error {
+	cw := csv.NewWriter(w)
+	row := make([]float64, ds.Dim())
+	rec := make([]string, ds.Dim())
+	for i := 0; i < ds.NumUsers(); i++ {
+		ds.Row(i, row)
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes ds to path with WriteCSV.
+func WriteCSVFile(path string, ds Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, ds); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,61 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := NewGaussian(20, 5, 42)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadCSV(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumUsers() != 20 || m.Dim() != 5 {
+		t.Fatalf("shape %dx%d, want 20x5", m.NumUsers(), m.Dim())
+	}
+	orig := make([]float64, 5)
+	got := make([]float64, 5)
+	for i := 0; i < 20; i++ {
+		ds.Row(i, orig)
+		m.Row(i, got)
+		for j := range orig {
+			if orig[j] != got[j] {
+				t.Fatalf("value [%d][%d] %v != %v after round trip", i, j, got[j], orig[j])
+			}
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ds.csv")
+	ds := NewUniform(7, 3, 1)
+	if err := WriteCSVFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadCSVFile(path, "file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumUsers() != 7 || m.Dim() != 3 {
+		t.Fatalf("shape %dx%d", m.NumUsers(), m.Dim())
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("0.1,abc\n"), "bad"); err == nil {
+		t.Error("non-numeric cell must fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("0.1,7.0\n"), "bad"); err == nil {
+		t.Error("out-of-domain value must fail")
+	}
+	if _, err := ReadCSVFile("/nonexistent/nope.csv", "x"); err == nil {
+		t.Error("missing file must fail")
+	}
+}

@@ -1,0 +1,90 @@
+package exps
+
+import (
+	"fmt"
+
+	"github.com/hdr4me/hdr4me/internal/dataset"
+	"github.com/hdr4me/hdr4me/internal/ldp"
+	"github.com/hdr4me/hdr4me/internal/metrics"
+)
+
+// AblationPoint is one row of an ablation sweep.
+type AblationPoint struct {
+	Label string
+	Base  metrics.Summary
+	L1    metrics.Summary
+	L2    metrics.Summary
+}
+
+// AblationLambdaConfidence sweeps the λ* quantile confidence: too low a
+// confidence under-thresholds (residual noise survives), too high
+// over-shrinks. The paper fixes sup|·| implicitly; this quantifies the
+// sensitivity of that choice.
+func AblationLambdaConfidence(ds *dataset.Memoized, mech ldp.Mechanism, eps float64, confs []float64, cfg SweepConfig) []AblationPoint {
+	out := make([]AblationPoint, 0, len(confs))
+	for _, conf := range confs {
+		c := cfg
+		c.Conf = conf
+		pt := MSEvsEps(ds, mech, []float64{eps}, c)[0]
+		out = append(out, AblationPoint{Label: fmt.Sprintf("conf=%g", conf), Base: pt.Base, L1: pt.L1, L2: pt.L2})
+	}
+	return out
+}
+
+// AblationGuarded compares always-on HDR4ME against the guarded variant
+// that only fires above the Lemma 4/5 thresholds — the paper's "our
+// re-calibration can be harmful" warning turned into a measurement.
+func AblationGuarded(ds *dataset.Memoized, mech ldp.Mechanism, eps float64, cfg SweepConfig) []AblationPoint {
+	out := make([]AblationPoint, 0, 2)
+	for _, guarded := range []bool{false, true} {
+		c := cfg
+		c.Guarded = guarded
+		pt := MSEvsEps(ds, mech, []float64{eps}, c)[0]
+		label := "always-on"
+		if guarded {
+			label = "guarded"
+		}
+		out = append(out, AblationPoint{Label: label, Base: pt.Base, L1: pt.L1, L2: pt.L2})
+	}
+	return out
+}
+
+// AblationL2Floor compares the paper-faithful L2 weights (divergent for
+// unbiased mechanisms) against floored variants.
+func AblationL2Floor(ds *dataset.Memoized, mech ldp.Mechanism, eps float64, floors []float64, cfg SweepConfig) []AblationPoint {
+	out := make([]AblationPoint, 0, len(floors)+1)
+	pt := MSEvsEps(ds, mech, []float64{eps}, cfg)[0]
+	out = append(out, AblationPoint{Label: "paper", Base: pt.Base, L1: pt.L1, L2: pt.L2})
+	for _, f := range floors {
+		c := cfg
+		c.L2Floor = f
+		p := MSEvsEps(ds, mech, []float64{eps}, c)[0]
+		out = append(out, AblationPoint{Label: fmt.Sprintf("floor=%g", f), Base: p.Base, L1: p.L1, L2: p.L2})
+	}
+	return out
+}
+
+// AblationSamplingM sweeps the reported-dimension count m at fixed ε: fewer
+// reported dimensions concentrate budget (less noise per report) but thin
+// out reports per dimension — the §III-B trade-off.
+func AblationSamplingM(ds *dataset.Memoized, mech ldp.Mechanism, eps float64, ms []int, cfg SweepConfig) []AblationPoint {
+	out := make([]AblationPoint, 0, len(ms))
+	for _, m := range ms {
+		if m > ds.Dim() {
+			m = ds.Dim()
+		}
+		pt := MSEvsEpsAtM(ds, mech, []float64{eps}, m, cfg)[0]
+		out = append(out, AblationPoint{Label: fmt.Sprintf("m=%d", m), Base: pt.Base, L1: pt.L1, L2: pt.L2})
+	}
+	return out
+}
+
+// RenderAblation prints an ablation sweep as a text table.
+func RenderAblation(title string, points []AblationPoint) string {
+	out := title + "\n"
+	out += fmt.Sprintf("%16s %14s %14s %14s\n", "variant", "baseline", "L1", "L2")
+	for _, p := range points {
+		out += fmt.Sprintf("%16s %14.6g %14.6g %14.6g\n", p.Label, p.Base.Mean, p.L1.Mean, p.L2.Mean)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package exps
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/hdr4me/hdr4me/internal/analysis"
+)
+
+// WriteMSECSV exports a Fig. 4/5 series as CSV (header + one row per grid
+// point) for external plotting: key, baseline, l1, l2, their 95% CI
+// half-widths, and trial counts.
+func WriteMSECSV(w io.Writer, byDims bool, points []MSEPoint) error {
+	cw := csv.NewWriter(w)
+	key := "eps"
+	if byDims {
+		key = "dims"
+	}
+	if err := cw.Write([]string{key, "baseline", "l1", "l2", "baseline_ci95", "l1_ci95", "l2_ci95", "trials"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		k := strconv.FormatFloat(p.Eps, 'g', -1, 64)
+		if byDims {
+			k = strconv.Itoa(p.Dims)
+		}
+		rec := []string{
+			k,
+			f(p.Base.Mean), f(p.L1.Mean), f(p.L2.Mean),
+			f(p.Base.HalfCI95()), f(p.L1.HalfCI95()), f(p.L2.HalfCI95()),
+			strconv.Itoa(p.Base.N),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCLTCSV exports a Fig. 2/3 series as CSV: bin center, empirical pdf,
+// framework pdf.
+func WriteCLTCSV(w io.Writer, s CLTSeries) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"center", "empirical", "clt"}); err != nil {
+		return err
+	}
+	for i := range s.Centers {
+		if err := cw.Write([]string{f(s.Centers[i]), f(s.Empirical[i]), f(s.Analytic[i])}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableIICSV exports the §IV-C benchmark.
+func WriteTableIICSV(w io.Writer, rows []analysis.TableIIRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"xi", "piecewise", "square", "winner"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{f(r.Xi), f(r.Piecewise), f(r.Square), r.Winner}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(x float64) string {
+	if x != x { // NaN
+		return "nan"
+	}
+	return fmt.Sprintf("%g", x)
+}

@@ -1,0 +1,71 @@
+package exps
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/metrics"
+)
+
+func TestWriteMSECSV(t *testing.T) {
+	mk := func(vals ...float64) metrics.Summary { return metrics.Summarize(vals) }
+	pts := []MSEPoint{
+		{Eps: 0.1, Dims: 100, Base: mk(2, 4), L1: mk(1, 1), L2: mk(0.5, 0.7)},
+		{Eps: 0.8, Dims: 100, Base: mk(1), L1: mk(0.2), L2: mk(0.1)},
+	}
+	var buf bytes.Buffer
+	if err := WriteMSECSV(&buf, false, pts); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0][0] != "eps" || recs[1][0] != "0.1" || recs[1][1] != "3" {
+		t.Fatalf("records = %v", recs)
+	}
+	if recs[1][7] != "2" {
+		t.Fatalf("trials column = %v", recs[1][7])
+	}
+	// Dims mode keys by dimension.
+	var buf2 bytes.Buffer
+	if err := WriteMSECSV(&buf2, true, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf2.String(), "dims,") {
+		t.Fatalf("dims header missing: %s", buf2.String())
+	}
+}
+
+func TestWriteCLTCSV(t *testing.T) {
+	s := fakeCLT()
+	var buf bytes.Buffer
+	if err := WriteCLTCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(s.Centers)+1 {
+		t.Fatalf("%d records, want %d", len(recs), len(s.Centers)+1)
+	}
+	if recs[0][2] != "clt" {
+		t.Fatalf("header = %v", recs[0])
+	}
+}
+
+func TestWriteTableIICSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTableIICSV(&buf, TableII()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"xi,piecewise,square,winner", "Piecewise", "Square"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("csv missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package exps regenerates every table and figure of the paper's evaluation
+// (§VI): Fig. 2 (CLT vs experiment), Fig. 3 (case-study pdfs), Table II
+// (supremum benchmark), Fig. 4 (MSE vs ε across four datasets × three
+// mechanisms × {baseline, L1, L2}) and Fig. 5 (MSE vs dimensionality), plus
+// the ablations DESIGN.md lists.
+//
+// Experiments accept a Scale so the same code runs both at paper scale and
+// at a CI-friendly reduction (the shapes are scale-invariant; only error
+// bars widen).
+package exps
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/hdr4me/hdr4me/internal/dataset"
+)
+
+// Scale shrinks the paper's experiment sizes by integer factors so the full
+// suite runs in CI time. Factor 1 everywhere reproduces the paper's sizes.
+type Scale struct {
+	// UsersDiv divides the number of users.
+	UsersDiv int
+	// TrialsDiv divides the number of repetitions.
+	TrialsDiv int
+}
+
+// PaperScale runs experiments exactly at the paper's sizes.
+func PaperScale() Scale { return Scale{UsersDiv: 1, TrialsDiv: 1} }
+
+// QuickScale is the default: 10× fewer users, 10× fewer trials. Shapes and
+// crossovers survive; absolute MSEs shift by the 10× report-count change.
+func QuickScale() Scale { return Scale{UsersDiv: 10, TrialsDiv: 10} }
+
+func (s Scale) users(n int) int {
+	if s.UsersDiv <= 1 {
+		return n
+	}
+	u := n / s.UsersDiv
+	if u < 100 {
+		u = 100
+	}
+	return u
+}
+
+func (s Scale) trials(t int) int {
+	if s.TrialsDiv <= 1 {
+		return t
+	}
+	r := t / s.TrialsDiv
+	if r < 3 {
+		r = 3
+	}
+	return r
+}
+
+// Workers returns the worker count used by all experiment inner loops.
+func Workers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// PaperDatasets bundles the four evaluation datasets at their paper shapes
+// (§VI), scaled by s. Seeds are fixed so every run sees the same data.
+type PaperDatasets struct {
+	Gaussian *dataset.Memoized // 100,000 × 100
+	Poisson  *dataset.Memoized // 150,000 × 300
+	Uniform  *dataset.Memoized // 120,000 × 500
+	COV19    *dataset.Memoized // 150,000 × 750 (correlated stand-in)
+}
+
+// NewPaperDatasets constructs the evaluation datasets under scale s.
+func NewPaperDatasets(s Scale) PaperDatasets {
+	return PaperDatasets{
+		Gaussian: dataset.Memoize(dataset.NewGaussian(s.users(100_000), 100, 0x9a55)),
+		Poisson:  dataset.Memoize(dataset.NewPoisson(s.users(150_000), 300, 0x9015)),
+		Uniform:  dataset.Memoize(dataset.NewUniform(s.users(120_000), 500, 0x1f2f)),
+		COV19:    dataset.Memoize(dataset.NewCOV19Like(s.users(150_000), 750, 0xc019)),
+	}
+}
+
+// LaplacePMEps is the privacy-budget grid of Figs. 4–5 for Laplace and
+// Piecewise; SquareEps is the grid for Square Wave (its utility barely moves
+// at small ε, §VI).
+var (
+	LaplacePMEps = []float64{0.1, 0.2, 0.4, 0.8, 1.6, 3.2}
+	SquareEps    = []float64{0.1, 10, 100, 500, 1000, 5000}
+)
+
+func fmtEps(e float64) string { return fmt.Sprintf("%g", e) }

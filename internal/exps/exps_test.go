@@ -1,0 +1,238 @@
+package exps
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/dataset"
+	"github.com/hdr4me/hdr4me/internal/ldp"
+)
+
+func TestScaleHelpers(t *testing.T) {
+	s := QuickScale()
+	if s.users(100_000) != 10_000 || s.trials(100) != 10 {
+		t.Fatalf("quick scale: users=%d trials=%d", s.users(100_000), s.trials(100))
+	}
+	if got := s.users(500); got != 100 {
+		t.Errorf("user floor = %d, want 100", got)
+	}
+	if got := s.trials(10); got != 3 {
+		t.Errorf("trial floor = %d, want 3", got)
+	}
+	p := PaperScale()
+	if p.users(12345) != 12345 || p.trials(77) != 77 {
+		t.Error("paper scale must be identity")
+	}
+	if Workers() < 1 {
+		t.Error("Workers must be ≥ 1")
+	}
+}
+
+func TestColumnExtraction(t *testing.T) {
+	ds := dataset.NewUniform(50, 4, 1)
+	col := Column(ds, 2)
+	row := make([]float64, 4)
+	for i := 0; i < 50; i++ {
+		ds.Row(i, row)
+		if col[i] != row[2] {
+			t.Fatalf("column mismatch at user %d", i)
+		}
+	}
+}
+
+func TestFig2CLTMatchesExperiment(t *testing.T) {
+	// Scaled-down Fig. 2: the empirical pdf of the deviation must match the
+	// framework Gaussian with small total-variation error for all three
+	// evaluated mechanisms.
+	if testing.Short() {
+		t.Skip("fig2 skipped in -short")
+	}
+	cfg := Fig2Config{Users: 20_000, Dims: 200, M: 20, Eps: 1, Trials: 400, Bins: 31, Seed: 42}
+	for _, mech := range ldp.Evaluated() {
+		s := Fig2(mech, cfg)
+		if tv := s.TotalVariationError(); tv > 0.12 {
+			t.Errorf("%s: TV error %v, want < 0.12", mech.Name(), tv)
+		}
+		if len(s.Centers) != cfg.Bins || len(s.Empirical) != cfg.Bins || len(s.Analytic) != cfg.Bins {
+			t.Errorf("%s: series shape wrong", mech.Name())
+		}
+		if !strings.Contains(RenderCLT(s), mech.Name()) {
+			t.Errorf("render missing mechanism name")
+		}
+	}
+}
+
+func TestFig3CaseStudyMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig3 skipped in -short")
+	}
+	cfg := PaperFig3Config()
+	cfg.Trials = 300
+	pm := Fig3Piecewise(cfg)
+	if tv := pm.TotalVariationError(); tv > 0.15 {
+		t.Errorf("PM case study TV error %v", tv)
+	}
+	// PM case-study σ² must be the paper's 533.210.
+	if math.Abs(pm.Dev.Sigma2-533.210)/533.210 > 1e-3 {
+		t.Errorf("PM σ² = %v", pm.Dev.Sigma2)
+	}
+	sw := Fig3Square(cfg)
+	if tv := sw.TotalVariationError(); tv > 0.15 {
+		t.Errorf("SW case study TV error %v", tv)
+	}
+	// The realized-frequency δ lands near the idealized −0.049 (paper
+	// Eq. 19); the exact idealized constant is asserted in internal/analysis.
+	if math.Abs(sw.Dev.Delta-(-0.05)) > 0.01 {
+		t.Errorf("SW δ = %v, want ≈ −0.05", sw.Dev.Delta)
+	}
+}
+
+func TestTableIIRender(t *testing.T) {
+	rows := TableII()
+	txt := RenderTableII(rows)
+	for _, want := range []string{"Piecewise", "Square", "winner", "0.001"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("render missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+// smallGaussian returns a fast Fig. 4-style dataset for shape tests.
+func smallGaussian() *dataset.Memoized {
+	return dataset.Memoize(dataset.NewGaussian(4000, 60, 77))
+}
+
+func testSweepConfig() SweepConfig {
+	return SweepConfig{Trials: 4, Seed: 7, Conf: 0.999, SpecAtoms: 8, SpecSampleUsers: 400, Workers: 4}
+}
+
+func TestFig4ShapeLaplace(t *testing.T) {
+	// The headline reproduction: at tight budgets on a high-dimensional
+	// Gaussian dataset, both L1 and L2 must beat the naive aggregation for
+	// Laplace, and baseline MSE must fall as ε grows.
+	if testing.Short() {
+		t.Skip("fig4 shape skipped in -short")
+	}
+	ds := smallGaussian()
+	pts := MSEvsEps(ds, ldp.Laplace{}, []float64{0.4, 3.2}, testSweepConfig())
+	for _, p := range pts {
+		if p.L1.Mean >= p.Base.Mean {
+			t.Errorf("ε=%v: L1 %v did not beat baseline %v", p.Eps, p.L1.Mean, p.Base.Mean)
+		}
+		if p.L2.Mean >= p.Base.Mean {
+			t.Errorf("ε=%v: L2 %v did not beat baseline %v", p.Eps, p.L2.Mean, p.Base.Mean)
+		}
+	}
+	if pts[1].Base.Mean >= pts[0].Base.Mean {
+		t.Errorf("baseline MSE must fall with ε: %v → %v", pts[0].Base.Mean, pts[1].Base.Mean)
+	}
+}
+
+func TestFig4ShapePiecewise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 shape skipped in -short")
+	}
+	ds := smallGaussian()
+	pts := MSEvsEps(ds, ldp.Piecewise{}, []float64{0.4}, testSweepConfig())
+	p := pts[0]
+	if p.L1.Mean >= p.Base.Mean {
+		t.Errorf("L1 %v did not beat baseline %v", p.L1.Mean, p.Base.Mean)
+	}
+	if p.L2.Mean >= p.Base.Mean {
+		t.Errorf("L2 %v did not beat baseline %v", p.L2.Mean, p.Base.Mean)
+	}
+}
+
+func TestFig4ShapeSquareWaveNotHelped(t *testing.T) {
+	// §VI: "our protocol is not suitable for Square wave whose deviation is
+	// already small" — SW sits below the Lemma 4/5 thresholds, so HDR4ME
+	// must yield no improvement (and may be harmful; the paper's own
+	// caveat). The guarded variant must detect this and leave the naive
+	// aggregation untouched.
+	if testing.Short() {
+		t.Skip("fig4 shape skipped in -short")
+	}
+	ds := smallGaussian()
+	pts := MSEvsEps(ds, ldp.SquareWave{}, []float64{100}, testSweepConfig())
+	p := pts[0]
+	if p.L1.Mean < 0.8*p.Base.Mean {
+		t.Errorf("L1 should not meaningfully beat the baseline for SW: %v vs %v", p.L1.Mean, p.Base.Mean)
+	}
+	if p.Base.Mean > 0.5 {
+		t.Errorf("SW baseline surprisingly bad: %v", p.Base.Mean)
+	}
+	guarded := testSweepConfig()
+	guarded.Guarded = true
+	gp := MSEvsEps(ds, ldp.SquareWave{}, []float64{100}, guarded)[0]
+	if math.Abs(gp.L1.Mean-gp.Base.Mean) > 1e-12 {
+		t.Errorf("guarded L1 must equal the baseline for SW: %v vs %v", gp.L1.Mean, gp.Base.Mean)
+	}
+	if math.Abs(gp.L2.Mean-gp.Base.Mean) > 1e-12 {
+		t.Errorf("guarded L2 must equal the baseline for SW: %v vs %v", gp.L2.Mean, gp.Base.Mean)
+	}
+}
+
+func TestFig5DimensionalitySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 skipped in -short")
+	}
+	base := dataset.NewCOV19Like(3000, 40, 5)
+	cfg := testSweepConfig()
+	pts := MSEvsDims(base, []int{10, 40, 80}, ldp.Laplace{}, 0.8, cfg)
+	if len(pts) != 3 || pts[0].Dims != 10 || pts[2].Dims != 80 {
+		t.Fatalf("points = %+v", pts)
+	}
+	// Baseline MSE grows with dimensionality (budget dilution); L1 beats
+	// baseline at every width (Fig. 5's message).
+	if pts[2].Base.Mean <= pts[0].Base.Mean {
+		t.Errorf("baseline should degrade with d: %v → %v", pts[0].Base.Mean, pts[2].Base.Mean)
+	}
+	for _, p := range pts {
+		if p.L1.Mean >= p.Base.Mean {
+			t.Errorf("d=%d: L1 %v did not beat baseline %v", p.Dims, p.L1.Mean, p.Base.Mean)
+		}
+	}
+	txt := RenderMSE("fig5", true, pts)
+	if !strings.Contains(txt, "dims") {
+		t.Error("render missing dims header")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations skipped in -short")
+	}
+	ds := dataset.Memoize(dataset.NewGaussian(2000, 30, 9))
+	cfg := SweepConfig{Trials: 3, Seed: 11, Conf: 0.999, SpecAtoms: 6, SpecSampleUsers: 300, Workers: 4}
+
+	conf := AblationLambdaConfidence(ds, ldp.Laplace{}, 0.4, []float64{0.9, 0.999}, cfg)
+	if len(conf) != 2 {
+		t.Fatalf("conf ablation rows: %d", len(conf))
+	}
+	guard := AblationGuarded(ds, ldp.Laplace{}, 0.4, cfg)
+	if len(guard) != 2 || guard[0].Label != "always-on" || guard[1].Label != "guarded" {
+		t.Fatalf("guard ablation rows: %+v", guard)
+	}
+	floors := AblationL2Floor(ds, ldp.Laplace{}, 0.4, []float64{0.05}, cfg)
+	if len(floors) != 2 || floors[0].Label != "paper" {
+		t.Fatalf("floor ablation rows: %+v", floors)
+	}
+	ms := AblationSamplingM(ds, ldp.Laplace{}, 0.4, []int{5, 30}, cfg)
+	if len(ms) != 2 {
+		t.Fatalf("m ablation rows: %+v", ms)
+	}
+	if !strings.Contains(RenderAblation("t", ms), "m=5") {
+		t.Error("ablation render missing label")
+	}
+}
+
+func TestPaperDatasetsShapesQuickScale(t *testing.T) {
+	d := NewPaperDatasets(Scale{UsersDiv: 100, TrialsDiv: 100})
+	if d.Gaussian.Dim() != 100 || d.Poisson.Dim() != 300 || d.Uniform.Dim() != 500 || d.COV19.Dim() != 750 {
+		t.Fatal("paper dataset dims wrong")
+	}
+	if d.Gaussian.NumUsers() != 1000 {
+		t.Fatalf("scaled users = %d", d.Gaussian.NumUsers())
+	}
+}

@@ -1,0 +1,100 @@
+package exps
+
+import (
+	"github.com/hdr4me/hdr4me/internal/analysis"
+	"github.com/hdr4me/hdr4me/internal/dataset"
+	"github.com/hdr4me/hdr4me/internal/ldp"
+	"github.com/hdr4me/hdr4me/internal/mathx"
+)
+
+// Fig3Config is the §IV-C case-study experiment behind Fig. 3: a
+// discretized dataset with v = 10 values {0.1,...,1.0} (p = 10% each),
+// d = 100 dimensions, n = 10,000 users each reporting m = 100 dimensions
+// (r = 10,000 reports), collective ε = 0.1 → ε/m = 0.001.
+type Fig3Config struct {
+	Users  int
+	Trials int
+	Bins   int
+	Seed   uint64
+	// EpsPerDim is ε/m (0.001 in the paper).
+	EpsPerDim float64
+	// R is the report count the analytical side assumes (n·m/d).
+	R float64
+}
+
+// PaperFig3Config returns the paper's configuration. Every user reports
+// every sampled dimension, so the column simulation uses pReport = 1 with
+// n = r = 10,000 users.
+func PaperFig3Config() Fig3Config {
+	return Fig3Config{Users: 10_000, Trials: 1000, Bins: 41, Seed: 0xf163, EpsPerDim: 0.001, R: 10_000}
+}
+
+// ScaledFig3Config shrinks trials only: the case study's r is load-bearing
+// for its constants (σ² scales with 1/r), so users stay at the paper value.
+func ScaledFig3Config(s Scale) Fig3Config {
+	c := PaperFig3Config()
+	c.Trials = s.trials(c.Trials)
+	if c.Trials < 300 {
+		c.Bins = 15
+	}
+	return c
+}
+
+// Fig3Piecewise runs the case-study experiment for the Piecewise mechanism
+// on the [−1, 1] domain (values {0.1..1.0} are already inside it).
+func Fig3Piecewise(cfg Fig3Config) CLTSeries {
+	ds := dataset.NewCaseStudyDiscrete(cfg.Users, 1, cfg.Seed)
+	col := Column(ds, 0)
+	trueMean := mathx.Mean(col)
+
+	// Lemma 3 against the *realized* value frequencies of this dataset (the
+	// idealized 10% design values live in analysis.NewCaseStudy).
+	spec := analysis.SpecFromCounts(col)
+	fw := analysis.Framework{Mech: ldp.Piecewise{}, EpsPerDim: cfg.EpsPerDim, R: cfg.R}
+	dev := fw.Deviation(&spec)
+
+	half := 4 * dev.Sigma()
+	hist := mathx.NewHistogram(dev.Delta-half, dev.Delta+half, cfg.Bins)
+	rng := mathx.NewRNG(cfg.Seed ^ 0x3f3f)
+	for tr := 0; tr < cfg.Trials; tr++ {
+		hist.Add(ColumnDeviationTrial(col, trueMean, ldp.Piecewise{}, cfg.EpsPerDim, 1, rng.Child(uint64(tr))))
+	}
+	return histToSeries("Piecewise", dev, hist, cfg.Trials)
+}
+
+// Fig3Square runs the case-study experiment for Square Wave in its native
+// [0, 1] frame, matching the paper's Eqs. 17–20.
+func Fig3Square(cfg Fig3Config) CLTSeries {
+	ds := dataset.NewCaseStudyDiscrete(cfg.Users, 1, cfg.Seed)
+	col := Column(ds, 0)
+	trueMean := mathx.Mean(col)
+
+	// Native-frame Lemma 3 moments against the realized value frequencies.
+	sw := ldp.SquareWave{}
+	spec := analysis.SpecFromCounts(col)
+	var db, vb mathx.KahanSum
+	for z, v := range spec.Values {
+		db.Add(spec.Probs[z] * sw.NativeBias(v, cfg.EpsPerDim))
+		vb.Add(spec.Probs[z] * sw.NativeVar(v, cfg.EpsPerDim))
+	}
+	dev := analysis.Deviation{Delta: db.Value(), Sigma2: vb.Value() / cfg.R}
+
+	half := 5 * dev.Sigma()
+	hist := mathx.NewHistogram(dev.Delta-half, dev.Delta+half, cfg.Bins)
+	rng := mathx.NewRNG(cfg.Seed ^ 0x5a5a)
+	for tr := 0; tr < cfg.Trials; tr++ {
+		hist.Add(ColumnDeviationTrialNative(col, trueMean, sw, cfg.EpsPerDim, 1, rng.Child(uint64(tr))))
+	}
+	return histToSeries("SquareWave(native)", dev, hist, cfg.Trials)
+}
+
+func histToSeries(name string, dev analysis.Deviation, hist *mathx.Histogram, trials int) CLTSeries {
+	s := CLTSeries{Mechanism: name, Dev: dev, Trials: trials}
+	for i := range hist.Counts {
+		c := hist.Center(i)
+		s.Centers = append(s.Centers, c)
+		s.Empirical = append(s.Empirical, hist.Density(i))
+		s.Analytic = append(s.Analytic, dev.PDF(c))
+	}
+	return s
+}

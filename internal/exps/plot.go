@@ -1,0 +1,131 @@
+package exps
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The paper's artifacts are figures; a terminal-friendly rendering keeps the
+// "shape" reproduction inspectable without a plotting stack. PlotCLT draws a
+// Fig. 2/3 panel (empirical histogram bars with the framework pdf overlaid);
+// PlotMSE draws a Fig. 4/5 panel (log-scale MSE series per variant).
+
+const (
+	plotWidth  = 60
+	plotHeight = 16
+)
+
+// PlotCLT renders a CLTSeries as an ASCII chart: '█' columns for the
+// empirical pdf, '·' markers for the framework (CLT) pdf.
+func PlotCLT(s CLTSeries) string {
+	if len(s.Centers) == 0 {
+		return "(empty series)\n"
+	}
+	maxY := 0.0
+	for i := range s.Centers {
+		maxY = math.Max(maxY, math.Max(s.Empirical[i], s.Analytic[i]))
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	rows := make([][]rune, plotHeight)
+	for r := range rows {
+		rows[r] = []rune(strings.Repeat(" ", len(s.Centers)))
+	}
+	level := func(y float64) int {
+		l := int(y / maxY * float64(plotHeight))
+		if l >= plotHeight {
+			l = plotHeight - 1
+		}
+		return l
+	}
+	for i := range s.Centers {
+		for l := 0; l <= level(s.Empirical[i]); l++ {
+			if s.Empirical[i] > 0 {
+				rows[plotHeight-1-l][i] = '█'
+			}
+		}
+		rows[plotHeight-1-level(s.Analytic[i])][i] = '·'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — empirical (█) vs CLT (·), peak pdf %.4g\n", s.Mechanism, maxY)
+	for _, r := range rows {
+		b.WriteString(string(r))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-12.4g%s%12.4g\n", s.Centers[0], strings.Repeat(" ", maxInt(0, len(s.Centers)-24)), s.Centers[len(s.Centers)-1])
+	return b.String()
+}
+
+// PlotMSE renders a Fig. 4/5 series as a log-scale ASCII chart with one
+// letter per variant: B(aseline), 1(L1), 2(L2).
+func PlotMSE(title string, byDims bool, points []MSEPoint) string {
+	if len(points) == 0 {
+		return "(no points)\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	series := [][]float64{{}, {}, {}}
+	for _, p := range points {
+		for s, v := range []float64{p.Base.Mean, p.L1.Mean, p.L2.Mean} {
+			if v <= 0 {
+				v = 1e-12
+			}
+			lv := math.Log10(v)
+			series[s] = append(series[s], lv)
+			lo = math.Min(lo, lv)
+			hi = math.Max(hi, lv)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	cols := len(points)
+	colWidth := maxInt(1, plotWidth/cols)
+	grid := make([][]rune, plotHeight)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", cols*colWidth))
+	}
+	marks := []rune{'B', '1', '2'}
+	for s, sv := range series {
+		for i, lv := range sv {
+			row := int((hi - lv) / (hi - lo) * float64(plotHeight-1))
+			col := i*colWidth + s%colWidth
+			if grid[row][col] == ' ' {
+				grid[row][col] = marks[s]
+			} else {
+				grid[row][col] = '*' // overlap
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title + "  [log10 MSE; B=baseline, 1=L1, 2=L2, *=overlap]\n")
+	for r, row := range grid {
+		y := hi - (hi-lo)*float64(r)/float64(plotHeight-1)
+		fmt.Fprintf(&b, "%8.2f |%s\n", y, string(row))
+	}
+	b.WriteString("          ")
+	for _, p := range points {
+		key := fmtEps(p.Eps)
+		if byDims {
+			key = fmt.Sprintf("%d", p.Dims)
+		}
+		fmt.Fprintf(&b, "%-*s", colWidth, truncate(key, colWidth))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

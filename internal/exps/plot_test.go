@@ -1,0 +1,75 @@
+package exps
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/analysis"
+	"github.com/hdr4me/hdr4me/internal/metrics"
+)
+
+func fakeCLT() CLTSeries {
+	dev := analysis.Deviation{Delta: 0, Sigma2: 1}
+	s := CLTSeries{Mechanism: "Fake", Dev: dev, Trials: 10}
+	for i := 0; i < 21; i++ {
+		c := -3 + 6*float64(i)/20
+		s.Centers = append(s.Centers, c)
+		s.Analytic = append(s.Analytic, dev.PDF(c))
+		s.Empirical = append(s.Empirical, dev.PDF(c)*1.1)
+	}
+	return s
+}
+
+func TestPlotCLT(t *testing.T) {
+	out := PlotCLT(fakeCLT())
+	if !strings.Contains(out, "Fake") || !strings.Contains(out, "█") || !strings.Contains(out, "·") {
+		t.Fatalf("plot missing elements:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < plotHeight {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+	if PlotCLT(CLTSeries{}) != "(empty series)\n" {
+		t.Error("empty series handling")
+	}
+}
+
+func TestPlotCLTFlatSeries(t *testing.T) {
+	s := CLTSeries{Mechanism: "Flat", Centers: []float64{0, 1}, Empirical: []float64{0, 0}, Analytic: []float64{0, 0}}
+	out := PlotCLT(s)
+	if !strings.Contains(out, "Flat") {
+		t.Fatal("flat series must render")
+	}
+}
+
+func TestPlotMSE(t *testing.T) {
+	mk := func(m float64) metrics.Summary { return metrics.Summarize([]float64{m}) }
+	pts := []MSEPoint{
+		{Eps: 0.1, Base: mk(10), L1: mk(0.1), L2: mk(0.05)},
+		{Eps: 1, Base: mk(1), L1: mk(0.08), L2: mk(0.05)},
+	}
+	out := PlotMSE("fig", false, pts)
+	for _, want := range []string{"fig", "B", "1", "2", "0.1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if PlotMSE("x", false, nil) != "(no points)\n" {
+		t.Error("empty points handling")
+	}
+	// Dim-keyed axis.
+	pts[0].Dims, pts[1].Dims = 50, 100
+	outD := PlotMSE("fig5", true, pts)
+	if !strings.Contains(outD, "50") || !strings.Contains(outD, "100") {
+		t.Fatalf("dims axis missing:\n%s", outD)
+	}
+}
+
+func TestPlotMSEDegenerateEqualValues(t *testing.T) {
+	mk := func(m float64) metrics.Summary { return metrics.Summarize([]float64{m}) }
+	pts := []MSEPoint{{Eps: 1, Base: mk(1), L1: mk(1), L2: mk(1)}}
+	out := PlotMSE("flat", false, pts)
+	if !strings.Contains(out, "flat") {
+		t.Fatal("degenerate plot must render")
+	}
+}

@@ -1,0 +1,23 @@
+package exps
+
+import (
+	"fmt"
+
+	"github.com/hdr4me/hdr4me/internal/analysis"
+)
+
+// TableII evaluates the §IV-C benchmark (paper Table II) purely
+// analytically — no experiment, which is the framework's selling point.
+func TableII() []analysis.TableIIRow {
+	return analysis.NewCaseStudy().TableII()
+}
+
+// RenderTableII prints the benchmark in the paper's layout.
+func RenderTableII(rows []analysis.TableIIRow) string {
+	out := "Table II — probabilities for the supremum to hold in one dimension\n"
+	out += fmt.Sprintf("%10s %14s %14s %10s\n", "ξ", "Piecewise", "Square", "winner")
+	for _, r := range rows {
+		out += fmt.Sprintf("%10g %14.4g %14.4g %10s\n", r.Xi, r.Piecewise, r.Square, r.Winner)
+	}
+	return out
+}

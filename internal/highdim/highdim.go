@@ -1,0 +1,220 @@
+// Package highdim implements the paper's high-dimensional collection
+// protocol (§III-B, §IV-B): each user samples m of her d dimensions,
+// perturbs each sampled value with budget ε/m using any one-dimensional LDP
+// mechanism, and reports (dimension, value) pairs; the collector calibrates
+// and averages the reports per dimension — the "naive aggregation" that
+// HDR4ME later re-calibrates.
+package highdim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/hdr4me/hdr4me/internal/dataset"
+	"github.com/hdr4me/hdr4me/internal/ldp"
+	"github.com/hdr4me/hdr4me/internal/mathx"
+)
+
+// Protocol fixes the parameters every participant must agree on.
+type Protocol struct {
+	Mech ldp.Mechanism
+	Eps  float64 // total per-user privacy budget ε
+	D    int     // number of dimensions
+	M    int     // dimensions reported per user (1 ≤ M ≤ D)
+}
+
+// NewProtocol validates and returns a protocol configuration.
+func NewProtocol(mech ldp.Mechanism, eps float64, d, m int) (Protocol, error) {
+	p := Protocol{Mech: mech, Eps: eps, D: d, M: m}
+	return p, p.Validate()
+}
+
+// Validate checks the protocol invariants.
+func (p Protocol) Validate() error {
+	if p.Mech == nil {
+		return fmt.Errorf("highdim: nil mechanism")
+	}
+	if !(p.Eps > 0) || math.IsInf(p.Eps, 0) {
+		return fmt.Errorf("highdim: budget %v must be finite and positive", p.Eps)
+	}
+	if p.D < 1 {
+		return fmt.Errorf("highdim: d=%d must be ≥ 1", p.D)
+	}
+	if p.M < 1 || p.M > p.D {
+		return fmt.Errorf("highdim: m=%d must be in [1, %d]", p.M, p.D)
+	}
+	return nil
+}
+
+// EpsPerDim returns the per-dimension budget ε/m.
+func (p Protocol) EpsPerDim() float64 { return p.Eps / float64(p.M) }
+
+// ExpectedReports returns E[rⱼ] = n·m/d, the expected number of reports the
+// collector receives per dimension from n users.
+func (p Protocol) ExpectedReports(n int) float64 {
+	return float64(n) * float64(p.M) / float64(p.D)
+}
+
+// Report is one user's submission: the sampled dimensions (strictly
+// increasing) and their perturbed values.
+type Report struct {
+	Dims   []uint32
+	Values []float64
+}
+
+// Client is the user side of the protocol. It is not safe for concurrent
+// use; each goroutine should own a Client (they are cheap).
+type Client struct {
+	P       Protocol
+	rng     *mathx.RNG
+	dims    []int
+	scratch []int
+}
+
+// NewClient returns a user-side perturber drawing randomness from rng.
+func NewClient(p Protocol, rng *mathx.RNG) *Client {
+	return &Client{P: p, rng: rng}
+}
+
+// Report samples m dimensions of tuple, perturbs each with ε/m, and returns
+// the report. tuple must have length d with values in [−1, 1].
+func (c *Client) Report(tuple []float64) Report {
+	if len(tuple) != c.P.D {
+		panic(fmt.Sprintf("highdim: tuple has %d dims, protocol says %d", len(tuple), c.P.D))
+	}
+	epsPer := c.P.EpsPerDim()
+	c.dims = c.rng.SampleIndices(c.P.D, c.P.M, c.dims, c.scratch)
+	rep := Report{
+		Dims:   make([]uint32, c.P.M),
+		Values: make([]float64, c.P.M),
+	}
+	for i, j := range c.dims {
+		rep.Dims[i] = uint32(j)
+		rep.Values[i] = c.P.Mech.Perturb(c.rng, tuple[j], epsPer)
+	}
+	return rep
+}
+
+// Aggregator is the collector side: it accumulates reports and produces the
+// naive per-dimension mean estimate θ̂ (§IV-B step 3), applying the
+// calibration step (§IV-B step 2) where the bias is data-independent.
+// Aggregator is safe for concurrent Add calls.
+type Aggregator struct {
+	P Protocol
+
+	mu     sync.Mutex
+	sums   []mathx.KahanSum
+	counts []int64
+}
+
+// NewAggregator returns an empty collector for protocol p.
+func NewAggregator(p Protocol) *Aggregator {
+	return &Aggregator{P: p, sums: make([]mathx.KahanSum, p.D), counts: make([]int64, p.D)}
+}
+
+// Add accumulates one report. Reports with out-of-range dimensions are
+// rejected with an error (a malformed report must not corrupt the sums).
+func (a *Aggregator) Add(rep Report) error {
+	if len(rep.Dims) != len(rep.Values) {
+		return fmt.Errorf("highdim: report has %d dims but %d values", len(rep.Dims), len(rep.Values))
+	}
+	for _, j := range rep.Dims {
+		if int(j) >= a.P.D {
+			return fmt.Errorf("highdim: report dimension %d out of range [0,%d)", j, a.P.D)
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, j := range rep.Dims {
+		a.sums[j].Add(rep.Values[i])
+		a.counts[j]++
+	}
+	return nil
+}
+
+// merge folds a partial accumulation into the aggregator.
+func (a *Aggregator) merge(sums []mathx.KahanSum, counts []int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for j := range sums {
+		a.sums[j].Add(sums[j].Value())
+		a.counts[j] += counts[j]
+	}
+}
+
+// Counts returns a copy of the per-dimension report counts rⱼ.
+func (a *Aggregator) Counts() []int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]int64, len(a.counts))
+	copy(out, a.counts)
+	return out
+}
+
+// Estimate returns the naive aggregation θ̂ⱼ = (1/rⱼ)Σ t*ᵢⱼ, calibrated by
+// the data-independent bias for unbounded mechanisms (δ = E[N]; zero for
+// every mechanism in this library, but subtracted on principle). Dimensions
+// that received no reports estimate 0.
+func (a *Aggregator) Estimate() []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	est := make([]float64, a.P.D)
+	var delta float64
+	if !a.P.Mech.Bounded() {
+		delta = a.P.Mech.Bias(0, a.P.EpsPerDim())
+	}
+	for j := range est {
+		if a.counts[j] == 0 {
+			continue
+		}
+		est[j] = a.sums[j].Value()/float64(a.counts[j]) - delta
+	}
+	return est
+}
+
+// Simulate runs one full collection round over ds without materializing
+// per-user reports: workers stream rows, perturb, and accumulate locally,
+// then merge. The result is identical in distribution to feeding every
+// user's Client.Report through Aggregator.Add. rng seeds the per-worker
+// substreams, so results are deterministic for a fixed worker count.
+func Simulate(p Protocol, ds dataset.Dataset, rng *mathx.RNG, workers int) (*Aggregator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if ds.Dim() != p.D {
+		return nil, fmt.Errorf("highdim: dataset has %d dims, protocol says %d", ds.Dim(), p.D)
+	}
+	if workers <= 0 {
+		workers = 8
+	}
+	n := ds.NumUsers()
+	if workers > n {
+		workers = 1
+	}
+	agg := NewAggregator(p)
+	epsPer := p.EpsPerDim()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wrng := rng.Child(uint64(w))
+			row := make([]float64, p.D)
+			sums := make([]mathx.KahanSum, p.D)
+			counts := make([]int64, p.D)
+			var dims, scratch []int
+			for i := w; i < n; i += workers {
+				ds.Row(i, row)
+				dims = wrng.SampleIndices(p.D, p.M, dims, scratch)
+				for _, j := range dims {
+					sums[j].Add(p.Mech.Perturb(wrng, row[j], epsPer))
+					counts[j]++
+				}
+			}
+			agg.merge(sums, counts)
+		}(w)
+	}
+	wg.Wait()
+	return agg, nil
+}

@@ -1,0 +1,59 @@
+package ldp
+
+import (
+	"math"
+
+	"github.com/hdr4me/hdr4me/internal/mathx"
+)
+
+// Duchi is the bounded binary-output mechanism of Duchi et al. [27] for one
+// dimension: the release is ±B with B = (e^ε+1)/(e^ε−1) and
+// P[t* = +B] = 1/2 + t(e^ε−1)/(2(e^ε+1)). It is unbiased with
+// Var[t*|t] = B² − t².
+type Duchi struct{}
+
+// Name implements Mechanism.
+func (Duchi) Name() string { return "Duchi" }
+
+// Bounded implements Mechanism.
+func (Duchi) Bounded() bool { return true }
+
+// SupportBound implements Mechanism: B = (e^ε+1)/(e^ε−1).
+func (Duchi) SupportBound(eps float64) float64 {
+	em1 := math.Expm1(eps)
+	return (em1 + 2) / em1
+}
+
+// pPlus returns P[t* = +B | t].
+func (d Duchi) pPlus(t, eps float64) float64 {
+	e := math.Exp(eps)
+	return 0.5 + t*(e-1)/(2*(e+1))
+}
+
+// Perturb implements Mechanism.
+func (d Duchi) Perturb(rng *mathx.RNG, t, eps float64) float64 {
+	validate(t, eps)
+	b := d.SupportBound(eps)
+	if rng.Float64() < d.pPlus(t, eps) {
+		return b
+	}
+	return -b
+}
+
+// Bias implements Mechanism; Duchi is unbiased.
+func (Duchi) Bias(t, eps float64) float64 { return 0 }
+
+// Var implements Mechanism: E[t*²] = B², so Var = B² − t².
+func (d Duchi) Var(t, eps float64) float64 {
+	b := d.SupportBound(eps)
+	return b*b - t*t
+}
+
+// ThirdAbsMoment implements Mechanism exactly on the two-point support:
+// E|t*−t|³ = p(B−t)³ + (1−p)(B+t)³.
+func (d Duchi) ThirdAbsMoment(t, eps float64) float64 {
+	b := d.SupportBound(eps)
+	p := d.pPlus(t, eps)
+	up, dn := b-t, b+t
+	return p*up*up*up + (1-p)*dn*dn*dn
+}

@@ -1,0 +1,67 @@
+package ldp
+
+import (
+	"math"
+
+	"github.com/hdr4me/hdr4me/internal/mathx"
+)
+
+// hybridEpsStar is the budget threshold of Wang et al. [11]: below it the
+// Hybrid mechanism degenerates to pure Duchi.
+const hybridEpsStar = 0.61
+
+// Hybrid is the Hybrid Mechanism of Wang et al. [11]: with probability
+// α = 1 − e^{−ε/2} (for ε > 0.61; α = 0 otherwise) it applies the Piecewise
+// mechanism and with probability 1−α the Duchi mechanism, both at full ε.
+// Each branch satisfies ε-LDP, so the mixture does too. Both branches are
+// unbiased, hence so is the mixture.
+type Hybrid struct{}
+
+// Name implements Mechanism.
+func (Hybrid) Name() string { return "Hybrid" }
+
+// Bounded implements Mechanism.
+func (Hybrid) Bounded() bool { return true }
+
+// Alpha returns the PM mixing probability.
+func (Hybrid) Alpha(eps float64) float64 {
+	if eps <= hybridEpsStar {
+		return 0
+	}
+	return -math.Expm1(-eps / 2)
+}
+
+// SupportBound implements Mechanism. PM's bound (e^{ε/2}+1)/(e^{ε/2}−1)
+// dominates Duchi's (e^ε+1)/(e^ε−1) for every ε > 0.
+func (h Hybrid) SupportBound(eps float64) float64 {
+	if h.Alpha(eps) == 0 {
+		return Duchi{}.SupportBound(eps)
+	}
+	return Piecewise{}.SupportBound(eps)
+}
+
+// Perturb implements Mechanism.
+func (h Hybrid) Perturb(rng *mathx.RNG, t, eps float64) float64 {
+	validate(t, eps)
+	if rng.Float64() < h.Alpha(eps) {
+		return Piecewise{}.Perturb(rng, t, eps)
+	}
+	return Duchi{}.Perturb(rng, t, eps)
+}
+
+// Bias implements Mechanism; both branches are unbiased.
+func (Hybrid) Bias(t, eps float64) float64 { return 0 }
+
+// Var implements Mechanism. Both branches share mean t, so the mixture
+// variance is the α-weighted average of branch variances.
+func (h Hybrid) Var(t, eps float64) float64 {
+	a := h.Alpha(eps)
+	return a*Piecewise{}.Var(t, eps) + (1-a)*Duchi{}.Var(t, eps)
+}
+
+// ThirdAbsMoment implements Mechanism: the mixture of the branch moments
+// (both centered at t since δ = 0 in each branch).
+func (h Hybrid) ThirdAbsMoment(t, eps float64) float64 {
+	a := h.Alpha(eps)
+	return a*Piecewise{}.ThirdAbsMoment(t, eps) + (1-a)*Duchi{}.ThirdAbsMoment(t, eps)
+}

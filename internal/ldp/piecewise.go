@@ -1,0 +1,107 @@
+package ldp
+
+import (
+	"math"
+
+	"github.com/hdr4me/hdr4me/internal/mathx"
+)
+
+// Piecewise is the Piecewise Mechanism of Wang et al. [11] (paper Eq. 4):
+// a bounded mechanism whose output domain is [−Q, Q] with
+// Q = (e^{ε/2}+1)/(e^{ε/2}−1). A high-probability band [l(t), r(t)] of width
+// Q−1 is centered affinely on t; the rest of the domain receives the low
+// density. The mechanism is unbiased and its variance depends on t
+// (Lemma 1, Bound(M)=1).
+type Piecewise struct{}
+
+// Name implements Mechanism.
+func (Piecewise) Name() string { return "Piecewise" }
+
+// Bounded implements Mechanism.
+func (Piecewise) Bounded() bool { return true }
+
+// cm1 returns e^{ε/2} − 1 without cancellation for small ε.
+func pmCm1(eps float64) float64 { return math.Expm1(eps / 2) }
+
+// SupportBound implements Mechanism: Q = (e^{ε/2}+1)/(e^{ε/2}−1).
+func (Piecewise) SupportBound(eps float64) float64 {
+	cm1 := pmCm1(eps)
+	return (cm1 + 2) / cm1
+}
+
+// Band returns the high-probability band [l(t), r(t)].
+func (p Piecewise) Band(t, eps float64) (l, r float64) {
+	q := p.SupportBound(eps)
+	l = (q+1)/2*t - (q-1)/2
+	r = l + q - 1
+	return l, r
+}
+
+// Densities returns the (high, low) densities of Eq. 4.
+func (Piecewise) Densities(eps float64) (high, low float64) {
+	c := math.Exp(eps / 2)
+	// high = (e^ε − e^{ε/2})/(2e^{ε/2}+2) = C(C−1)/(2(C+1))
+	// low  = (1 − e^{−ε/2})/(2e^{ε/2}+2) = (C−1)/(2C(C+1))
+	cm1 := pmCm1(eps)
+	high = c * cm1 / (2 * (c + 1))
+	low = cm1 / (2 * c * (c + 1))
+	return high, low
+}
+
+// PDF returns the density of the perturbed output at x given input t.
+func (p Piecewise) PDF(t, eps, x float64) float64 {
+	q := p.SupportBound(eps)
+	if x < -q || x > q {
+		return 0
+	}
+	l, r := p.Band(t, eps)
+	high, low := p.Densities(eps)
+	if x >= l && x <= r {
+		return high
+	}
+	return low
+}
+
+// Perturb implements Mechanism. With probability e^{ε/2}/(e^{ε/2}+1) the
+// output is uniform in the band; otherwise it is uniform over the two low
+// tails (combined length Q+1).
+func (p Piecewise) Perturb(rng *mathx.RNG, t, eps float64) float64 {
+	validate(t, eps)
+	c := math.Exp(eps / 2)
+	q := p.SupportBound(eps)
+	l, r := p.Band(t, eps)
+	if rng.Float64() < c/(c+1) {
+		return rng.Uniform(l, r)
+	}
+	// Tails: [−Q, l) has length l+Q, (r, Q] has length Q−r; total Q+1.
+	w := rng.Float64() * (q + 1)
+	if left := l + q; w < left {
+		return -q + w
+	} else {
+		return r + (w - left)
+	}
+}
+
+// Bias implements Mechanism; PM is an unbiased estimator.
+func (Piecewise) Bias(t, eps float64) float64 { return 0 }
+
+// Var implements Mechanism (paper Eq. 14, Wang et al. Theorem 2):
+// Var = t²/(e^{ε/2}−1) + (e^{ε/2}+3)/(3(e^{ε/2}−1)²).
+func (Piecewise) Var(t, eps float64) float64 {
+	cm1 := pmCm1(eps)
+	return t*t/cm1 + (cm1+4)/(3*cm1*cm1)
+}
+
+// ThirdAbsMoment implements Mechanism by exact piecewise quadrature of
+// |x − t|³ against the output density (δ = 0 for PM).
+func (p Piecewise) ThirdAbsMoment(t, eps float64) float64 {
+	q := p.SupportBound(eps)
+	l, r := p.Band(t, eps)
+	f := func(x float64) float64 {
+		d := math.Abs(x - t)
+		return d * d * d * p.PDF(t, eps, x)
+	}
+	// |x−t|³ has a kink at t; the density jumps at l and r. The integrand is
+	// polynomial on each smooth piece, so a modest GL order is exact.
+	return mathx.PiecewiseIntegrate(f, -q, q, []float64{l, r, t}, 8)
+}

@@ -1,0 +1,89 @@
+package ldp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hdr4me/hdr4me/internal/mathx"
+)
+
+// TestBoundedSupportProperty fuzzes (t, ε) and checks that every bounded
+// mechanism's output stays inside its declared support and every unbounded
+// mechanism's analytic variance stays positive and finite.
+func TestBoundedSupportProperty(t *testing.T) {
+	rng := mathx.NewRNG(101)
+	f := func(tRaw, eRaw float64, seed uint64) bool {
+		tv := math.Tanh(tRaw)
+		eps := 0.02 + 7.98*math.Abs(math.Tanh(eRaw))
+		for _, m := range Registry() {
+			x := m.Perturb(rng, tv, eps)
+			if math.IsNaN(x) {
+				return false
+			}
+			if m.Bounded() {
+				if math.Abs(x) > m.SupportBound(eps)+1e-9 {
+					return false
+				}
+			} else {
+				v := m.Var(tv, eps)
+				if !(v > 0) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSupportBoundMonotoneInEps verifies that every bounded mechanism's
+// support shrinks as the budget grows — more budget means less spread.
+func TestSupportBoundMonotoneInEps(t *testing.T) {
+	for name, m := range Registry() {
+		if !m.Bounded() {
+			continue
+		}
+		prev := math.Inf(1)
+		for _, eps := range []float64{0.1, 0.5, 1, 2, 4, 8} {
+			b := m.SupportBound(eps)
+			if b > prev+1e-12 {
+				t.Errorf("%s: support bound grew with ε (%v at ε=%v > %v)", name, b, eps, prev)
+			}
+			prev = b
+		}
+	}
+}
+
+// TestVarianceMonotoneInEps checks that the mid-domain variance decreases
+// with budget for every mechanism — the basic privacy/utility trade-off.
+func TestVarianceMonotoneInEps(t *testing.T) {
+	for name, m := range Registry() {
+		prev := math.Inf(1)
+		for _, eps := range []float64{0.1, 0.5, 1, 2, 4, 8} {
+			v := m.Var(0.3, eps)
+			if v > prev*(1+1e-9) {
+				t.Errorf("%s: variance grew with ε at ε=%v: %v > %v", name, eps, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestBiasBoundedByDomain: no mechanism's expected release can leave the
+// convex hull of its support, so |δ(t)| stays bounded by a small constant
+// in every sane regime.
+func TestBiasBoundedByDomain(t *testing.T) {
+	for name, m := range Registry() {
+		for _, eps := range []float64{0.1, 1, 4} {
+			for _, tv := range []float64{-1, -0.5, 0, 0.5, 1} {
+				d := m.Bias(tv, eps)
+				if math.Abs(d) > 2 || math.IsNaN(d) {
+					t.Errorf("%s: |δ(%v, ε=%v)| = %v", name, tv, eps, d)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package mathx provides the numerical substrate for the hdr4me library:
+// compensated summation, Gaussian distribution functions, numerical
+// quadrature, dense vector helpers, empirical histograms, and a
+// deterministic, splittable random source with the samplers the LDP
+// mechanisms need (Laplace, staircase pieces, Poisson, Gaussian).
+//
+// Everything here is dependency-free (standard library only) and
+// deterministic given a seed, so experiments are exactly reproducible.
+package mathx

@@ -1,0 +1,114 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStdNormCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{-3, 0.0013498980316300933},
+	}
+	for _, c := range cases {
+		if got := StdNormCDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Φ(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormPDFIntegratesToOne(t *testing.T) {
+	got := Integrate(func(x float64) float64 { return NormPDF(x, 1.5, 0.7) }, -10, 13, 1e-12)
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("∫pdf = %v, want 1", got)
+	}
+}
+
+func TestQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-12, 1e-6, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 1 - 1e-6, 1 - 1e-12} {
+		x := StdNormQuantile(p)
+		back := StdNormCDF(x)
+		if math.Abs(back-p) > 1e-11*(1+1/math.Min(p, 1-p))*1e-3 && math.Abs(back-p) > 1e-13 {
+			t.Errorf("Φ(Φ⁻¹(%v)) = %v", p, back)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if !math.IsInf(StdNormQuantile(0), -1) {
+		t.Error("Φ⁻¹(0) should be -Inf")
+	}
+	if !math.IsInf(StdNormQuantile(1), 1) {
+		t.Error("Φ⁻¹(1) should be +Inf")
+	}
+	if !math.IsNaN(StdNormQuantile(-0.1)) || !math.IsNaN(StdNormQuantile(1.1)) {
+		t.Error("out-of-range p should yield NaN")
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	f := func(a, b float64) bool {
+		pa := 0.5 + 0.499*math.Tanh(a) // map into (0.001, 0.999)
+		pb := 0.5 + 0.499*math.Tanh(b)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return StdNormQuantile(pa) <= StdNormQuantile(pb)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormProbWithinMatchesIntegral(t *testing.T) {
+	cases := []struct{ lo, hi, mu, sigma float64 }{
+		{-1, 1, 0, 1},
+		{0.5, 2.5, 1, 0.3},
+		{-5, -2, 0, 1},
+		{2, 6, 0, 1},
+		{-0.049 - 0.01, -0.049 + 0.01, -0.049, 0.0058},
+	}
+	for _, c := range cases {
+		want := Integrate(func(x float64) float64 { return NormPDF(x, c.mu, c.sigma) }, c.lo, c.hi, 1e-13)
+		got := NormProbWithin(c.lo, c.hi, c.mu, c.sigma)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("ProbWithin(%v,%v,%v,%v) = %v, want %v", c.lo, c.hi, c.mu, c.sigma, got, want)
+		}
+	}
+}
+
+func TestNormProbWithinDegenerate(t *testing.T) {
+	if got := NormProbWithin(2, 1, 0, 1); got != 0 {
+		t.Fatalf("hi < lo should give 0, got %v", got)
+	}
+}
+
+func TestSymmetricQuantile(t *testing.T) {
+	w := SymmetricQuantile(0.95, 1)
+	if math.Abs(w-1.959963984540054) > 1e-9 {
+		t.Fatalf("95%% half-width = %v, want 1.96", w)
+	}
+	if SymmetricQuantile(0, 1) != 0 {
+		t.Error("conf=0 should give 0")
+	}
+	if !math.IsInf(SymmetricQuantile(1, 1), 1) {
+		t.Error("conf=1 should give +Inf")
+	}
+	// Scales linearly with sigma.
+	if math.Abs(SymmetricQuantile(0.9, 3)-3*SymmetricQuantile(0.9, 1)) > 1e-12 {
+		t.Error("SymmetricQuantile must scale with sigma")
+	}
+}
+
+func TestNormProbWithinTailAccuracy(t *testing.T) {
+	// Deep upper tail: naive Φ(hi)−Φ(lo) loses all precision; the erfc form
+	// must stay positive and finite.
+	got := NormProbWithin(10, 11, 0, 1)
+	if got <= 0 || got > 1e-20 {
+		t.Fatalf("tail probability = %v, want tiny positive", got)
+	}
+}

@@ -1,0 +1,93 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntegratePolynomial(t *testing.T) {
+	// ∫₀² (3x² − 2x + 1) dx = 8 − 4 + 2 = 6.
+	got := Integrate(func(x float64) float64 { return 3*x*x - 2*x + 1 }, 0, 2, 1e-12)
+	if math.Abs(got-6) > 1e-10 {
+		t.Fatalf("got %v, want 6", got)
+	}
+}
+
+func TestIntegrateReversedLimits(t *testing.T) {
+	f := func(x float64) float64 { return math.Sin(x) }
+	a := Integrate(f, 0, math.Pi, 1e-12)
+	b := Integrate(f, math.Pi, 0, 1e-12)
+	if math.Abs(a-2) > 1e-10 || math.Abs(a+b) > 1e-10 {
+		t.Fatalf("∫sin = %v (want 2), reversed = %v (want −2)", a, b)
+	}
+}
+
+func TestIntegrateZeroWidth(t *testing.T) {
+	if got := Integrate(math.Exp, 3, 3, 1e-12); got != 0 {
+		t.Fatalf("zero-width integral = %v", got)
+	}
+}
+
+func TestGaussLegendreExactForPolynomials(t *testing.T) {
+	// n-point GL is exact for degree ≤ 2n−1: check degree 9 with n=5.
+	f := func(x float64) float64 { return math.Pow(x, 9) + 4*math.Pow(x, 6) }
+	// ∫_{-1}^{2} x⁹ dx = (2¹⁰ − 1)/10 = 102.3 ; ∫ 4x⁶ = 4(2⁷+1)/7
+	want := (math.Pow(2, 10)-1)/10 + 4*(math.Pow(2, 7)+1)/7
+	got := GaussLegendre(f, -1, 2, 5)
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestGaussLegendreMatchesAdaptive(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp(-x*x/2) * math.Cos(3*x) }
+	a := GaussLegendre(f, -4, 4, 64)
+	b := Integrate(f, -4, 4, 1e-12)
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("GL=%v adaptive=%v", a, b)
+	}
+}
+
+func TestGaussLegendreCacheReuse(t *testing.T) {
+	// Two calls at the same order must agree bit-for-bit (cache hit path).
+	f := math.Sqrt
+	a := GaussLegendre(f, 1, 4, 12)
+	b := GaussLegendre(f, 1, 4, 12)
+	if a != b {
+		t.Fatalf("cached rule gave different results: %v vs %v", a, b)
+	}
+	want := (math.Pow(4, 1.5) - 1) * 2 / 3
+	if math.Abs(a-want) > 1e-8 {
+		t.Fatalf("∫√x = %v, want %v", a, want)
+	}
+}
+
+func TestPiecewiseIntegrateStepFunction(t *testing.T) {
+	// Step function with a jump at 0.5: Gauss–Legendre on the whole interval
+	// struggles; splitting at the break must be near-exact.
+	f := func(x float64) float64 {
+		if x < 0.5 {
+			return 1
+		}
+		return 3
+	}
+	got := PiecewiseIntegrate(f, 0, 1, []float64{0.5}, 16)
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("got %v, want 2", got)
+	}
+}
+
+func TestPiecewiseIntegrateIgnoresOutsideBreaks(t *testing.T) {
+	got := PiecewiseIntegrate(func(x float64) float64 { return x }, 0, 1, []float64{-3, 7, 0.25}, 8)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("got %v, want 0.5", got)
+	}
+}
+
+func TestGaussLegendreMinimumOrder(t *testing.T) {
+	// n<1 is clamped to 1; the midpoint rule integrates constants exactly.
+	got := GaussLegendre(func(float64) float64 { return 2 }, 0, 3, 0)
+	if math.Abs(got-6) > 1e-12 {
+		t.Fatalf("got %v, want 6", got)
+	}
+}

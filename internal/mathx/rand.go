@@ -1,0 +1,169 @@
+package mathx
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic random source with the samplers needed by the LDP
+// mechanisms and the synthetic dataset generators. It is splittable: Child
+// derives an independent deterministic substream, which lets the experiment
+// harness run trials in parallel while staying exactly reproducible.
+//
+// RNG is not safe for concurrent use; give each goroutine its own Child.
+type RNG struct {
+	src  *rand.Rand
+	seed uint64
+}
+
+// NewRNG returns a deterministic RNG seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	s := splitmix64(seed)
+	return &RNG{src: rand.New(rand.NewPCG(s, splitmix64(s))), seed: seed}
+}
+
+// splitmix64 is the standard SplitMix64 finalizer, used both to whiten seeds
+// and to derive child streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Child derives the i-th independent substream of r's seed.
+func (r *RNG) Child(i uint64) *RNG {
+	return NewRNG(splitmix64(r.seed^0xa5a5a5a5a5a5a5a5) + splitmix64(i)*0x9e3779b97f4a7c15)
+}
+
+// Seed returns the seed the RNG was constructed with.
+func (r *RNG) Seed() uint64 { return r.seed }
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Uniform returns a uniform value in [a, b).
+func (r *RNG) Uniform(a, b float64) float64 { return a + (b-a)*r.src.Float64() }
+
+// IntN returns a uniform int in [0, n).
+func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool { return r.src.Float64() < p }
+
+// Normal returns a N(mu, sigma²) sample.
+func (r *RNG) Normal(mu, sigma float64) float64 { return mu + sigma*r.src.NormFloat64() }
+
+// Laplace returns a Laplace(0, scale) sample (density exp(−|x|/scale)/2scale).
+func (r *RNG) Laplace(scale float64) float64 {
+	u := r.src.Float64() - 0.5
+	if u < 0 {
+		return scale * math.Log1p(2*u) // log(1 − 2|u|), negative branch
+	}
+	return -scale * math.Log1p(-2*u)
+}
+
+// Exponential returns an Exp(rate) sample with mean 1/rate.
+func (r *RNG) Exponential(rate float64) float64 {
+	return r.src.ExpFloat64() / rate
+}
+
+// Geometric returns a sample G ∈ {0,1,2,...} with P[G=g] = (1−q)·q^g,
+// i.e. the number of failures before the first success with success
+// probability 1−q. Used by the staircase mechanism with q = e^{−ε}.
+func (r *RNG) Geometric(q float64) int {
+	if q <= 0 {
+		return 0
+	}
+	u := r.src.Float64()
+	// Invert the CDF: smallest g with 1 − q^{g+1} ≥ u.
+	g := math.Floor(math.Log1p(-u) / math.Log(q))
+	if g < 0 {
+		return 0
+	}
+	return int(g)
+}
+
+// Poisson returns a Poisson(lambda) sample. Knuth's product method is used
+// for small lambda and the PTRS transformed-rejection sampler (Hörmann 1993)
+// for large lambda.
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.src.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	return r.poissonPTRS(lambda)
+}
+
+func (r *RNG) poissonPTRS(lambda float64) int {
+	b := 0.931 + 2.53*math.Sqrt(lambda)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logLam := math.Log(lambda)
+	for {
+		u := r.src.Float64() - 0.5
+		v := r.src.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + lambda + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logLam-lambda-lg {
+			return int(k)
+		}
+	}
+}
+
+// SampleIndices fills dst with a uniform random m-subset of [0, d) in
+// increasing order, using a partial Fisher–Yates shuffle over a scratch
+// permutation. It allocates only when dst or scratch are too small.
+func (r *RNG) SampleIndices(d, m int, dst []int, scratch []int) []int {
+	if m > d {
+		m = d
+	}
+	if cap(scratch) < d {
+		scratch = make([]int, d)
+	}
+	scratch = scratch[:d]
+	for i := range scratch {
+		scratch[i] = i
+	}
+	if cap(dst) < m {
+		dst = make([]int, m)
+	}
+	dst = dst[:m]
+	for i := 0; i < m; i++ {
+		j := i + r.src.IntN(d-i)
+		scratch[i], scratch[j] = scratch[j], scratch[i]
+		dst[i] = scratch[i]
+	}
+	sortInts(dst)
+	return dst
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

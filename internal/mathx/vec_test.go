@@ -1,0 +1,100 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecBasics(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Sub(b, a); got[0] != 3 || got[1] != 3 || got[2] != 3 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Hadamard(a, b); got[0] != 4 || got[1] != 10 || got[2] != 18 {
+		t.Errorf("Hadamard = %v", got)
+	}
+	c := Clone(a)
+	AddTo(c, b)
+	if c[2] != 9 {
+		t.Errorf("AddTo = %v", c)
+	}
+	if a[2] != 3 {
+		t.Error("Clone must not alias")
+	}
+	Scale(c, 2)
+	if c[0] != 10 {
+		t.Errorf("Scale = %v", c)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := []float64{3, -4}
+	if Norm2(v) != 5 {
+		t.Errorf("Norm2 = %v", Norm2(v))
+	}
+	if Norm1(v) != 7 {
+		t.Errorf("Norm1 = %v", Norm1(v))
+	}
+	if NormInf(v) != 4 {
+		t.Errorf("NormInf = %v", NormInf(v))
+	}
+	if Norm2(nil) != 0 || Norm2([]float64{0, 0}) != 0 {
+		t.Error("zero vectors must have zero norm")
+	}
+}
+
+func TestNorm2OverflowSafe(t *testing.T) {
+	v := []float64{1e200, 1e200}
+	want := 1e200 * math.Sqrt2
+	if got := Norm2(v); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("Norm2 overflowed: %v", got)
+	}
+}
+
+func TestNormTriangleInequality(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		as, bs := a[:], b[:]
+		for i := range as {
+			as[i] = math.Mod(as[i], 100)
+			bs[i] = math.Mod(bs[i], 100)
+			if math.IsNaN(as[i]) {
+				as[i] = 0
+			}
+			if math.IsNaN(bs[i]) {
+				bs[i] = 0
+			}
+		}
+		sum := make([]float64, 8)
+		copy(sum, as)
+		AddTo(sum, bs)
+		return Norm2(sum) <= Norm2(as)+Norm2(bs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, -1, 1) != 1 || Clamp(-5, -1, 1) != -1 || Clamp(0.3, -1, 1) != 0.3 {
+		t.Fatal("Clamp broken")
+	}
+	xs := []float64{-2, 0, 2}
+	ClampSlice(xs, -1, 1)
+	if xs[0] != -1 || xs[1] != 0 || xs[2] != 1 {
+		t.Fatalf("ClampSlice = %v", xs)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}

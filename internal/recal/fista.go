@@ -1,0 +1,75 @@
+package recal
+
+import (
+	"math"
+
+	"github.com/hdr4me/hdr4me/internal/mathx"
+)
+
+// FISTA minimizes L(θ) + R(θ) with Nesterov-accelerated proximal gradient
+// descent (the accelerated variants the paper cites [48, 49]): the proximal
+// step is applied at an extrapolated point
+//
+//	y_k = θ_k + ((t_{k−1} − 1)/t_k)(θ_k − θ_{k−1})
+//
+// with the standard momentum schedule t_k = (1 + √(1+4t_{k−1}²))/2. For
+// smooth convex L with Lipschitz gradient it converges at O(1/k²) versus
+// PGD's O(1/k). For the paper's aggregation loss the closed-form solvers
+// remain the right tool (unit step converges in one iteration); FISTA
+// matters when the loss is replaced by something less trivial — e.g. a
+// weighted aggregation over heterogeneous report counts, where the gradient
+// Lipschitz constant exceeds 1 and small steps are required.
+func FISTA(grad func(theta []float64) []float64, prox Prox, init []float64, step float64, maxIters int, tol float64) PGDResult {
+	theta := mathx.Clone(init)
+	prev := mathx.Clone(init)
+	if step <= 0 {
+		step = 1
+	}
+	if maxIters < 1 {
+		maxIters = 1
+	}
+	tk := 1.0
+	for k := 1; k <= maxIters; k++ {
+		tNext := (1 + math.Sqrt(1+4*tk*tk)) / 2
+		beta := (tk - 1) / tNext
+		y := make([]float64, len(theta))
+		for j := range y {
+			y[j] = theta[j] + beta*(theta[j]-prev[j])
+		}
+		g := grad(y)
+		for j := range y {
+			y[j] -= step * g[j]
+		}
+		next := prox(y, step)
+		moved := 0.0
+		for j := range next {
+			if d := math.Abs(next[j] - theta[j]); d > moved {
+				moved = d
+			}
+		}
+		prev = theta
+		theta = next
+		tk = tNext
+		if moved <= tol {
+			return PGDResult{Theta: theta, Iters: k, Converged: true}
+		}
+	}
+	return PGDResult{Theta: theta, Iters: maxIters}
+}
+
+// WeightedAggregationGrad returns ∇L for the report-count-weighted
+// aggregation loss L(θ) = Σⱼ wⱼ(θⱼ − θ̂ⱼ)²/2, the natural loss when
+// dimensions received different numbers of reports (wⱼ ∝ rⱼ). Its gradient
+// Lipschitz constant is max wⱼ, so solvers should use step ≤ 1/max wⱼ.
+func WeightedAggregationGrad(naive, weights []float64) func([]float64) []float64 {
+	if len(naive) != len(weights) {
+		panic("recal: naive/weights length mismatch")
+	}
+	return func(theta []float64) []float64 {
+		g := make([]float64, len(theta))
+		for j := range g {
+			g[j] = weights[j] * (theta[j] - naive[j])
+		}
+		return g
+	}
+}

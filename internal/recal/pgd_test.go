@@ -1,0 +1,102 @@
+package recal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPGDMatchesClosedFormL1(t *testing.T) {
+	// The paper's derivation: PGD on the aggregation loss with the L1 prox
+	// reaches the Eq. 34 soft-threshold solution (one-off at unit step).
+	naive := []float64{3, -0.4, 1.5, -6}
+	lambda := []float64{1, 1, 2, 2}
+	res := PGD(AggregationGrad(naive), ProxL1(lambda), make([]float64, 4), 1, 50, 1e-12)
+	want := SoftThreshold(naive, lambda)
+	if !res.Converged {
+		t.Fatal("PGD did not converge")
+	}
+	for j := range want {
+		if math.Abs(res.Theta[j]-want[j]) > 1e-10 {
+			t.Fatalf("PGD %v, closed form %v", res.Theta, want)
+		}
+	}
+}
+
+func TestPGDMatchesClosedFormL2(t *testing.T) {
+	naive := []float64{3, -0.4, 1.5}
+	lambda := []float64{0.5, 1, 4}
+	res := PGD(AggregationGrad(naive), ProxL2Squared(lambda), make([]float64, 3), 1, 200, 1e-14)
+	want := Shrink(naive, lambda)
+	for j := range want {
+		if math.Abs(res.Theta[j]-want[j]) > 1e-9 {
+			t.Fatalf("PGD %v, closed form %v", res.Theta, want)
+		}
+	}
+}
+
+func TestPGDSmallStepStillConverges(t *testing.T) {
+	naive := []float64{2, -2}
+	lambda := []float64{0.5, 0.5}
+	res := PGD(AggregationGrad(naive), ProxL1(lambda), make([]float64, 2), 0.3, 500, 1e-12)
+	want := SoftThreshold(naive, lambda)
+	if !res.Converged {
+		t.Fatal("did not converge with small step")
+	}
+	for j := range want {
+		if math.Abs(res.Theta[j]-want[j]) > 1e-8 {
+			t.Fatalf("PGD %v, want %v", res.Theta, want)
+		}
+	}
+}
+
+func TestPGDIterationLimit(t *testing.T) {
+	res := PGD(AggregationGrad([]float64{1}), ProxL1([]float64{0}), []float64{100}, 0.01, 3, 0)
+	if res.Converged || res.Iters != 3 {
+		t.Fatalf("res = %+v, want 3 iters unconverged", res)
+	}
+}
+
+func TestPGDDefensiveDefaults(t *testing.T) {
+	// Non-positive step and iteration count fall back to sane values.
+	res := PGD(AggregationGrad([]float64{5}), ProxL1([]float64{1}), []float64{0}, -1, 0, 1e-12)
+	if len(res.Theta) != 1 {
+		t.Fatal("bad result")
+	}
+	if math.Abs(res.Theta[0]-4) > 1e-9 {
+		t.Fatalf("theta = %v, want 4", res.Theta[0])
+	}
+}
+
+func TestProxElasticNet(t *testing.T) {
+	p := ProxElasticNet([]float64{1}, []float64{0.5})
+	got := p([]float64{5}, 1)[0]
+	// soft(5,1)=4 then 4/(1+1)=2.
+	if got != 2 {
+		t.Fatalf("elastic net prox = %v, want 2", got)
+	}
+}
+
+func TestProxBox(t *testing.T) {
+	p := ProxBox(-1, 1)
+	got := p([]float64{-3, 0.2, 7}, 1)
+	if got[0] != -1 || got[1] != 0.2 || got[2] != 1 {
+		t.Fatalf("box prox = %v", got)
+	}
+}
+
+func TestProxL2InfinityZeroes(t *testing.T) {
+	p := ProxL2Squared([]float64{math.Inf(1)})
+	if got := p([]float64{9}, 1)[0]; got != 0 {
+		t.Fatalf("got %v, want 0", got)
+	}
+}
+
+func TestPGDWithBoxProjection(t *testing.T) {
+	// Constrained aggregation: the minimizer of ‖θ−θ̂‖² over the box is the
+	// clamped naive estimate.
+	naive := []float64{4, -0.5}
+	res := PGD(AggregationGrad(naive), ProxBox(-1, 1), make([]float64, 2), 1, 100, 1e-12)
+	if math.Abs(res.Theta[0]-1) > 1e-10 || math.Abs(res.Theta[1]+0.5) > 1e-10 {
+		t.Fatalf("theta = %v, want [1 -0.5]", res.Theta)
+	}
+}

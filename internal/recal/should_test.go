@@ -1,0 +1,30 @@
+package recal
+
+import (
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/analysis"
+)
+
+func TestShouldEnhance(t *testing.T) {
+	heavy := analysis.Homogeneous(100, analysis.Deviation{Delta: 0, Sigma2: 100})
+	light := analysis.Homogeneous(100, analysis.Deviation{Delta: 0, Sigma2: 1e-6})
+	for _, reg := range []Reg{RegL1, RegL2} {
+		if !ShouldEnhance(heavy, reg, 0.9) {
+			t.Errorf("%s: heavy-noise regime should enhance", reg)
+		}
+		if ShouldEnhance(light, reg, 0.9) {
+			t.Errorf("%s: light-noise regime should not enhance", reg)
+		}
+	}
+	if ShouldEnhance(heavy, RegNone, 0.9) {
+		t.Error("RegNone never enhances")
+	}
+}
+
+func TestShouldEnhanceDefaultThreshold(t *testing.T) {
+	heavy := analysis.Homogeneous(10, analysis.Deviation{Delta: 0, Sigma2: 50})
+	if !ShouldEnhance(heavy, RegL1, 0) {
+		t.Error("non-positive minProb should fall back to 0.5")
+	}
+}

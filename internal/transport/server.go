@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"github.com/hdr4me/hdr4me/internal/highdim"
+)
+
+// Server is a TCP collector: it accepts report frames from any number of
+// concurrent client connections and feeds them into a highdim.Aggregator.
+type Server struct {
+	Agg *highdim.Aggregator
+
+	// Logf receives per-connection errors; defaults to log.Printf.
+	Logf func(format string, args ...any)
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer wraps an aggregator in a collector server.
+func NewServer(agg *highdim.Aggregator) *Server {
+	return &Server{Agg: agg, Logf: log.Printf}
+}
+
+// Listen binds addr ("host:port"; use ":0" for an ephemeral port) and starts
+// serving in background goroutines. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.Logf("transport: accept: %v", err)
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			if err := s.serveConn(conn); err != nil && !errors.Is(err, io.EOF) {
+				s.Logf("transport: conn %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// serveConn processes frames until the peer closes the connection.
+func (s *Server) serveConn(conn net.Conn) error {
+	for {
+		ft, err := readFrameType(conn)
+		if err != nil {
+			return err
+		}
+		switch ft {
+		case frameReport:
+			rep, err := readReportBody(conn)
+			if err != nil {
+				return err
+			}
+			ack := byte(ackOK)
+			if err := s.Agg.Add(rep); err != nil {
+				ack = ackErr
+			}
+			if _, err := conn.Write([]byte{ack}); err != nil {
+				return err
+			}
+		case frameEstimate:
+			if err := writeFloats(conn, s.Agg.Estimate()); err != nil {
+				return err
+			}
+		case frameCounts:
+			if err := writeInts(conn, s.Agg.Counts()); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown frame type 0x%02x", ft)
+		}
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is the user-side network client: it connects to a collector and
+// submits reports, and can query the running estimate.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a collector at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Send submits one report and waits for the acknowledgement.
+func (c *Client) Send(rep highdim.Report) error {
+	if err := WriteReport(c.conn, rep); err != nil {
+		return err
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(c.conn, ack[:]); err != nil {
+		return err
+	}
+	if ack[0] != ackOK {
+		return fmt.Errorf("transport: collector rejected report")
+	}
+	return nil
+}
+
+// Estimate asks the collector for its current naive aggregation.
+func (c *Client) Estimate() ([]float64, error) {
+	if _, err := c.conn.Write([]byte{frameEstimate}); err != nil {
+		return nil, err
+	}
+	return readFloats(c.conn)
+}
+
+// Counts asks the collector for the per-dimension report counts.
+func (c *Client) Counts() ([]int64, error) {
+	if _, err := c.conn.Write([]byte{frameCounts}); err != nil {
+		return nil, err
+	}
+	return readInts(c.conn)
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,150 @@
+// Package transport moves LDP reports across a real network boundary: a
+// compact length-prefixed binary wire format (encoding/binary) and a TCP
+// collector server with a matching client. It exists so the protocol is
+// exercised end to end — user-side perturbation, serialization, a socket,
+// and collector-side aggregation — not just in-process.
+//
+// Wire format (big endian). Every frame starts with a one-byte type:
+//
+//	0x01 REPORT   uint32 count, then count × (uint32 dim, float64 value)
+//	0x02 ESTIMATE (no payload) — server replies uint32 d, then d × float64
+//	0x03 COUNTS   (no payload) — server replies uint32 d, then d × int64
+//
+// A report frame is acknowledged with a single 0x00 byte (ok) or 0xFF
+// (rejected). Frames are small (m pairs), so no additional length prefix is
+// needed beyond the count.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/hdr4me/hdr4me/internal/highdim"
+)
+
+// Frame type bytes.
+const (
+	frameReport   = 0x01
+	frameEstimate = 0x02
+	frameCounts   = 0x03
+
+	ackOK  = 0x00
+	ackErr = 0xFF
+)
+
+// maxPairs caps a report frame to guard the server against hostile or
+// corrupt length fields.
+const maxPairs = 1 << 20
+
+// WriteReport serializes one report frame to w.
+func WriteReport(w io.Writer, rep highdim.Report) error {
+	if len(rep.Dims) != len(rep.Values) {
+		return fmt.Errorf("transport: report dims/values length mismatch")
+	}
+	buf := make([]byte, 1+4+len(rep.Dims)*12)
+	buf[0] = frameReport
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(rep.Dims)))
+	off := 5
+	for i, d := range rep.Dims {
+		binary.BigEndian.PutUint32(buf[off:], d)
+		binary.BigEndian.PutUint64(buf[off+4:], math.Float64bits(rep.Values[i]))
+		off += 12
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads the next frame type byte from r.
+func readFrameType(r io.Reader) (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// readReportBody reads the payload of a report frame.
+func readReportBody(r io.Reader) (highdim.Report, error) {
+	var cnt uint32
+	if err := binary.Read(r, binary.BigEndian, &cnt); err != nil {
+		return highdim.Report{}, err
+	}
+	if cnt > maxPairs {
+		return highdim.Report{}, fmt.Errorf("transport: report with %d pairs exceeds limit", cnt)
+	}
+	rep := highdim.Report{Dims: make([]uint32, cnt), Values: make([]float64, cnt)}
+	buf := make([]byte, 12*cnt)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return highdim.Report{}, err
+	}
+	for i := uint32(0); i < cnt; i++ {
+		off := 12 * i
+		rep.Dims[i] = binary.BigEndian.Uint32(buf[off:])
+		rep.Values[i] = math.Float64frombits(binary.BigEndian.Uint64(buf[off+4:]))
+	}
+	return rep, nil
+}
+
+// writeFloats writes a uint32 length followed by the values.
+func writeFloats(w io.Writer, xs []float64) error {
+	buf := make([]byte, 4+8*len(xs))
+	binary.BigEndian.PutUint32(buf, uint32(len(xs)))
+	for i, x := range xs {
+		binary.BigEndian.PutUint64(buf[4+8*i:], math.Float64bits(x))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFloats reads a uint32 length followed by that many float64s.
+func readFloats(r io.Reader) ([]float64, error) {
+	var n uint32
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxPairs {
+		return nil, fmt.Errorf("transport: vector of %d values exceeds limit", n)
+	}
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(buf[8*i:]))
+	}
+	return out, nil
+}
+
+// writeInts writes a uint32 length followed by int64 values.
+func writeInts(w io.Writer, xs []int64) error {
+	buf := make([]byte, 4+8*len(xs))
+	binary.BigEndian.PutUint32(buf, uint32(len(xs)))
+	for i, x := range xs {
+		binary.BigEndian.PutUint64(buf[4+8*i:], uint64(x))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readInts reads a uint32 length followed by that many int64s.
+func readInts(r io.Reader) ([]int64, error) {
+	var n uint32
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxPairs {
+		return nil, fmt.Errorf("transport: vector of %d values exceeds limit", n)
+	}
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.BigEndian.Uint64(buf[8*i:]))
+	}
+	return out, nil
+}
