@@ -3,27 +3,37 @@
 //
 //	hdrbench -exp table2
 //	hdrbench -exp fig4 -scale quick
+//	hdrbench -exp families                # the three Session estimator families
 //	hdrbench -exp all -scale paper        # the full evaluation (hours)
 //
 // Output is the text form of each artifact: Table II rows, Fig. 2/3 pdf
-// series, Fig. 4/5 MSE tables and the DESIGN.md ablations.
+// series, Fig. 4/5 MSE tables, the DESIGN.md ablations, and a comparison
+// of the three unified-API estimator families. Ctrl-C cancels the
+// families run mid-flight.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	hdr4me "github.com/hdr4me/hdr4me"
 	"github.com/hdr4me/hdr4me/internal/dataset"
 	"github.com/hdr4me/hdr4me/internal/exps"
 	"github.com/hdr4me/hdr4me/internal/ldp"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2|fig2|fig3|fig4|fig5|ablations|all")
+	exp := flag.String("exp", "all", "experiment: table2|fig2|fig3|fig4|fig5|ablations|families|all")
 	scaleName := flag.String("scale", "quick", "experiment scale: quick|paper")
 	plot := flag.Bool("plot", false, "render ASCII charts in addition to tables")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	var scale exps.Scale
 	switch *scaleName {
@@ -126,10 +136,86 @@ func main() {
 			exps.AblationSamplingM(ds, ldp.Piecewise{}, 0.8, []int{1, 10, 25, 50, 100}, cfg)))
 	})
 
+	run("families", func() {
+		if err := runFamilies(ctx, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "hdrbench: families: %v\n", err)
+			os.Exit(1)
+		}
+	})
+
 	switch *exp {
-	case "table2", "fig2", "fig3", "fig4", "fig5", "ablations", "all":
+	case "table2", "fig2", "fig3", "fig4", "fig5", "ablations", "families", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "hdrbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// runFamilies compares the three estimator families of the unified
+// Session API at equal total budget: the §III-B sampling protocol, Duchi
+// et al.'s whole-tuple mechanism, and the §V-C frequency reducer.
+func runFamilies(ctx context.Context, scale exps.Scale) error {
+	users := 100_000 / max(scale.UsersDiv, 1)
+	const d, eps = 16, 1.0
+	ds := hdr4me.Memoize(hdr4me.NewGaussianDataset(users, d, 2024))
+	truth := ds.TrueMean()
+
+	fmt.Printf("Estimator families — n=%d, d=%d, ε=%g (unified Session API)\n\n", users, d, eps)
+	fmt.Printf("%-24s %14s %14s\n", "family", "naive MSE", "enhanced MSE")
+
+	sampling, err := hdr4me.New(
+		hdr4me.WithMechanism(hdr4me.Duchi()),
+		hdr4me.WithBudget(eps),
+		hdr4me.WithDims(d, 1),
+		hdr4me.WithEnhance(hdr4me.DefaultEnhanceConfig(hdr4me.RegL1)),
+	)
+	if err != nil {
+		return err
+	}
+	res, err := sampling.Run(ctx, ds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %14.6g %14.6g\n", "sampling (m=1, duchi)",
+		hdr4me.MSE(res.Naive, truth), hdr4me.MSE(res.Enhanced, truth))
+
+	whole, err := hdr4me.New(hdr4me.WithWholeTuple(), hdr4me.WithBudget(eps), hdr4me.WithDims(d, 0))
+	if err != nil {
+		return err
+	}
+	if res, err = whole.Run(ctx, ds); err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %14.6g %14s\n", "whole-tuple (duchi-md)", hdr4me.MSE(res.Naive, truth), "—")
+
+	cards := make([]int, 8)
+	for j := range cards {
+		cards[j] = 4
+	}
+	cds := hdr4me.NewZipfCatDataset(users, cards, 1.2, 2025)
+	// Guarded: at this budget the Lemma 4 threshold may not be met, and
+	// the Theorem 3 pre-flight check then keeps the naive estimate.
+	guarded := hdr4me.DefaultEnhanceConfig(hdr4me.RegL1)
+	guarded.Guarded = true
+	freqSess, err := hdr4me.New(
+		hdr4me.WithMechanism(hdr4me.Laplace()),
+		hdr4me.WithBudget(eps),
+		hdr4me.WithCards(cards),
+		hdr4me.WithDims(len(cards), 2),
+		hdr4me.WithEnhance(guarded),
+	)
+	if err != nil {
+		return err
+	}
+	if res, err = freqSess.Run(ctx, cds); err != nil {
+		return err
+	}
+	ftruth := hdr4me.TrueFreqs(cds)
+	flatTruth := make([]float64, 0, len(res.Naive))
+	for _, row := range ftruth {
+		flatTruth = append(flatTruth, row...)
+	}
+	fmt.Printf("%-24s %14.6g %14.6g\n\n", "frequency (8×4 cats)",
+		hdr4me.MSE(res.Naive, flatTruth), hdr4me.MSE(res.Enhanced, flatTruth))
+	return nil
 }

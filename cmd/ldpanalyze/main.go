@@ -13,12 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 
-	"github.com/hdr4me/hdr4me/internal/analysis"
-	"github.com/hdr4me/hdr4me/internal/ldp"
+	hdr4me "github.com/hdr4me/hdr4me"
 )
 
 func main() {
@@ -39,17 +37,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	var spec analysis.DataSpec
+	var spec hdr4me.DataSpec
 	switch *specFlag {
 	case "uniform":
 		// 21 atoms across [−1, 1]: an uninformative prior.
-		vals := make([]float64, 21)
-		for i := range vals {
-			vals[i] = -1 + 2*float64(i)/20
-		}
-		spec = analysis.UniformSpec(vals...)
+		spec = hdr4me.UniformGridSpec(21)
 	case "casestudy":
-		spec = analysis.CaseStudySpec()
+		spec = hdr4me.CaseStudySpec()
 	default:
 		fmt.Fprintf(os.Stderr, "ldpanalyze: unknown spec %q\n", *specFlag)
 		os.Exit(2)
@@ -60,17 +54,14 @@ func main() {
 	fmt.Printf("n=%d  d=%d  m=%d  ε=%g  → ε/m=%.6g, E[r]=%.6g, spec=%s\n\n",
 		*n, *d, *m, *eps, epsPer, r, *specFlag)
 
-	names := make([]string, 0)
-	reg := ldp.Registry()
-	for name := range reg {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
-	for _, name := range names {
-		mech := reg[name]
-		fw := analysis.Framework{Mech: mech, EpsPerDim: epsPer, R: r}
-		var dev analysis.Deviation
+	for _, name := range hdr4me.MechanismNames() {
+		mech, err := hdr4me.MechanismByName(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ldpanalyze: %v\n", err)
+			os.Exit(2)
+		}
+		fw := hdr4me.NewFramework(mech, epsPer, r)
+		var dev hdr4me.Deviation
 		var be float64
 		if mech.Bounded() {
 			dev = fw.Deviation(&spec)
@@ -79,7 +70,7 @@ func main() {
 			dev = fw.Deviation(nil)
 			be = fw.BerryEsseenBound(nil)
 		}
-		joint := analysis.Homogeneous(*d, dev)
+		joint := hdr4me.Homogeneous(*d, dev)
 		fmt.Printf("%-12s bounded=%-5v δ=%-12.5g σ²=%-12.5g Berry–Esseen≤%.4g\n",
 			mech.Name(), mech.Bounded(), dev.Delta, dev.Sigma2, be)
 		for _, xi := range xis {

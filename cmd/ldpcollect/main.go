@@ -1,24 +1,23 @@
 // Command ldpcollect demonstrates the full networked collection pipeline: a
-// TCP collector server, a fleet of concurrent clients perturbing a synthetic
-// dataset, and the collector-side naive + HDR4ME-enhanced estimates.
+// TCP collector server wrapping a Session estimator, a fleet of concurrent
+// clients perturbing a synthetic dataset, and the collector-side naive +
+// HDR4ME-enhanced estimates — the enhanced one served over the wire as its
+// own frame type. Ctrl-C cancels the collection cleanly.
 //
 //	ldpcollect -users 20000 -d 100 -m 100 -eps 0.8 -mech piecewise
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os/signal"
+	"strings"
 	"sync"
+	"syscall"
 
-	"github.com/hdr4me/hdr4me/internal/analysis"
-	"github.com/hdr4me/hdr4me/internal/dataset"
-	"github.com/hdr4me/hdr4me/internal/highdim"
-	"github.com/hdr4me/hdr4me/internal/ldp"
-	"github.com/hdr4me/hdr4me/internal/mathx"
-	"github.com/hdr4me/hdr4me/internal/metrics"
-	"github.com/hdr4me/hdr4me/internal/recal"
-	"github.com/hdr4me/hdr4me/internal/transport"
+	hdr4me "github.com/hdr4me/hdr4me"
 )
 
 func main() {
@@ -26,47 +25,68 @@ func main() {
 	d := flag.Int("d", 100, "dimensions")
 	m := flag.Int("m", 0, "reported dimensions per user (default: d)")
 	eps := flag.Float64("eps", 0.8, "collective privacy budget")
-	mechName := flag.String("mech", "piecewise", "mechanism: laplace|piecewise|squarewave|duchi|hybrid|staircase")
+	mechName := flag.String("mech", "piecewise",
+		"mechanism: "+strings.Join(hdr4me.MechanismNames(), "|"))
 	conns := flag.Int("conns", 8, "concurrent client connections")
 	addr := flag.String("addr", "127.0.0.1:0", "collector listen address")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	if *m <= 0 || *m > *d {
 		*m = *d
 	}
-	mech, err := ldp.ByName(*mechName)
-	if err != nil {
-		log.Fatalf("ldpcollect: %v", err)
-	}
-	p, err := highdim.NewProtocol(mech, *eps, *d, *m)
+	mech, err := hdr4me.MechanismByName(*mechName)
 	if err != nil {
 		log.Fatalf("ldpcollect: %v", err)
 	}
 
-	srv := transport.NewServer(highdim.NewAggregator(p))
-	bound, err := srv.Listen(*addr)
+	// Collector side: one Session holds the estimator and its HDR4ME
+	// configuration; the TCP server serves it — reports in, naive and
+	// enhanced estimates out.
+	sess, err := hdr4me.New(
+		hdr4me.WithMechanism(mech),
+		hdr4me.WithBudget(*eps),
+		hdr4me.WithDims(*d, *m),
+		hdr4me.WithEnhance(hdr4me.DefaultEnhanceConfig(hdr4me.RegL1)),
+		hdr4me.WithSeed(*seed),
+	)
+	if err != nil {
+		log.Fatalf("ldpcollect: %v", err)
+	}
+	srv := hdr4me.NewEstimatorServer(sess.Estimator())
+	bound, err := srv.ListenContext(ctx, *addr)
 	if err != nil {
 		log.Fatalf("ldpcollect: listen: %v", err)
 	}
 	defer srv.Close()
 	fmt.Printf("collector listening on %s (%s, ε=%g, d=%d, m=%d)\n", bound, mech.Name(), *eps, *d, *m)
 
-	ds := dataset.Memoize(dataset.NewGaussian(*users, *d, *seed))
+	// User side: perturb locally, ship reports over real sockets.
+	p, err := hdr4me.NewProtocol(mech, *eps, *d, *m)
+	if err != nil {
+		log.Fatalf("ldpcollect: %v", err)
+	}
+	ds := hdr4me.Memoize(hdr4me.NewGaussianDataset(*users, *d, *seed))
 	var wg sync.WaitGroup
 	for c := 0; c < *conns; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			cl, err := transport.Dial(bound.String())
+			cl, err := hdr4me.DialCollector(bound.String())
 			if err != nil {
 				log.Printf("client %d: %v", c, err)
 				return
 			}
 			defer cl.Close()
-			client := highdim.NewClient(p, mathx.NewRNG(*seed^0xc11e).Child(uint64(c)))
+			client := hdr4me.NewClient(p, hdr4me.NewRNG(*seed^0xc11e).Child(uint64(c)))
 			row := make([]float64, *d)
 			for i := c; i < *users; i += *conns {
+				if ctx.Err() != nil {
+					return
+				}
 				ds.Row(i, row)
 				if err := cl.Send(client.Report(row)); err != nil {
 					log.Printf("client %d: send: %v", c, err)
@@ -76,8 +96,12 @@ func main() {
 		}(c)
 	}
 	wg.Wait()
+	if ctx.Err() != nil {
+		fmt.Println("ldpcollect: cancelled")
+		return
+	}
 
-	cl, err := transport.Dial(bound.String())
+	cl, err := hdr4me.DialCollector(bound.String())
 	if err != nil {
 		log.Fatalf("ldpcollect: %v", err)
 	}
@@ -97,24 +121,14 @@ func main() {
 	fmt.Printf("collected %d (dimension, value) pairs from %d users\n", total, *users)
 
 	truth := ds.TrueMean()
-	fmt.Printf("naive aggregation MSE:    %.6g\n", metrics.MSE(est, truth))
+	fmt.Printf("naive aggregation MSE:    %.6g\n", hdr4me.MSE(est, truth))
 
-	// Collector-side HDR4ME using the framework with an uninformative
-	// 21-atom uniform prior (no access to the raw data).
-	vals := make([]float64, 21)
-	for i := range vals {
-		vals[i] = -1 + 2*float64(i)/20
+	// The enhanced estimate arrives over the wire too (0x04 frame): the
+	// collector derives deviations from the framework with an
+	// uninformative prior — no access to the raw data.
+	enhanced, err := cl.Enhanced()
+	if err != nil {
+		log.Fatalf("ldpcollect: enhanced: %v", err)
 	}
-	spec := analysis.UniformSpec(vals...)
-	fw := analysis.Framework{Mech: mech, EpsPerDim: p.EpsPerDim(), R: p.ExpectedReports(*users)}
-	var dev analysis.Deviation
-	if mech.Bounded() {
-		dev = fw.Deviation(&spec)
-	} else {
-		dev = fw.Deviation(nil)
-	}
-	for _, reg := range []recal.Reg{recal.RegL1, recal.RegL2} {
-		enhanced := recal.Enhance(est, []analysis.Deviation{dev}, recal.DefaultConfig(reg))
-		fmt.Printf("HDR4ME %s-enhanced MSE:   %.6g\n", reg, metrics.MSE(enhanced, truth))
-	}
+	fmt.Printf("HDR4ME L1-enhanced MSE:   %.6g (served as wire frame 0x04)\n", hdr4me.MSE(enhanced, truth))
 }

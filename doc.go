@@ -6,15 +6,28 @@
 // collector-side aggregation that improves that utility without touching the
 // mechanism.
 //
-// The package is a facade: it re-exports the stable surface of the internal
-// packages so applications program against one import path.
+// The package's center of gravity is the Session API: one pipeline object,
+// built from functional options, that covers all three estimator families —
+// the §III-B sampled-dimension mean protocol, Duchi et al.'s whole-tuple
+// mechanism, and the §V-C frequency reducer — behind the same Estimator
+// interface the TCP transport serves.
 //
-//	ds := hdr4me.NewGaussianDataset(100_000, 100, 1)
-//	p, _ := hdr4me.NewProtocol(hdr4me.Piecewise(), 0.8, 100, 100)
-//	agg, _ := hdr4me.Simulate(p, ds, hdr4me.NewRNG(7), 0)
-//	naive := agg.Estimate()
-//	enhanced, _ := hdr4me.EnhanceWithFramework(p, ds, naive, hdr4me.DefaultEnhanceConfig(hdr4me.RegL1))
+//	sess, _ := hdr4me.New(
+//		hdr4me.WithMechanism(hdr4me.Piecewise()),
+//		hdr4me.WithBudget(0.8),
+//		hdr4me.WithDims(100, 100),
+//		hdr4me.WithEnhance(hdr4me.DefaultEnhanceConfig(hdr4me.RegL1)),
+//	)
+//	res, _ := sess.Run(ctx, hdr4me.NewGaussianDataset(100_000, 100, 1))
+//	// res.Naive is the calibrated aggregation, res.Enhanced the HDR4ME one.
 //
-// See README.md for the architecture and EXPERIMENTS.md for the
-// paper-reproduction results.
+// Sessions also ingest streaming traffic — Observe perturbs raw tuples
+// user-side, AddReport accepts wire reports — and compose across shards:
+// Snapshot copies a collector's state, Merge folds a peer's snapshot in,
+// associatively. Run is context-aware and aborts promptly on cancellation.
+//
+// The pre-Session facade (Simulate, SimulateAllocated, SimulateDuchiMD,
+// SimulateFreq) remains available as deprecated wrappers over the same
+// internals; see README.md for the migration table and EXPERIMENTS.md for
+// the paper-reproduction results.
 package hdr4me

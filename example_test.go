@@ -1,10 +1,32 @@
 package hdr4me_test
 
 import (
+	"context"
 	"fmt"
 
 	hdr4me "github.com/hdr4me/hdr4me"
 )
+
+// One Session drives a whole collection round: functional options pick the
+// estimator family, Run is a context-aware batch round. With m = d every
+// user reports every dimension, so the counts are deterministic.
+func ExampleNew() {
+	sess, err := hdr4me.New(
+		hdr4me.WithMechanism(hdr4me.Laplace()),
+		hdr4me.WithBudget(1),
+		hdr4me.WithDims(4, 4),
+	)
+	if err != nil {
+		panic(err)
+	}
+	res, err := sess.Run(context.Background(), hdr4me.NewUniformDataset(1000, 4, 1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("family=%s dims=%d reports/dim=%d\n", sess.Kind(), len(res.Naive), res.Counts[0])
+	// Output:
+	// family=mean dims=4 reports/dim=1000
+}
 
 // The §IV-C benchmark (Table II) is fully analytical, so its qualitative
 // outcome is deterministic: Piecewise wins for tight tolerances, Square

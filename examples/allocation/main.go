@@ -2,12 +2,14 @@
 // 60 privatized KPIs cares far more about 10 of them; the importance-aware
 // budget allocation (the §II-B line of work the paper surveys) spends more
 // of the ε budget on those, under the worst-case m-subset privacy
-// constraint. The variance-optimal rule is εⱼ ∝ wⱼ^{1/3}.
+// constraint. The variance-optimal rule is εⱼ ∝ wⱼ^{1/3}. Both rounds run
+// through the unified Session API — the allocation is one option.
 //
 //	go run ./examples/allocation
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,32 +36,40 @@ func main() {
 		}
 	}
 
-	p, err := hdr4me.NewProtocol(hdr4me.Laplace(), eps, dims, dims)
+	base := []hdr4me.Option{
+		hdr4me.WithMechanism(hdr4me.Laplace()),
+		hdr4me.WithBudget(eps),
+		hdr4me.WithDims(dims, dims),
+	}
+	uniform, err := hdr4me.New(append(base, hdr4me.WithSeed(1))...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ur, err := uniform.Run(context.Background(), ds)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	uniform, err := hdr4me.Simulate(p, ds, hdr4me.NewRNG(1), 0)
-	if err != nil {
-		log.Fatal(err)
-	}
 	alloc, err := hdr4me.OptimalMSEAllocation(eps, weights, dims)
 	if err != nil {
 		log.Fatal(err)
 	}
-	weighted, err := hdr4me.SimulateAllocated(p, alloc, ds, hdr4me.NewRNG(2), 0)
+	weighted, err := hdr4me.New(append(base, hdr4me.WithAllocation(alloc), hdr4me.WithSeed(2))...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wr, err := weighted.Run(context.Background(), ds)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	ue, we := uniform.Estimate(), weighted.Estimate()
 	fmt.Printf("%d users × %d dims, ε=%g; critical dims get ε_j=%.4g, others %.4g (uniform: %.4g)\n\n",
 		users, dims, eps, alloc.Eps[0], alloc.Eps[dims-1], eps/float64(dims))
 	fmt.Printf("%-28s %12s %12s\n", "", "uniform ε/m", "optimal ∝w^1/3")
 	fmt.Printf("%-28s %12.6f %12.6f\n", "importance-weighted MSE",
-		hdr4me.WeightedMSE(ue, truth, weights), hdr4me.WeightedMSE(we, truth, weights))
+		hdr4me.WeightedMSE(ur.Naive, truth, weights), hdr4me.WeightedMSE(wr.Naive, truth, weights))
 	fmt.Printf("%-28s %12.6f %12.6f\n", "plain MSE (all dims equal)",
-		hdr4me.MSE(ue, truth), hdr4me.MSE(we, truth))
+		hdr4me.MSE(ur.Naive, truth), hdr4me.MSE(wr.Naive, truth))
 	fmt.Println("\nreading: the weighted split buys accuracy on the dimensions that matter,")
 	fmt.Println("paying with noise on the ones that don't — plain MSE gets slightly worse.")
 }

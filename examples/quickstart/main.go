@@ -1,10 +1,11 @@
 // Quickstart: collect a high-dimensional mean under local differential
-// privacy and re-calibrate it with HDR4ME.
+// privacy and re-calibrate it with HDR4ME, through the unified Session API.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,35 +17,42 @@ func main() {
 	// [−1, 1] (synthetic Gaussian: 10% of dimensions carry signal μ=0.9).
 	ds := hdr4me.Memoize(hdr4me.NewGaussianDataset(50_000, 200, 42))
 
-	// Protocol: Piecewise mechanism, total budget ε = 0.8, every user
-	// reports all 200 dimensions at ε/200 each.
-	p, err := hdr4me.NewProtocol(hdr4me.Piecewise(), 0.8, 200, 200)
+	// One Session = one collection pipeline: Piecewise mechanism, total
+	// budget ε = 0.8, every user reports all 200 dimensions at ε/200 each,
+	// with collector-side HDR4ME-L1 re-calibration.
+	sess, err := hdr4me.New(
+		hdr4me.WithMechanism(hdr4me.Piecewise()),
+		hdr4me.WithBudget(0.8),
+		hdr4me.WithDims(200, 200),
+		hdr4me.WithEnhance(hdr4me.DefaultEnhanceConfig(hdr4me.RegL1)),
+		hdr4me.WithSeed(7),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// One collection round (in production the reports arrive over the wire;
-	// see examples/telemetry for the networked variant).
-	agg, err := hdr4me.Simulate(p, ds, hdr4me.NewRNG(7), 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	naive := agg.Estimate()
-
-	// Collector-side HDR4ME re-calibration: L1 and L2, weights from the
-	// paper's analytical framework.
-	l1, err := hdr4me.EnhanceWithFramework(p, ds, naive, hdr4me.DefaultEnhanceConfig(hdr4me.RegL1))
-	if err != nil {
-		log.Fatal(err)
-	}
-	l2, err := hdr4me.EnhanceWithFramework(p, ds, naive, hdr4me.DefaultEnhanceConfig(hdr4me.RegL2))
+	// One batch collection round. In production the reports arrive over
+	// the wire (Session.AddReport / examples/telemetry); Run is the
+	// simulation path, and a cancelled context aborts it cleanly.
+	res, err := sess.Run(context.Background(), ds)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	truth := ds.TrueMean()
-	fmt.Printf("dimensions: %d, users: %d, ε = 0.8 (ε/m = %.4g)\n", 200, 50_000, p.EpsPerDim())
-	fmt.Printf("naive aggregation MSE: %.6g\n", hdr4me.MSE(naive, truth))
-	fmt.Printf("HDR4ME L1 MSE:         %.6g\n", hdr4me.MSE(l1, truth))
-	fmt.Printf("HDR4ME L2 MSE:         %.6g\n", hdr4me.MSE(l2, truth))
+	fmt.Printf("dimensions: %d, users: %d, ε = 0.8 (ε/m = %.4g)\n", 200, 50_000, 0.8/200)
+	fmt.Printf("naive aggregation MSE: %.6g\n", hdr4me.MSE(res.Naive, truth))
+	fmt.Printf("HDR4ME L1 MSE:         %.6g\n", hdr4me.MSE(res.Enhanced, truth))
+
+	// The data-informed enhancement of the classic facade remains
+	// available on top of the same naive estimate:
+	p, err := hdr4me.NewProtocol(hdr4me.Piecewise(), 0.8, 200, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	informed, err := hdr4me.EnhanceWithFramework(p, ds, res.Naive, hdr4me.DefaultEnhanceConfig(hdr4me.RegL2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HDR4ME L2 MSE:         %.6g (data-informed specs)\n", hdr4me.MSE(informed, truth))
 }

@@ -1,0 +1,102 @@
+// Streaming: the shard-composition story of the unified Session API. Three
+// regional collectors ingest live report streams concurrently (Observe on
+// the user side of each region), publish periodic Snapshots, and a central
+// aggregator Merges them into a global estimate it re-calibrates with
+// HDR4ME — no raw data, no report replay, just associative state folding.
+// A context deadline stops the whole pipeline mid-stream; whatever arrived
+// before the cutoff is still a valid (noisier) estimate.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	hdr4me "github.com/hdr4me/hdr4me"
+)
+
+const (
+	regions = 3
+	dims    = 50
+	eps     = 1.0
+)
+
+func main() {
+	// The global population, split across regions round-robin.
+	ds := hdr4me.Memoize(hdr4me.NewGaussianDataset(60_000, dims, 17))
+
+	newSession := func(seed uint64) *hdr4me.Session {
+		s, err := hdr4me.New(
+			hdr4me.WithMechanism(hdr4me.Piecewise()),
+			hdr4me.WithBudget(eps),
+			hdr4me.WithDims(dims, dims),
+			hdr4me.WithEnhance(hdr4me.DefaultEnhanceConfig(hdr4me.RegL1)),
+			hdr4me.WithSeed(seed),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+
+	// Give the stream 400 ms, then cut it off mid-flight.
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+
+	shards := make([]*hdr4me.Session, regions)
+	var wg sync.WaitGroup
+	for r := 0; r < regions; r++ {
+		shards[r] = newSession(uint64(1 + r))
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			row := make([]float64, dims)
+			for i := r; i < ds.NumUsers(); i += regions {
+				if ctx.Err() != nil {
+					return // stream cut off; keep what this shard has
+				}
+				ds.Row(i, row)
+				if err := shards[r].Observe(hdr4me.Tuple{Values: row}); err != nil {
+					log.Printf("region %d: %v", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		fmt.Println("stream cut off by deadline — aggregating what arrived")
+	}
+
+	// Central aggregation: fold the three regional snapshots into one
+	// session. Merge is associative, so order and grouping don't matter.
+	central := newSession(99)
+	var streamed int64
+	for r, s := range shards {
+		snap := s.Snapshot()
+		var n int64
+		for _, c := range snap.Counts {
+			n += c
+		}
+		streamed += n / int64(dims)
+		fmt.Printf("region %d shipped a snapshot covering ~%d users\n", r, n/int64(dims))
+		if err := central.Merge(snap); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	naive := central.Estimate()
+	enhanced, err := central.EstimateEnhanced()
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := ds.TrueMean()
+	fmt.Printf("\nglobal estimate over ~%d of %d users\n", streamed, ds.NumUsers())
+	fmt.Printf("naive MSE:     %.6g\n", hdr4me.MSE(naive, truth))
+	fmt.Printf("HDR4ME L1 MSE: %.6g\n", hdr4me.MSE(enhanced, truth))
+}

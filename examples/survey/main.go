@@ -1,18 +1,22 @@
 // Survey: estimate answer frequencies of a 40-question multiple-choice
-// survey under ε-LDP (§V-C of the paper). Each respondent reports a random
-// subset of questions; every answer is histogram-encoded and each entry is
-// perturbed with ε/(2m). HDR4ME re-calibrates the noisy frequency table.
+// survey under ε-LDP (§V-C of the paper), through the frequency family of
+// the unified Session API. Each respondent reports a random subset of
+// questions; every answer is histogram-encoded and each entry is perturbed
+// with ε/(2m). HDR4ME re-calibrates the noisy frequency table.
 //
 // The example sweeps the number of questions each respondent answers (m).
 // Larger m dilutes the per-entry budget — that is the high-noise regime
 // where the paper's re-calibration pays off; at small m the naive estimate
 // is already below the Lemma 4 threshold and HDR4ME correctly should *not*
-// be applied (the guarded variant detects this by itself).
+// be applied (the guarded variant detects this by itself). Both variants
+// re-calibrate the same collected round: EstimateEnhancedWith swaps the
+// collector-side post-processing without re-running the collection.
 //
 //	go run ./examples/survey
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,22 +43,38 @@ func main() {
 	fmt.Printf("%6s %12s %14s %14s %16s\n", "m", "ε/(2m)", "naive MSE", "HDR4ME-L1 MSE", "guarded-L1 MSE")
 
 	for _, m := range []int{2, 5, 10, 20, 40} {
-		p := hdr4me.FreqProtocol{Mech: hdr4me.Laplace(), Eps: eps, Cards: cards, M: m}
-		agg, err := hdr4me.SimulateFreq(p, ds, hdr4me.NewRNG(uint64(100+m)), 0)
+		sess, err := hdr4me.New(
+			hdr4me.WithMechanism(hdr4me.Laplace()),
+			hdr4me.WithBudget(eps),
+			hdr4me.WithCards(cards),
+			hdr4me.WithDims(questions, m),
+			hdr4me.WithEnhance(hdr4me.DefaultEnhanceConfig(hdr4me.RegL1)),
+			hdr4me.WithSeed(uint64(100+m)),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		naive, enhanced := agg.EstimateEnhanced(hdr4me.DefaultEnhanceConfig(hdr4me.RegL1))
+		res, err := sess.Run(context.Background(), ds)
+		if err != nil {
+			log.Fatal(err)
+		}
 		guardedCfg := hdr4me.DefaultEnhanceConfig(hdr4me.RegL1)
 		guardedCfg.Guarded = true
-		_, guarded := agg.EstimateEnhanced(guardedCfg)
-
-		hdr4me.ProjectSimplex(naive)
-		hdr4me.ProjectSimplex(enhanced)
-		hdr4me.ProjectSimplex(guarded)
+		guardedFlat, err := sess.EstimateEnhancedWith(guardedCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		unflatten := func(flat []float64) [][]float64 {
+			rows, err := sess.Freqs(flat)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return hdr4me.ProjectSimplex(rows)
+		}
+		naive, enhanced, guarded := unflatten(res.Naive), unflatten(res.Enhanced), unflatten(guardedFlat)
 
 		fmt.Printf("%6d %12.4g %14.6g %14.6g %16.6g\n",
-			m, p.EpsPerEntry(), freqMSE(naive, truth), freqMSE(enhanced, truth), freqMSE(guarded, truth))
+			m, eps/(2*float64(m)), freqMSE(naive, truth), freqMSE(enhanced, truth), freqMSE(guarded, truth))
 	}
 
 	fmt.Println("\nreading: at large m (diluted budget) L1 suppresses the overwhelming noise;")

@@ -1,12 +1,15 @@
 // Telemetry: an IoT fleet reports 300-dimensional device telemetry (sensor
 // readings normalized to [−1, 1]) to a central collector over TCP under
 // ε-LDP. The collector never sees raw data; it aggregates perturbed reports
-// arriving on real sockets and re-calibrates the mean with HDR4ME.
+// arriving on real sockets into a Session estimator and serves both the
+// naive and the HDR4ME-enhanced mean over the wire. The listener is bound
+// to a context, so cancelling it tears the collector down.
 //
 //	go run ./examples/telemetry
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -22,18 +25,26 @@ const (
 )
 
 func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
 	// Correlated telemetry: sensors on the same device move together, which
 	// the COV-19-like latent-factor generator models.
 	ds := hdr4me.Memoize(hdr4me.NewCOV19LikeDataset(devices, dims, 99))
 
-	p, err := hdr4me.NewProtocol(hdr4me.Laplace(), eps, dims, dims)
+	// Collector side: one Session owns the estimator and its HDR4ME
+	// configuration; the TCP server serves any estimator family.
+	sess, err := hdr4me.New(
+		hdr4me.WithMechanism(hdr4me.Laplace()),
+		hdr4me.WithBudget(eps),
+		hdr4me.WithDims(dims, dims),
+		hdr4me.WithEnhance(hdr4me.DefaultEnhanceConfig(hdr4me.RegL1)),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Collector side: a TCP server wrapping the aggregator.
-	srv := hdr4me.NewCollectorServer(hdr4me.NewAggregator(p))
-	addr, err := srv.Listen("127.0.0.1:0")
+	srv := hdr4me.NewEstimatorServer(sess.Estimator())
+	addr, err := srv.ListenContext(ctx, "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,6 +53,10 @@ func main() {
 
 	// Device side: each gateway connection streams its devices' perturbed
 	// reports. Raw tuples never leave this function unperturbed.
+	p, err := hdr4me.NewProtocol(hdr4me.Laplace(), eps, dims, dims)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var wg sync.WaitGroup
 	for g := 0; g < fleet; g++ {
 		wg.Add(1)
@@ -66,7 +81,9 @@ func main() {
 	}
 	wg.Wait()
 
-	// Query the collector and re-calibrate.
+	// Query the collector: both estimates come over the wire — the
+	// enhanced one is its own frame type, computed collector-side from
+	// the framework with an uninformative prior.
 	conn, err := hdr4me.DialCollector(addr.String())
 	if err != nil {
 		log.Fatal(err)
@@ -76,15 +93,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	enhanced, err := hdr4me.EnhanceWithFramework(p, ds, naive, hdr4me.DefaultEnhanceConfig(hdr4me.RegL1))
+	enhanced, err := conn.Enhanced()
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	truth := ds.TrueMean()
 	fmt.Printf("networked naive MSE:  %.6g\n", hdr4me.MSE(naive, truth))
-	fmt.Printf("HDR4ME L1 MSE:        %.6g\n", hdr4me.MSE(enhanced, truth))
+	fmt.Printf("HDR4ME L1 MSE:        %.6g (served as wire frame 0x04)\n", hdr4me.MSE(enhanced, truth))
 	fmt.Printf("first five means (truth / naive / enhanced):\n")
 	for j := 0; j < 5; j++ {
 		fmt.Printf("  dim %d: %+.4f / %+.4f / %+.4f\n", j, truth[j], naive[j], enhanced[j])

@@ -1,0 +1,3 @@
+module github.com/hdr4me/hdr4me
+
+go 1.24

@@ -1,6 +1,9 @@
 package hdr4me
 
 import (
+	"fmt"
+	"sort"
+
 	"github.com/hdr4me/hdr4me/internal/analysis"
 	"github.com/hdr4me/hdr4me/internal/dataset"
 	"github.com/hdr4me/hdr4me/internal/dist"
@@ -29,6 +32,18 @@ func SCDF() Mechanism       { return ldp.SCDF{} }
 // MechanismByName resolves "laplace", "piecewise", "squarewave", "duchi",
 // "hybrid", "staircase" or "scdf".
 func MechanismByName(name string) (Mechanism, error) { return ldp.ByName(name) }
+
+// MechanismNames returns the canonical names of every implemented
+// mechanism, sorted — the strings MechanismByName resolves.
+func MechanismNames() []string {
+	reg := ldp.Registry()
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // EvaluatedMechanisms returns the three mechanisms of the paper's
 // evaluation: Laplace, Piecewise, Square Wave.
@@ -81,6 +96,10 @@ func NewAggregator(p Protocol) *Aggregator { return highdim.NewAggregator(p) }
 
 // Simulate runs one full collection round over ds with the given worker
 // parallelism (0 = default).
+//
+// Deprecated: build a Session with New(WithMechanism(...), WithBudget(...),
+// WithDims(...)) and call Session.Run — it adds context cancellation,
+// streaming ingestion and shard composition behind the same math.
 func Simulate(p Protocol, ds Dataset, rng *RNG, workers int) (*Aggregator, error) {
 	return highdim.Simulate(p, ds, rng, workers)
 }
@@ -102,6 +121,9 @@ func OptimalMSEAllocation(eps float64, weights []float64, m int) (Allocation, er
 
 // SimulateAllocated runs a collection round under a per-dimension budget
 // allocation.
+//
+// Deprecated: build a Session with New(..., WithAllocation(alloc)) and
+// call Session.Run.
 func SimulateAllocated(p Protocol, alloc Allocation, ds Dataset, rng *RNG, workers int) (*Aggregator, error) {
 	return highdim.SimulateAllocated(p, alloc, ds, rng, workers)
 }
@@ -138,6 +160,28 @@ func SpecFromSamples(samples []float64, k int) DataSpec {
 
 // SpecFromCounts builds a DataSpec from discrete observations.
 func SpecFromCounts(col []float64) DataSpec { return analysis.SpecFromCounts(col) }
+
+// UniformSpec builds a DataSpec putting equal mass on each value — the
+// uninformative prior collectors use when no pilot data exists.
+func UniformSpec(values ...float64) DataSpec { return analysis.UniformSpec(values...) }
+
+// UniformGridSpec is the canonical uninformative prior: k atoms evenly
+// spaced across [−1, 1] with equal mass (k ≥ 2; anything less cannot span
+// the domain and panics). The collector-side enhancement paths use the
+// 21-atom instance.
+func UniformGridSpec(k int) DataSpec {
+	if k < 2 {
+		panic(fmt.Sprintf("hdr4me: UniformGridSpec needs k ≥ 2, have %d", k))
+	}
+	vals := make([]float64, k)
+	for i := range vals {
+		vals[i] = -1 + 2*float64(i)/float64(k-1)
+	}
+	return analysis.UniformSpec(vals...)
+}
+
+// CaseStudySpec returns the §IV-C case-study data model.
+func CaseStudySpec() DataSpec { return analysis.CaseStudySpec() }
 
 // BerryEsseen returns the Theorem 2 approximation-error bound.
 func BerryEsseen(rho, s, r float64) float64 { return analysis.BerryEsseen(rho, s, r) }
@@ -238,6 +282,9 @@ func NewUniformCatDataset(n int, cards []int, seed uint64) CatDataset {
 func TrueFreqs(ds CatDataset) [][]float64 { return freq.TrueFreqs(ds) }
 
 // SimulateFreq runs one frequency-collection round.
+//
+// Deprecated: build a Session with New(..., WithCards(cards)) and call
+// Session.Run with the CatDataset.
 func SimulateFreq(p FreqProtocol, ds CatDataset, rng *RNG, workers int) (*FreqAggregator, error) {
 	return freq.Simulate(p, ds, rng, workers)
 }
@@ -262,6 +309,9 @@ type DuchiMD = highdim.DuchiMD
 func NewDuchiMD(d int, eps float64) (DuchiMD, error) { return highdim.NewDuchiMD(d, eps) }
 
 // SimulateDuchiMD runs a whole-tuple collection round.
+//
+// Deprecated: build a Session with New(WithWholeTuple(), WithBudget(eps),
+// WithDims(d, d)) and call Session.Run.
 func SimulateDuchiMD(m DuchiMD, ds Dataset, rng *RNG, workers int) ([]float64, error) {
 	return highdim.SimulateDuchiMD(m, ds, rng, workers)
 }
@@ -272,7 +322,9 @@ type (
 	CollectorClient = transport.Client
 )
 
-// NewCollectorServer wraps an aggregator in a TCP collector.
+// NewCollectorServer wraps a mean-family aggregator in a TCP collector.
+// NewEstimatorServer is the generalization serving any Estimator family
+// (and the ENHANCED frame where supported).
 func NewCollectorServer(agg *Aggregator) *CollectorServer { return transport.NewServer(agg) }
 
 // DialCollector connects to a collector at addr.

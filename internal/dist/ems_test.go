@@ -1,0 +1,104 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/mathx"
+)
+
+func TestEMSReconstructsBimodalDistribution(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	col := make([]float64, 40_000)
+	for i := range col {
+		var v float64
+		if rng.Bernoulli(0.6) {
+			v = rng.Normal(-0.4, 0.1)
+		} else {
+			v = rng.Normal(0.5, 0.1)
+		}
+		col[i] = mathx.Clamp(v, -1, 1)
+	}
+	e := NewEMS(2)
+	e.InBins = 32
+	res, err := e.CollectAndEstimate(col, rng.Child(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range res.P {
+		if p < 0 {
+			t.Fatalf("negative mass %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("mass sums to %v", sum)
+	}
+	if math.Abs(res.MeanCentered()-mathx.Mean(col)) > 0.05 {
+		t.Fatalf("EMS mean %v, true %v", res.MeanCentered(), mathx.Mean(col))
+	}
+	// The reconstruction must see both modes: mass near −0.4 and +0.5 in
+	// the centered frame, a valley in between.
+	massNear := func(c float64) float64 {
+		var m float64
+		for i, p := range res.P {
+			if math.Abs((2*e.InCenter(i)-1)-c) < 0.15 {
+				m += p
+			}
+		}
+		return m
+	}
+	lo, hi, valley := massNear(-0.4), massNear(0.5), massNear(0.05)
+	if lo < 2*valley || hi < 2*valley {
+		t.Fatalf("modes not recovered: P(−0.4)≈%v P(0.5)≈%v P(0.05)≈%v", lo, hi, valley)
+	}
+	if res.Iters < 2 {
+		t.Fatalf("EM converged suspiciously fast (%d iters)", res.Iters)
+	}
+}
+
+func TestEMSValidation(t *testing.T) {
+	if _, err := NewEMS(-1).CollectAndEstimate([]float64{0}, mathx.NewRNG(1)); err == nil {
+		t.Fatal("negative budget must fail")
+	}
+	if _, err := NewEMS(1).CollectAndEstimate(nil, mathx.NewRNG(1)); err == nil {
+		t.Fatal("empty column must fail")
+	}
+	if _, err := NewEMS(1).CollectAndEstimate([]float64{2}, mathx.NewRNG(1)); err == nil {
+		t.Fatal("out-of-range value must fail")
+	}
+	e := NewEMS(1)
+	if err := e.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Reconstruct(make([]float64, 3)); err == nil {
+		t.Fatal("wrong histogram width must fail")
+	}
+	if _, err := e.Reconstruct(make([]float64, len(e.transition()))); err == nil {
+		t.Fatal("empty histogram must fail")
+	}
+}
+
+func TestEMSTransitionColumnsAreDistributions(t *testing.T) {
+	for _, eps := range []float64{0.3, 1, 3} {
+		e := NewEMS(eps)
+		e.InBins = 16
+		if err := e.validate(); err != nil {
+			t.Fatal(err)
+		}
+		m := e.transition()
+		for i := 0; i < e.InBins; i++ {
+			var sum float64
+			for o := range m {
+				if m[o][i] < 0 {
+					t.Fatalf("ε=%g: negative transition mass", eps)
+				}
+				sum += m[o][i]
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("ε=%g: column %d sums to %v", eps, i, sum)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package est defines the estimator abstraction every collection pipeline
+// in this repository plugs into: mean estimation under dimension sampling
+// (§III-B), Duchi et al.'s whole-tuple mechanism, and the §V-C frequency
+// reducer all implement the same Estimator interface, so the transport
+// layer, the Session facade and future backends compose with any of them.
+//
+// The contract is collector-shaped: an Estimator ingests perturbed reports
+// (or perturbs raw tuples itself via Observe), exposes the running naive
+// estimate, and supports Snapshot/Merge so shards aggregate independently
+// and fold together — the associativity that makes the collector scale
+// horizontally.
+package est
+
+import (
+	"fmt"
+
+	"github.com/hdr4me/hdr4me/internal/mathx"
+)
+
+// Report is one user's wire-level submission. The three estimator families
+// interpret the same shape differently:
+//
+//   - mean (sampling):  Dims lists the sampled dimensions, Values the
+//     perturbed value of each (len(Dims) == len(Values)).
+//   - whole-tuple:      Dims is empty; Values is the full released tuple.
+//   - frequency:        Dims lists the sampled dimensions, Values is the
+//     concatenation of each sampled dimension's perturbed one-hot vector
+//     (len(Values) == Σ card(j) over Dims).
+type Report struct {
+	Dims   []uint32
+	Values []float64
+}
+
+// Tuple is one user's raw (pre-perturbation) record. Numeric estimators
+// read Values; the frequency estimator reads Cats. A Tuple never leaves
+// the user side: Observe perturbs it before anything is accumulated.
+type Tuple struct {
+	Values []float64 // numeric tuple in [−1, 1]^d
+	Cats   []int     // categorical tuple, Cats[j] ∈ [0, card(j))
+}
+
+// Snapshot is a serializable copy of an estimator's accumulated state.
+// Snapshots from estimators with identical configuration merge
+// associatively: Merge(Snapshot()) on an empty peer reproduces the source.
+type Snapshot struct {
+	// Kind discriminates the estimator family ("mean", "wholetuple", "freq").
+	Kind string
+	// Dims is the logical output dimensionality (len of Estimate()).
+	Dims int
+	// Cards is the per-dimension cardinality (frequency family only).
+	Cards []int
+	// Sums holds the flattened per-coordinate accumulated sums.
+	Sums []float64
+	// Counts holds the per-dimension report counts.
+	Counts []int64
+}
+
+// Estimator is the collector side of one LDP collection pipeline.
+// Implementations must be safe for concurrent use: Observe, AddReport,
+// Estimate, Counts, Snapshot and Merge may be interleaved from multiple
+// goroutines.
+type Estimator interface {
+	// Kind identifies the estimator family (matches Snapshot.Kind).
+	Kind() string
+
+	// Dims returns the length of the Estimate vector.
+	Dims() int
+
+	// Observe perturbs one raw tuple with the caller's randomness and
+	// accumulates the resulting report. The rng must not be shared with
+	// concurrent Observe calls.
+	Observe(t Tuple, rng *mathx.RNG) error
+
+	// AddReport accumulates one already-perturbed report, rejecting
+	// malformed ones without corrupting state.
+	AddReport(rep Report) error
+
+	// Estimate returns the running naive estimate.
+	Estimate() []float64
+
+	// Counts returns the per-dimension report counts.
+	Counts() []int64
+
+	// Snapshot copies the accumulated state for shipping to a peer.
+	Snapshot() Snapshot
+
+	// Merge folds a peer snapshot (same family and configuration) in.
+	Merge(s Snapshot) error
+}
+
+// Enhancer is implemented by estimators that support the HDR4ME §V
+// re-calibration of their naive estimate. The enhancement configuration is
+// bound at construction time (see the Session options and the freq and
+// root-package wrappers), keeping this package free of the analysis/recal
+// dependency so the empirical tests of those packages can exercise the
+// estimators without an import cycle.
+type Enhancer interface {
+	// Enhanced returns the HDR4ME re-calibrated estimate.
+	Enhanced() ([]float64, error)
+}
+
+// CheckMerge validates the shape invariants shared by every family's Merge.
+func CheckMerge(e Estimator, s Snapshot, sums, counts int) error {
+	if s.Kind != e.Kind() {
+		return fmt.Errorf("est: cannot merge %q snapshot into %q estimator", s.Kind, e.Kind())
+	}
+	if len(s.Sums) != sums || len(s.Counts) != counts {
+		return fmt.Errorf("est: snapshot shape %d/%d, want %d/%d sums/counts",
+			len(s.Sums), len(s.Counts), sums, counts)
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package freq
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hdr4me/hdr4me/internal/est"
+	"github.com/hdr4me/hdr4me/internal/mathx"
+	"github.com/hdr4me/hdr4me/internal/recal"
+)
+
+// KindFreq identifies the frequency/histogram estimator family.
+const KindFreq = "freq"
+
+// Flat adapts a frequency Aggregator to the unified est.Estimator
+// interface by flattening the per-dimension frequency vectors into one
+// concatenated coordinate space: entry (j, k) lives at Offset(j)+k. The
+// flattened frame is the [0, 1] frequency frame (the entry frame of the
+// paper's histogram encoding). Flat is safe for concurrent use.
+type Flat struct {
+	*Aggregator
+	// Cfg parameterizes the HDR4ME re-calibration served by Enhanced.
+	Cfg recal.Config
+
+	offsets []int
+	total   int
+}
+
+// NewFlat returns an empty frequency collector speaking the unified
+// estimator interface. cfg parameterizes Enhanced (RegNone passes the
+// naive estimate through).
+func NewFlat(p Protocol, cfg recal.Config) (*Flat, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Flat{Aggregator: NewAggregator(p), Cfg: cfg}
+	f.offsets = make([]int, len(p.Cards))
+	for j, v := range p.Cards {
+		f.offsets[j] = f.total
+		f.total += v
+	}
+	return f, nil
+}
+
+// Kind implements est.Estimator.
+func (f *Flat) Kind() string { return KindFreq }
+
+// Dims implements est.Estimator: the total entry count Σⱼ card(j).
+func (f *Flat) Dims() int { return f.total }
+
+// Offset returns the flattened index of dimension j's first entry.
+func (f *Flat) Offset(j int) int { return f.offsets[j] }
+
+// Observe performs one user's contribution: sample m of the d categorical
+// dimensions from t.Cats, histogram-encode each sampled dimension, perturb
+// every entry with ε/(2m), and accumulate. The rng must not be shared with
+// concurrent Observe calls.
+func (f *Flat) Observe(t est.Tuple, rng *mathx.RNG) error {
+	p := f.Aggregator.P
+	if len(t.Cats) != len(p.Cards) {
+		return fmt.Errorf("freq: tuple has %d dims, protocol says %d", len(t.Cats), len(p.Cards))
+	}
+	for j, c := range t.Cats {
+		if c < 0 || c >= p.Cards[j] {
+			return fmt.Errorf("freq: category %d out of range [0, %d) in dimension %d", c, p.Cards[j], j)
+		}
+	}
+	epsEntry := p.EpsPerEntry()
+	dims := rng.SampleIndices(len(p.Cards), p.M, nil, nil)
+	rep := est.Report{Dims: make([]uint32, len(dims))}
+	for i, j := range dims {
+		rep.Dims[i] = uint32(j)
+		for k := 0; k < p.Cards[j]; k++ {
+			e := -1.0
+			if k == t.Cats[j] {
+				e = 1.0
+			}
+			rep.Values = append(rep.Values, p.Mech.Perturb(rng, e, epsEntry))
+		}
+	}
+	return f.AddReport(rep)
+}
+
+// AddReport implements est.Estimator. A frequency report lists the sampled
+// dimensions in Dims (strictly increasing, at most m of them — one user's
+// sample) and concatenates each dimension's perturbed one-hot vector
+// (card(j) released-frame values) in Values, in the same order.
+func (f *Flat) AddReport(rep est.Report) error {
+	p := f.Aggregator.P
+	if len(rep.Dims) > p.M {
+		return fmt.Errorf("freq: report carries %d dims, protocol allows m=%d", len(rep.Dims), p.M)
+	}
+	want := 0
+	for i, j := range rep.Dims {
+		if int(j) >= len(p.Cards) {
+			return fmt.Errorf("freq: report dimension %d out of range [0, %d)", j, len(p.Cards))
+		}
+		if i > 0 && j <= rep.Dims[i-1] {
+			return fmt.Errorf("freq: report dimensions must be strictly increasing, have %v", rep.Dims)
+		}
+		want += p.Cards[j]
+	}
+	if len(rep.Values) != want {
+		return fmt.Errorf("freq: report has %d values, dims %v require %d", len(rep.Values), rep.Dims, want)
+	}
+	for _, v := range rep.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("freq: report value %v not finite", v)
+		}
+	}
+	a := f.Aggregator
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	off := 0
+	for _, j := range rep.Dims {
+		for k := 0; k < p.Cards[j]; k++ {
+			a.sums[j][k].Add(rep.Values[off+k])
+		}
+		a.counts[j]++
+		off += p.Cards[j]
+	}
+	return nil
+}
+
+// Estimate implements est.Estimator: the flattened naive frequency
+// estimates in [0, 1] (unprojected; see ProjectSimplex).
+func (f *Flat) Estimate() []float64 {
+	return f.flatten(f.Aggregator.Estimate())
+}
+
+// EstimateFrom computes the flattened naive frequency estimates from a
+// snapshot of this (or an identically configured) collector.
+func (f *Flat) EstimateFrom(s est.Snapshot) ([]float64, error) {
+	if err := est.CheckMerge(f, s, f.total, len(f.Aggregator.P.Cards)); err != nil {
+		return nil, err
+	}
+	out := make([]float64, f.total)
+	for j, card := range f.Aggregator.P.Cards {
+		if s.Counts[j] == 0 {
+			continue
+		}
+		for k := 0; k < card; k++ {
+			i := f.offsets[j] + k
+			out[i] = (s.Sums[i]/float64(s.Counts[j]) + 1) / 2
+		}
+	}
+	return out, nil
+}
+
+// Enhanced implements est.Enhancer: the flattened HDR4ME re-calibrated
+// frequencies under the bound configuration.
+func (f *Flat) Enhanced() ([]float64, error) {
+	_, enhanced := f.Aggregator.EstimateEnhanced(f.Cfg)
+	return f.flatten(enhanced), nil
+}
+
+// Unflatten maps a flattened entry vector back to per-dimension frequency
+// vectors (the shape TrueFreqs and ProjectSimplex speak).
+func (f *Flat) Unflatten(flat []float64) ([][]float64, error) {
+	if len(flat) != f.total {
+		return nil, fmt.Errorf("freq: flat vector has %d entries, want %d", len(flat), f.total)
+	}
+	p := f.Aggregator.P
+	out := make([][]float64, len(p.Cards))
+	for j, v := range p.Cards {
+		out[j] = append([]float64(nil), flat[f.offsets[j]:f.offsets[j]+v]...)
+	}
+	return out, nil
+}
+
+func (f *Flat) flatten(rows [][]float64) []float64 {
+	out := make([]float64, 0, f.total)
+	for _, row := range rows {
+		out = append(out, row...)
+	}
+	return out
+}
+
+// Snapshot implements est.Estimator: flattened released-frame sums plus
+// per-dimension report counts.
+func (f *Flat) Snapshot() est.Snapshot {
+	a := f.Aggregator
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := est.Snapshot{
+		Kind:   KindFreq,
+		Dims:   f.total,
+		Cards:  append([]int(nil), a.P.Cards...),
+		Sums:   make([]float64, 0, f.total),
+		Counts: append([]int64(nil), a.counts...),
+	}
+	for j := range a.sums {
+		for k := range a.sums[j] {
+			s.Sums = append(s.Sums, a.sums[j][k].Value())
+		}
+	}
+	return s
+}
+
+// Merge implements est.Estimator.
+func (f *Flat) Merge(s est.Snapshot) error {
+	a := f.Aggregator
+	if err := est.CheckMerge(f, s, f.total, len(a.P.Cards)); err != nil {
+		return err
+	}
+	if len(s.Cards) != len(a.P.Cards) {
+		return fmt.Errorf("freq: snapshot has %d cardinalities, protocol %d", len(s.Cards), len(a.P.Cards))
+	}
+	for j, v := range s.Cards {
+		if v != a.P.Cards[j] {
+			return fmt.Errorf("freq: snapshot cards %v incompatible with protocol %v", s.Cards, a.P.Cards)
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	off := 0
+	for j := range a.sums {
+		for k := range a.sums[j] {
+			a.sums[j][k].Add(s.Sums[off+k])
+		}
+		a.counts[j] += s.Counts[j]
+		off += a.P.Cards[j]
+	}
+	return nil
+}
+
+var (
+	_ est.Estimator = (*Flat)(nil)
+	_ est.Enhancer  = (*Flat)(nil)
+)

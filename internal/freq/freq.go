@@ -256,7 +256,7 @@ func Simulate(p Protocol, ds CatDataset, rng *mathx.RNG, workers int) (*Aggregat
 	}
 	n := ds.NumUsers()
 	if workers > n {
-		workers = 1
+		workers = n
 	}
 	agg := NewAggregator(p)
 	d := len(p.Cards)

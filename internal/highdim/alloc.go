@@ -166,7 +166,7 @@ func SimulateAllocated(p Protocol, alloc Allocation, ds dataset.Dataset, rng *ma
 	}
 	n := ds.NumUsers()
 	if workers > n {
-		workers = 1
+		workers = n
 	}
 	agg := NewAggregator(p)
 	var wg sync.WaitGroup

@@ -141,7 +141,7 @@ func SimulateDuchiMD(m DuchiMD, ds dataset.Dataset, rng *mathx.RNG, workers int)
 	}
 	n := ds.NumUsers()
 	if workers > n {
-		workers = 1
+		workers = n
 	}
 	type partial struct {
 		sums []mathx.KahanSum

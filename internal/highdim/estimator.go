@@ -1,0 +1,210 @@
+package highdim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/hdr4me/hdr4me/internal/est"
+	"github.com/hdr4me/hdr4me/internal/mathx"
+)
+
+// KindMean identifies the sampling-protocol mean estimator family.
+const KindMean = "mean"
+
+// KindWholeTuple identifies the Duchi et al. whole-tuple family.
+const KindWholeTuple = "wholetuple"
+
+// ---- est.Estimator for the sampling-protocol Aggregator --------------------
+
+// Kind implements est.Estimator.
+func (a *Aggregator) Kind() string { return KindMean }
+
+// Dims implements est.Estimator.
+func (a *Aggregator) Dims() int { return a.P.D }
+
+// AddReport implements est.Estimator (identical to Add; the name the
+// unified pipeline uses).
+func (a *Aggregator) AddReport(rep est.Report) error { return a.Add(rep) }
+
+// Observe perturbs one raw tuple user-side — sampling m of d dimensions and
+// spending EpsFor(j) on each — and accumulates the resulting report. The
+// rng must not be shared with concurrent Observe calls; the accumulation
+// itself is locked and safe.
+func (a *Aggregator) Observe(t est.Tuple, rng *mathx.RNG) error {
+	if len(t.Values) != a.P.D {
+		return fmt.Errorf("highdim: tuple has %d dims, protocol says %d", len(t.Values), a.P.D)
+	}
+	dims := rng.SampleIndices(a.P.D, a.P.M, nil, nil)
+	rep := est.Report{Dims: make([]uint32, a.P.M), Values: make([]float64, a.P.M)}
+	for i, j := range dims {
+		rep.Dims[i] = uint32(j)
+		rep.Values[i] = a.P.Mech.Perturb(rng, t.Values[j], a.EpsFor(j))
+	}
+	return a.Add(rep)
+}
+
+// Snapshot implements est.Estimator.
+func (a *Aggregator) Snapshot() est.Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := est.Snapshot{
+		Kind:   KindMean,
+		Dims:   a.P.D,
+		Sums:   make([]float64, a.P.D),
+		Counts: make([]int64, a.P.D),
+	}
+	for j := range a.sums {
+		s.Sums[j] = a.sums[j].Value()
+	}
+	copy(s.Counts, a.counts)
+	return s
+}
+
+// Merge implements est.Estimator: it folds a peer collector's snapshot in.
+func (a *Aggregator) Merge(s est.Snapshot) error {
+	if err := est.CheckMerge(a, s, a.P.D, a.P.D); err != nil {
+		return err
+	}
+	sums := make([]mathx.KahanSum, a.P.D)
+	counts := make([]int64, a.P.D)
+	for j := range sums {
+		sums[j].Add(s.Sums[j])
+		counts[j] = s.Counts[j]
+	}
+	a.merge(sums, counts)
+	return nil
+}
+
+// ---- whole-tuple estimator --------------------------------------------------
+
+// MDAggregator is the collector for the Duchi et al. whole-tuple mechanism:
+// every report carries a full released tuple and the estimate is the plain
+// per-dimension average (the release is unbiased, so no calibration step).
+// It implements est.Estimator and is safe for concurrent use.
+type MDAggregator struct {
+	M DuchiMD
+
+	mu   sync.Mutex
+	sums []mathx.KahanSum
+	n    int64
+}
+
+// NewMDAggregator returns an empty whole-tuple collector.
+func NewMDAggregator(m DuchiMD) (*MDAggregator, error) {
+	if _, err := NewDuchiMD(m.D, m.Eps); err != nil {
+		return nil, err
+	}
+	return &MDAggregator{M: m, sums: make([]mathx.KahanSum, m.D)}, nil
+}
+
+// Kind implements est.Estimator.
+func (a *MDAggregator) Kind() string { return KindWholeTuple }
+
+// Dims implements est.Estimator.
+func (a *MDAggregator) Dims() int { return a.M.D }
+
+// Observe perturbs one raw tuple through the whole-tuple mechanism and
+// accumulates the release.
+func (a *MDAggregator) Observe(t est.Tuple, rng *mathx.RNG) error {
+	if len(t.Values) != a.M.D {
+		return fmt.Errorf("highdim: tuple has %d dims, duchi-md says %d", len(t.Values), a.M.D)
+	}
+	for _, v := range t.Values {
+		if math.IsNaN(v) || v < -1 || v > 1 {
+			return fmt.Errorf("highdim: duchi-md value %v outside [−1, 1]", v)
+		}
+	}
+	return a.AddReport(est.Report{Values: a.M.PerturbTuple(rng, t.Values)})
+}
+
+// AddReport implements est.Estimator: a whole-tuple report has no Dims and
+// exactly D released values.
+func (a *MDAggregator) AddReport(rep est.Report) error {
+	if len(rep.Dims) != 0 {
+		return fmt.Errorf("highdim: whole-tuple report must not carry sampled dims (have %d)", len(rep.Dims))
+	}
+	if len(rep.Values) != a.M.D {
+		return fmt.Errorf("highdim: whole-tuple report has %d values, want %d", len(rep.Values), a.M.D)
+	}
+	for _, v := range rep.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("highdim: whole-tuple report value %v not finite", v)
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for j, v := range rep.Values {
+		a.sums[j].Add(v)
+	}
+	a.n++
+	return nil
+}
+
+// Estimate implements est.Estimator: the per-dimension average release.
+func (a *MDAggregator) Estimate() []float64 {
+	out, _ := a.EstimateFrom(a.Snapshot())
+	return out
+}
+
+// EstimateFrom computes the per-dimension average from a snapshot of this
+// (or an identically configured) collector.
+func (a *MDAggregator) EstimateFrom(s est.Snapshot) ([]float64, error) {
+	if err := est.CheckMerge(a, s, a.M.D, 1); err != nil {
+		return nil, err
+	}
+	out := make([]float64, a.M.D)
+	if s.Counts[0] == 0 {
+		return out, nil
+	}
+	for j := range out {
+		out[j] = s.Sums[j] / float64(s.Counts[0])
+	}
+	return out, nil
+}
+
+// Counts implements est.Estimator: every dimension has seen every tuple.
+func (a *MDAggregator) Counts() []int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]int64, a.M.D)
+	for j := range out {
+		out[j] = a.n
+	}
+	return out
+}
+
+// Snapshot implements est.Estimator.
+func (a *MDAggregator) Snapshot() est.Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := est.Snapshot{
+		Kind:   KindWholeTuple,
+		Dims:   a.M.D,
+		Sums:   make([]float64, a.M.D),
+		Counts: []int64{a.n},
+	}
+	for j := range a.sums {
+		s.Sums[j] = a.sums[j].Value()
+	}
+	return s
+}
+
+// Merge implements est.Estimator.
+func (a *MDAggregator) Merge(s est.Snapshot) error {
+	if err := est.CheckMerge(a, s, a.M.D, 1); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for j := range a.sums {
+		a.sums[j].Add(s.Sums[j])
+	}
+	a.n += s.Counts[0]
+	return nil
+}
+
+var (
+	_ est.Estimator = (*Aggregator)(nil)
+	_ est.Estimator = (*MDAggregator)(nil)
+)

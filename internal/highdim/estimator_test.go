@@ -1,0 +1,190 @@
+package highdim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/dataset"
+	"github.com/hdr4me/hdr4me/internal/est"
+	"github.com/hdr4me/hdr4me/internal/ldp"
+	"github.com/hdr4me/hdr4me/internal/mathx"
+)
+
+func TestAggregatorObserveMatchesClientReportPath(t *testing.T) {
+	p, err := NewProtocol(ldp.Laplace{}, 2, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Memoize(dataset.NewGaussian(5000, 6, 11))
+	agg := NewAggregator(p)
+	rng := mathx.NewRNG(13)
+	row := make([]float64, 6)
+	for i := 0; i < 5000; i++ {
+		ds.Row(i, row)
+		if err := agg.Observe(est.Tuple{Values: row}, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total int64
+	for _, c := range agg.Counts() {
+		total += c
+	}
+	if total != 5000*3 {
+		t.Fatalf("observe accumulated %d reports, want %d", total, 5000*3)
+	}
+	var mse float64
+	truth := ds.TrueMean()
+	for j, e := range agg.Estimate() {
+		d := e - truth[j]
+		mse += d * d
+	}
+	if mse/6 > 0.05 {
+		t.Fatalf("observe-path MSE %v", mse/6)
+	}
+	if err := agg.Observe(est.Tuple{Values: row[:2]}, rng); err == nil {
+		t.Fatal("short tuple must be rejected")
+	}
+}
+
+func TestAggregatorSnapshotMergeRoundTrip(t *testing.T) {
+	p, err := NewProtocol(ldp.Laplace{}, 1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewAggregator(p), NewAggregator(p)
+	if err := a.AddReport(Report{Dims: []uint32{0, 2}, Values: []float64{0.5, -0.25}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Merge(a.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Merge(a.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 0, -0.25} // averages are count-weighted, so doubling preserves them
+	for j, e := range b.Estimate() {
+		if math.Abs(e-want[j]) > 1e-12 {
+			t.Fatalf("merged estimate %v, want %v", b.Estimate(), want)
+		}
+	}
+	if c := b.Counts(); c[0] != 2 || c[1] != 0 || c[2] != 2 {
+		t.Fatalf("merged counts %v", c)
+	}
+	// One report is one user's m-subset: repeated, unsorted or over-m
+	// dimension lists are rejected.
+	overweight := []Report{
+		{Dims: []uint32{0, 0}, Values: []float64{1, 1}},
+		{Dims: []uint32{2, 1}, Values: []float64{1, 1}},
+		{Dims: []uint32{0, 1, 2}, Values: []float64{1, 1, 1}},
+	}
+	for i, rep := range overweight {
+		if err := b.AddReport(rep); err == nil {
+			t.Errorf("overweight report %d accepted", i)
+		}
+	}
+	// Shape and kind mismatches must be rejected.
+	if err := b.Merge(est.Snapshot{Kind: KindWholeTuple, Sums: make([]float64, 3), Counts: make([]int64, 3)}); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	if err := b.Merge(est.Snapshot{Kind: KindMean, Sums: make([]float64, 2), Counts: make([]int64, 3)}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestAllocatedAggregatorEpsFor(t *testing.T) {
+	p, err := NewProtocol(ldp.Laplace{}, 1, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := OptimalMSEAllocation(1, []float64{1, 1, 8, 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := NewAllocatedAggregator(p, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.EpsFor(2) <= agg.EpsFor(0) {
+		t.Fatal("allocated budget must follow the weights")
+	}
+	if NewAggregator(p).EpsFor(3) != p.EpsPerDim() {
+		t.Fatal("uniform aggregator must spend ε/m everywhere")
+	}
+	if _, err := NewAllocatedAggregator(p, Allocation{Eps: []float64{1}}); err == nil {
+		t.Fatal("wrong allocation width accepted")
+	}
+}
+
+func TestMDAggregatorEstimatesAndMerges(t *testing.T) {
+	md, err := NewDuchiMD(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Memoize(dataset.NewGaussian(20_000, 8, 63))
+	shards := make([]*MDAggregator, 2)
+	rng := mathx.NewRNG(3)
+	row := make([]float64, 8)
+	for s := range shards {
+		if shards[s], err = NewMDAggregator(md); err != nil {
+			t.Fatal(err)
+		}
+		srng := rng.Child(uint64(s))
+		for i := s; i < 20_000; i += 2 {
+			ds.Row(i, row)
+			if err := shards[s].Observe(est.Tuple{Values: row}, srng); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	central, err := NewMDAggregator(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range shards {
+		if err := central.Merge(s.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := central.Counts(); c[0] != 20_000 {
+		t.Fatalf("merged count %d", c[0])
+	}
+	var mse float64
+	truth := ds.TrueMean()
+	for j, e := range central.Estimate() {
+		d := e - truth[j]
+		mse += d * d
+	}
+	if mse/8 > 0.01 {
+		t.Fatalf("whole-tuple MSE %v", mse/8)
+	}
+}
+
+func TestMDAggregatorRejectsMalformedReports(t *testing.T) {
+	md, err := NewDuchiMD(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := NewMDAggregator(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []est.Report{
+		{Dims: []uint32{0}, Values: []float64{1, 2, 3}}, // sampled dims present
+		{Values: []float64{1, 2}},                       // wrong width
+		{Values: []float64{1, math.NaN(), 3}},           // non-finite
+	}
+	for i, rep := range bad {
+		if err := agg.AddReport(rep); err == nil {
+			t.Errorf("bad report %d accepted", i)
+		}
+	}
+	if agg.Counts()[0] != 0 {
+		t.Fatal("rejected reports leaked into state")
+	}
+	if err := agg.Observe(est.Tuple{Values: []float64{0, 2, 0}}, mathx.NewRNG(1)); err == nil {
+		t.Fatal("out-of-range tuple accepted")
+	}
+	if got := agg.Estimate(); got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("empty estimate %v", got)
+	}
+}

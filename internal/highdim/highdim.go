@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"github.com/hdr4me/hdr4me/internal/dataset"
+	"github.com/hdr4me/hdr4me/internal/est"
 	"github.com/hdr4me/hdr4me/internal/ldp"
 	"github.com/hdr4me/hdr4me/internal/mathx"
 )
@@ -57,11 +58,9 @@ func (p Protocol) ExpectedReports(n int) float64 {
 }
 
 // Report is one user's submission: the sampled dimensions (strictly
-// increasing) and their perturbed values.
-type Report struct {
-	Dims   []uint32
-	Values []float64
-}
+// increasing) and their perturbed values. It is the est.Report wire shape,
+// so the transport layer and the unified Estimator pipeline share it.
+type Report = est.Report
 
 // Client is the user side of the protocol. It is not safe for concurrent
 // use; each goroutine should own a Client (they are cheap).
@@ -99,9 +98,12 @@ func (c *Client) Report(tuple []float64) Report {
 // Aggregator is the collector side: it accumulates reports and produces the
 // naive per-dimension mean estimate θ̂ (§IV-B step 3), applying the
 // calibration step (§IV-B step 2) where the bias is data-independent.
-// Aggregator is safe for concurrent Add calls.
+// Aggregator is safe for concurrent use and implements est.Estimator.
 type Aggregator struct {
 	P Protocol
+	// alloc optionally overrides the uniform ε/m with a per-dimension
+	// budget (see Allocation); nil means uniform.
+	alloc []float64
 
 	mu     sync.Mutex
 	sums   []mathx.KahanSum
@@ -113,15 +115,54 @@ func NewAggregator(p Protocol) *Aggregator {
 	return &Aggregator{P: p, sums: make([]mathx.KahanSum, p.D), counts: make([]int64, p.D)}
 }
 
-// Add accumulates one report. Reports with out-of-range dimensions are
-// rejected with an error (a malformed report must not corrupt the sums).
+// NewAllocatedAggregator returns an empty collector whose Observe path
+// perturbs dimension j with alloc.Eps[j] instead of the uniform ε/m.
+func NewAllocatedAggregator(p Protocol, alloc Allocation) (*Aggregator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(alloc.Eps) != p.D {
+		return nil, fmt.Errorf("highdim: allocation has %d dims, protocol says %d", len(alloc.Eps), p.D)
+	}
+	if err := alloc.Validate(p.Eps, p.M); err != nil {
+		return nil, err
+	}
+	a := NewAggregator(p)
+	a.alloc = append([]float64(nil), alloc.Eps...)
+	return a, nil
+}
+
+// EpsFor returns the perturbation budget of dimension j: the allocated
+// εⱼ when an allocation is attached, the uniform ε/m otherwise.
+func (a *Aggregator) EpsFor(j int) float64 {
+	if a.alloc != nil {
+		return a.alloc[j]
+	}
+	return a.P.EpsPerDim()
+}
+
+// Add accumulates one report. Malformed reports — out-of-range, repeated
+// or unsorted dimensions, or more than the protocol's m of them — are
+// rejected with an error: one report is one user's m-subset, and a wire
+// client must not be able to weight itself beyond that.
 func (a *Aggregator) Add(rep Report) error {
 	if len(rep.Dims) != len(rep.Values) {
 		return fmt.Errorf("highdim: report has %d dims but %d values", len(rep.Dims), len(rep.Values))
 	}
-	for _, j := range rep.Dims {
+	if len(rep.Dims) > a.P.M {
+		return fmt.Errorf("highdim: report carries %d dims, protocol allows m=%d", len(rep.Dims), a.P.M)
+	}
+	for i, j := range rep.Dims {
 		if int(j) >= a.P.D {
 			return fmt.Errorf("highdim: report dimension %d out of range [0,%d)", j, a.P.D)
+		}
+		if i > 0 && j <= rep.Dims[i-1] {
+			return fmt.Errorf("highdim: report dimensions must be strictly increasing, have %v", rep.Dims)
+		}
+	}
+	for _, v := range rep.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("highdim: report value %v not finite", v)
 		}
 	}
 	a.mu.Lock()
@@ -157,20 +198,31 @@ func (a *Aggregator) Counts() []int64 {
 // every mechanism in this library, but subtracted on principle). Dimensions
 // that received no reports estimate 0.
 func (a *Aggregator) Estimate() []float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	est := make([]float64, a.P.D)
-	var delta float64
-	if !a.P.Mech.Bounded() {
-		delta = a.P.Mech.Bias(0, a.P.EpsPerDim())
+	out, _ := a.EstimateFrom(a.Snapshot())
+	return out
+}
+
+// EstimateFrom computes the calibrated naive aggregation from a snapshot
+// of this (or an identically configured) aggregator — the single source
+// of the §IV-B calibration math, shared by Estimate, the collector-side
+// enhancement and consistent Session results.
+func (a *Aggregator) EstimateFrom(s est.Snapshot) ([]float64, error) {
+	if err := est.CheckMerge(a, s, a.P.D, a.P.D); err != nil {
+		return nil, err
 	}
-	for j := range est {
-		if a.counts[j] == 0 {
+	out := make([]float64, a.P.D)
+	unbounded := !a.P.Mech.Bounded()
+	for j := range out {
+		if s.Counts[j] == 0 {
 			continue
 		}
-		est[j] = a.sums[j].Value()/float64(a.counts[j]) - delta
+		var delta float64
+		if unbounded {
+			delta = a.P.Mech.Bias(0, a.EpsFor(j))
+		}
+		out[j] = s.Sums[j]/float64(s.Counts[j]) - delta
 	}
-	return est
+	return out, nil
 }
 
 // Simulate runs one full collection round over ds without materializing
@@ -190,7 +242,7 @@ func Simulate(p Protocol, ds dataset.Dataset, rng *mathx.RNG, workers int) (*Agg
 	}
 	n := ds.NumUsers()
 	if workers > n {
-		workers = 1
+		workers = n
 	}
 	agg := NewAggregator(p)
 	epsPer := p.EpsPerDim()

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -8,36 +9,66 @@ import (
 	"net"
 	"sync"
 
-	"github.com/hdr4me/hdr4me/internal/highdim"
+	"github.com/hdr4me/hdr4me/internal/est"
 )
 
 // Server is a TCP collector: it accepts report frames from any number of
-// concurrent client connections and feeds them into a highdim.Aggregator.
+// concurrent client connections and feeds them into any est.Estimator —
+// the sampling-protocol mean aggregator, the whole-tuple aggregator and
+// the frequency reducer all speak the same wire shape.
 type Server struct {
-	Agg *highdim.Aggregator
+	Est est.Estimator
 
 	// Logf receives per-connection errors; defaults to log.Printf.
 	Logf func(format string, args ...any)
 
 	ln     net.Listener
 	wg     sync.WaitGroup
+	stop   chan struct{}
 	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
 	closed bool
 }
 
-// NewServer wraps an aggregator in a collector server.
-func NewServer(agg *highdim.Aggregator) *Server {
-	return &Server{Agg: agg, Logf: log.Printf}
+// NewServer wraps an estimator in a collector server.
+func NewServer(e est.Estimator) *Server {
+	return &Server{
+		Est:   e,
+		Logf:  log.Printf,
+		stop:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
 }
 
 // Listen binds addr ("host:port"; use ":0" for an ephemeral port) and starts
 // serving in background goroutines. It returns the bound address.
 func (s *Server) Listen(addr string) (net.Addr, error) {
+	return s.ListenContext(context.Background(), addr)
+}
+
+// ListenContext is Listen bound to a context: when ctx is cancelled the
+// server closes its listener and every open connection, exactly as Close.
+// A nil ctx is treated as context.Background().
+func (s *Server) ListenContext(ctx context.Context, addr string) (net.Addr, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s.ln = ln
+	if done := ctx.Done(); done != nil {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			select {
+			case <-done:
+				s.shutdown()
+			case <-s.stop: // server closed first; the watcher must not leak
+			}
+		}()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return ln.Addr(), nil
@@ -57,11 +88,24 @@ func (s *Server) acceptLoop() {
 			s.Logf("transport: accept: %v", err)
 			continue
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
-			if err := s.serveConn(conn); err != nil && !errors.Is(err, io.EOF) {
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			if err := s.serveConn(conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.Logf("transport: conn %s: %v", conn.RemoteAddr(), err)
 			}
 		}()
@@ -76,24 +120,50 @@ func (s *Server) serveConn(conn net.Conn) error {
 			return err
 		}
 		switch ft {
-		case frameReport:
-			rep, err := readReportBody(conn)
+		case frameReport, frameVecReport:
+			var rep est.Report
+			if ft == frameReport {
+				rep, err = readReportBody(conn)
+			} else {
+				rep, err = readVecReportBody(conn)
+			}
 			if err != nil {
 				return err
 			}
 			ack := byte(ackOK)
-			if err := s.Agg.Add(rep); err != nil {
+			if err := s.Est.AddReport(rep); err != nil {
 				ack = ackErr
 			}
 			if _, err := conn.Write([]byte{ack}); err != nil {
 				return err
 			}
 		case frameEstimate:
-			if err := writeFloats(conn, s.Agg.Estimate()); err != nil {
+			if err := writeFloats(conn, s.Est.Estimate()); err != nil {
 				return err
 			}
 		case frameCounts:
-			if err := writeInts(conn, s.Agg.Counts()); err != nil {
+			if err := writeInts(conn, s.Est.Counts()); err != nil {
+				return err
+			}
+		case frameEnhanced:
+			en, ok := s.Est.(est.Enhancer)
+			if !ok {
+				if _, err := conn.Write([]byte{ackErr}); err != nil {
+					return err
+				}
+				continue
+			}
+			enhanced, err := en.Enhanced()
+			if err != nil {
+				if _, err := conn.Write([]byte{ackErr}); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := conn.Write([]byte{ackOK}); err != nil {
+				return err
+			}
+			if err := writeFloats(conn, enhanced); err != nil {
 				return err
 			}
 		default:
@@ -102,21 +172,40 @@ func (s *Server) serveConn(conn net.Conn) error {
 	}
 }
 
-// Close stops accepting and waits for in-flight connections to drain.
-func (s *Server) Close() error {
+// shutdown closes the listener and every open connection exactly once.
+func (s *Server) shutdown() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
 	s.closed = true
+	close(s.stop)
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+// Close stops accepting, closes open connections, and waits for the
+// serving goroutines to drain.
+func (s *Server) Close() error {
+	err := s.shutdown()
 	s.wg.Wait()
 	return err
 }
 
 // Client is the user-side network client: it connects to a collector and
-// submits reports, and can query the running estimate.
+// submits reports, and can query the running estimates.
 type Client struct {
 	conn net.Conn
 }
@@ -130,9 +219,17 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn}, nil
 }
 
-// Send submits one report and waits for the acknowledgement.
-func (c *Client) Send(rep highdim.Report) error {
-	if err := WriteReport(c.conn, rep); err != nil {
+// Send submits one report and waits for the acknowledgement. Pair-shaped
+// reports (the mean family) ride the compact 0x01 frame; whole-tuple and
+// frequency reports, whose lists differ in length, ride the 0x05 frame.
+func (c *Client) Send(rep est.Report) error {
+	var err error
+	if len(rep.Dims) == len(rep.Values) {
+		err = WriteReport(c.conn, rep)
+	} else {
+		err = WriteVecReport(c.conn, rep)
+	}
+	if err != nil {
 		return err
 	}
 	var ack [1]byte
@@ -149,6 +246,23 @@ func (c *Client) Send(rep highdim.Report) error {
 func (c *Client) Estimate() ([]float64, error) {
 	if _, err := c.conn.Write([]byte{frameEstimate}); err != nil {
 		return nil, err
+	}
+	return readFloats(c.conn)
+}
+
+// Enhanced asks the collector for its HDR4ME re-calibrated estimate. The
+// collector replies with an error status when its estimator does not
+// support enhancement.
+func (c *Client) Enhanced() ([]float64, error) {
+	if _, err := c.conn.Write([]byte{frameEnhanced}); err != nil {
+		return nil, err
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(c.conn, status[:]); err != nil {
+		return nil, err
+	}
+	if status[0] != ackOK {
+		return nil, fmt.Errorf("transport: collector cannot serve an enhanced estimate")
 	}
 	return readFloats(c.conn)
 }

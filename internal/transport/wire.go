@@ -6,13 +6,22 @@
 //
 // Wire format (big endian). Every frame starts with a one-byte type:
 //
-//	0x01 REPORT   uint32 count, then count × (uint32 dim, float64 value)
-//	0x02 ESTIMATE (no payload) — server replies uint32 d, then d × float64
-//	0x03 COUNTS   (no payload) — server replies uint32 d, then d × int64
+//	0x01 REPORT    uint32 count, then count × (uint32 dim, float64 value)
+//	0x02 ESTIMATE  (no payload) — server replies uint32 d, then d × float64
+//	0x03 COUNTS    (no payload) — server replies uint32 d, then d × int64
+//	0x04 ENHANCED  (no payload) — server replies a status byte; on 0x00 it
+//	     follows with uint32 d, then d × float64 (the HDR4ME-re-calibrated
+//	     estimate), on 0xFF the estimator does not support enhancement
+//	0x05 VECREPORT uint32 ndims, ndims × uint32 dim, uint32 nvals,
+//	     nvals × float64 — a report whose dim and value lists have
+//	     independent lengths (whole-tuple and frequency families)
 //
-// A report frame is acknowledged with a single 0x00 byte (ok) or 0xFF
-// (rejected). Frames are small (m pairs), so no additional length prefix is
-// needed beyond the count.
+// A report frame (0x01 or 0x05) is acknowledged with a single 0x00 byte
+// (ok) or 0xFF (rejected). Frames are small, so no additional length prefix
+// is needed beyond the counts. How a report's dims/values are interpreted
+// is up to the serving estimator family (see est.Report); the classic pair
+// frame 0x01 remains the compact encoding for the mean family where the
+// two lists pair up.
 package transport
 
 import (
@@ -21,14 +30,16 @@ import (
 	"io"
 	"math"
 
-	"github.com/hdr4me/hdr4me/internal/highdim"
+	"github.com/hdr4me/hdr4me/internal/est"
 )
 
 // Frame type bytes.
 const (
-	frameReport   = 0x01
-	frameEstimate = 0x02
-	frameCounts   = 0x03
+	frameReport    = 0x01
+	frameEstimate  = 0x02
+	frameCounts    = 0x03
+	frameEnhanced  = 0x04
+	frameVecReport = 0x05
 
 	ackOK  = 0x00
 	ackErr = 0xFF
@@ -38,8 +49,9 @@ const (
 // corrupt length fields.
 const maxPairs = 1 << 20
 
-// WriteReport serializes one report frame to w.
-func WriteReport(w io.Writer, rep highdim.Report) error {
+// WriteReport serializes one pair-shaped report frame (0x01) to w. Reports
+// whose dim and value lists differ in length must use WriteVecReport.
+func WriteReport(w io.Writer, rep est.Report) error {
 	if len(rep.Dims) != len(rep.Values) {
 		return fmt.Errorf("transport: report dims/values length mismatch")
 	}
@@ -65,24 +77,81 @@ func readFrameType(r io.Reader) (byte, error) {
 	return b[0], nil
 }
 
-// readReportBody reads the payload of a report frame.
-func readReportBody(r io.Reader) (highdim.Report, error) {
+// readReportBody reads the payload of a pair-shaped report frame.
+func readReportBody(r io.Reader) (est.Report, error) {
 	var cnt uint32
 	if err := binary.Read(r, binary.BigEndian, &cnt); err != nil {
-		return highdim.Report{}, err
+		return est.Report{}, err
 	}
 	if cnt > maxPairs {
-		return highdim.Report{}, fmt.Errorf("transport: report with %d pairs exceeds limit", cnt)
+		return est.Report{}, fmt.Errorf("transport: report with %d pairs exceeds limit", cnt)
 	}
-	rep := highdim.Report{Dims: make([]uint32, cnt), Values: make([]float64, cnt)}
+	rep := est.Report{Dims: make([]uint32, cnt), Values: make([]float64, cnt)}
 	buf := make([]byte, 12*cnt)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return highdim.Report{}, err
+		return est.Report{}, err
 	}
 	for i := uint32(0); i < cnt; i++ {
 		off := 12 * i
 		rep.Dims[i] = binary.BigEndian.Uint32(buf[off:])
 		rep.Values[i] = math.Float64frombits(binary.BigEndian.Uint64(buf[off+4:]))
+	}
+	return rep, nil
+}
+
+// WriteVecReport serializes one vector report frame (0x05): dims and
+// values as independently sized lists.
+func WriteVecReport(w io.Writer, rep est.Report) error {
+	buf := make([]byte, 1+4+4*len(rep.Dims)+4+8*len(rep.Values))
+	buf[0] = frameVecReport
+	off := 1
+	binary.BigEndian.PutUint32(buf[off:], uint32(len(rep.Dims)))
+	off += 4
+	for _, d := range rep.Dims {
+		binary.BigEndian.PutUint32(buf[off:], d)
+		off += 4
+	}
+	binary.BigEndian.PutUint32(buf[off:], uint32(len(rep.Values)))
+	off += 4
+	for _, v := range rep.Values {
+		binary.BigEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readVecReportBody reads the payload of a vector report frame.
+func readVecReportBody(r io.Reader) (est.Report, error) {
+	var nd uint32
+	if err := binary.Read(r, binary.BigEndian, &nd); err != nil {
+		return est.Report{}, err
+	}
+	if nd > maxPairs {
+		return est.Report{}, fmt.Errorf("transport: report with %d dims exceeds limit", nd)
+	}
+	rep := est.Report{Dims: make([]uint32, nd)}
+	dbuf := make([]byte, 4*nd)
+	if _, err := io.ReadFull(r, dbuf); err != nil {
+		return est.Report{}, err
+	}
+	for i := range rep.Dims {
+		rep.Dims[i] = binary.BigEndian.Uint32(dbuf[4*i:])
+	}
+	var nv uint32
+	if err := binary.Read(r, binary.BigEndian, &nv); err != nil {
+		return est.Report{}, err
+	}
+	if nv > maxPairs {
+		return est.Report{}, fmt.Errorf("transport: report with %d values exceeds limit", nv)
+	}
+	rep.Values = make([]float64, nv)
+	vbuf := make([]byte, 8*nv)
+	if _, err := io.ReadFull(r, vbuf); err != nil {
+		return est.Report{}, err
+	}
+	for i := range rep.Values {
+		rep.Values[i] = math.Float64frombits(binary.BigEndian.Uint64(vbuf[8*i:]))
 	}
 	return rep, nil
 }

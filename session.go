@@ -1,0 +1,574 @@
+package hdr4me
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/hdr4me/hdr4me/internal/analysis"
+	"github.com/hdr4me/hdr4me/internal/est"
+	"github.com/hdr4me/hdr4me/internal/freq"
+	"github.com/hdr4me/hdr4me/internal/highdim"
+	"github.com/hdr4me/hdr4me/internal/recal"
+	"github.com/hdr4me/hdr4me/internal/transport"
+)
+
+// Estimator is the unified collector abstraction: the sampled-dimension
+// mean protocol, the Duchi whole-tuple mechanism, and the frequency
+// reducer all implement it, so transport servers, sessions and future
+// backends compose with any of them.
+type Estimator = est.Estimator
+
+// Tuple is one user's raw record; numeric estimators read Values, the
+// frequency estimator reads Cats.
+type Tuple = est.Tuple
+
+// Snapshot is a serializable copy of an estimator's accumulated state;
+// snapshots from identically configured estimators Merge associatively.
+type Snapshot = est.Snapshot
+
+// Estimator family kinds (Estimator.Kind, Snapshot.Kind).
+const (
+	KindMean       = highdim.KindMean
+	KindWholeTuple = highdim.KindWholeTuple
+	KindFreq       = freq.KindFreq
+)
+
+// Source is anything Session.Run can ingest in batch: a numeric Dataset
+// for the mean and whole-tuple families, or a CatDataset for the
+// frequency family.
+type Source interface {
+	NumUsers() int
+}
+
+// Option configures a Session under construction.
+type Option func(*sessionConfig) error
+
+type sessionConfig struct {
+	mech       Mechanism
+	eps        float64
+	d, m       int
+	cards      []int
+	wholeTuple bool
+	alloc      *Allocation
+	workers    int
+	enhance    *EnhanceConfig
+	seed       uint64
+	custom     Estimator
+}
+
+// WithMechanism selects the one-dimensional LDP mechanism (mean and
+// frequency families; the whole-tuple family has its own mechanism).
+func WithMechanism(m Mechanism) Option {
+	return func(c *sessionConfig) error {
+		if m == nil {
+			return fmt.Errorf("hdr4me: nil mechanism")
+		}
+		c.mech = m
+		return nil
+	}
+}
+
+// WithBudget sets the total per-user privacy budget ε.
+func WithBudget(eps float64) Option {
+	return func(c *sessionConfig) error {
+		c.eps = eps
+		return nil
+	}
+}
+
+// WithDims sets the tuple dimensionality d and the number of dimensions m
+// each user reports (§III-B sampling). The whole-tuple family ignores m;
+// the frequency family requires d to match len(cards).
+func WithDims(d, m int) Option {
+	return func(c *sessionConfig) error {
+		c.d, c.m = d, m
+		return nil
+	}
+}
+
+// WithCards switches the session to the frequency family: dimension j is
+// categorical with cards[j] categories (§V-C histogram encoding).
+func WithCards(cards []int) Option {
+	return func(c *sessionConfig) error {
+		if len(cards) == 0 {
+			return fmt.Errorf("hdr4me: empty cardinality list")
+		}
+		c.cards = append([]int(nil), cards...)
+		return nil
+	}
+}
+
+// WithWholeTuple switches the session to Duchi et al.'s whole-tuple
+// mechanism: every user releases her full d-dimensional tuple in one
+// ε-LDP step instead of sampling dimensions.
+func WithWholeTuple() Option {
+	return func(c *sessionConfig) error {
+		c.wholeTuple = true
+		return nil
+	}
+}
+
+// WithAllocation attaches a per-dimension budget allocation (§II-B
+// importance-aware extension) to the mean family.
+func WithAllocation(alloc Allocation) Option {
+	return func(c *sessionConfig) error {
+		a := Allocation{Eps: append([]float64(nil), alloc.Eps...)}
+		c.alloc = &a
+		return nil
+	}
+}
+
+// WithWorkers sets the parallelism of Session.Run (default 8, clamped to
+// the population size).
+func WithWorkers(k int) Option {
+	return func(c *sessionConfig) error {
+		c.workers = k
+		return nil
+	}
+}
+
+// WithEnhance enables collector-side HDR4ME re-calibration: Run results
+// carry an Enhanced estimate and EstimateEnhanced serves the streaming
+// path (uninformative uniform prior; use EnhanceWithFramework directly
+// for data-informed specs).
+func WithEnhance(cfg EnhanceConfig) Option {
+	return func(c *sessionConfig) error {
+		c.enhance = &cfg
+		return nil
+	}
+}
+
+// WithSeed fixes the session's deterministic randomness (default 1).
+func WithSeed(seed uint64) Option {
+	return func(c *sessionConfig) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithEstimator injects a custom Estimator, bypassing family construction;
+// mechanism/budget/dimension options are then ignored.
+func WithEstimator(e Estimator) Option {
+	return func(c *sessionConfig) error {
+		if e == nil {
+			return fmt.Errorf("hdr4me: nil estimator")
+		}
+		c.custom = e
+		return nil
+	}
+}
+
+// Session is the unified collection pipeline: one object that batch-
+// simulates (Run), ingests streaming traffic (Observe/AddReport), serves
+// running estimates, and composes across shards (Snapshot/Merge). Build
+// one with New; all methods are safe for concurrent use.
+type Session struct {
+	cfg     sessionConfig
+	est     Estimator
+	workers int
+
+	mu    sync.Mutex
+	rng   *RNG
+	obs   uint64 // Observe substream counter
+	epoch uint64 // Run substream counter
+}
+
+// New builds a Session from functional options. The estimator family is
+// selected by the options: WithCards → frequency, WithWholeTuple →
+// whole-tuple, otherwise the §III-B sampled-dimension mean protocol.
+//
+//	s, err := hdr4me.New(
+//		hdr4me.WithMechanism(hdr4me.Piecewise()),
+//		hdr4me.WithBudget(0.8),
+//		hdr4me.WithDims(200, 200),
+//		hdr4me.WithEnhance(hdr4me.DefaultEnhanceConfig(hdr4me.RegL1)),
+//	)
+func New(opts ...Option) (*Session, error) {
+	cfg := sessionConfig{seed: 1}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.wholeTuple && cfg.cards != nil {
+		return nil, fmt.Errorf("hdr4me: WithWholeTuple and WithCards are mutually exclusive")
+	}
+	if cfg.alloc != nil && (cfg.wholeTuple || cfg.cards != nil) {
+		return nil, fmt.Errorf("hdr4me: WithAllocation applies only to the sampled-dimension mean family")
+	}
+	s := &Session{cfg: cfg, workers: cfg.workers, rng: NewRNG(cfg.seed)}
+	e, err := s.newEstimator()
+	if err != nil {
+		return nil, err
+	}
+	s.est = e
+	return s, nil
+}
+
+// newEstimator constructs one estimator instance for the session's family
+// and configuration. Run builds one per worker so shards accumulate
+// lock-free and Merge at the end — the same composition path distributed
+// collectors use.
+func (s *Session) newEstimator() (Estimator, error) {
+	c := &s.cfg
+	switch {
+	case c.custom != nil:
+		return c.custom, nil
+	case c.wholeTuple:
+		md, err := highdim.NewDuchiMD(c.d, c.eps)
+		if err != nil {
+			return nil, err
+		}
+		agg, err := highdim.NewMDAggregator(md)
+		if err != nil {
+			return nil, err
+		}
+		return agg, nil
+	case c.cards != nil:
+		if c.d != 0 && c.d != len(c.cards) {
+			return nil, fmt.Errorf("hdr4me: WithDims d=%d disagrees with %d cardinalities", c.d, len(c.cards))
+		}
+		m := c.m
+		if m <= 0 {
+			m = len(c.cards)
+		}
+		fp := freq.Protocol{Mech: c.mech, Eps: c.eps, Cards: c.cards, M: m}
+		var rc recal.Config
+		if c.enhance != nil {
+			rc = *c.enhance
+		}
+		f, err := freq.NewFlat(fp, rc)
+		if err != nil {
+			return nil, err
+		}
+		return f, nil
+	default:
+		m := c.m
+		if m <= 0 {
+			m = c.d
+		}
+		p, err := highdim.NewProtocol(c.mech, c.eps, c.d, m)
+		if err != nil {
+			return nil, err
+		}
+		var agg *highdim.Aggregator
+		if c.alloc != nil {
+			agg, err = highdim.NewAllocatedAggregator(p, *c.alloc)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			agg = highdim.NewAggregator(p)
+		}
+		cfg := DefaultEnhanceConfig(RegL1)
+		if c.enhance != nil {
+			cfg = *c.enhance
+		}
+		return &meanEnhancer{Aggregator: agg, cfg: cfg}, nil
+	}
+}
+
+// Estimator exposes the session's estimator, e.g. for serving it over TCP
+// with NewEstimatorServer.
+func (s *Session) Estimator() Estimator { return s.est }
+
+// Kind returns the estimator family ("mean", "wholetuple", "freq").
+func (s *Session) Kind() string { return s.est.Kind() }
+
+// Observe perturbs one raw tuple user-side with the session's randomness
+// and accumulates the resulting report. Safe for concurrent use: each call
+// derives its own deterministic substream under the lock and perturbs
+// outside it, so concurrent observers do not serialize on the mechanism.
+func (s *Session) Observe(t Tuple) error {
+	s.mu.Lock()
+	rng := s.rng.Child(obsStream).Child(s.obs)
+	s.obs++
+	s.mu.Unlock()
+	return s.est.Observe(t, rng)
+}
+
+// Substream namespaces, so Observe and Run never share a child stream.
+const (
+	obsStream = 0x0b5e0000
+	runStream = 0x52000000
+)
+
+// AddReport accumulates one already-perturbed report (streaming ingestion
+// from the wire). Safe for concurrent use.
+func (s *Session) AddReport(rep Report) error { return s.est.AddReport(rep) }
+
+// Estimate returns the running naive estimate.
+func (s *Session) Estimate() []float64 { return s.est.Estimate() }
+
+// EstimateEnhanced returns the running HDR4ME re-calibrated estimate, or
+// an error for families without an enhancement path (whole-tuple).
+func (s *Session) EstimateEnhanced() ([]float64, error) {
+	en, ok := s.est.(est.Enhancer)
+	if !ok {
+		return nil, fmt.Errorf("hdr4me: %s estimator does not support enhancement", s.est.Kind())
+	}
+	return en.Enhanced()
+}
+
+// EstimateEnhancedWith re-calibrates the current naive estimate under an
+// alternative enhancement configuration — the same accumulated reports,
+// different collector-side post-processing (e.g. comparing guarded vs
+// always-on without re-running the collection).
+func (s *Session) EstimateEnhancedWith(cfg EnhanceConfig) ([]float64, error) {
+	switch e := s.est.(type) {
+	case *meanEnhancer:
+		return (&meanEnhancer{Aggregator: e.Aggregator, cfg: cfg}).Enhanced()
+	case *freq.Flat:
+		rebound := *e
+		rebound.Cfg = cfg
+		return rebound.Enhanced()
+	default:
+		return nil, fmt.Errorf("hdr4me: %s estimator does not support enhancement", s.est.Kind())
+	}
+}
+
+// Counts returns the per-dimension report counts.
+func (s *Session) Counts() []int64 { return s.est.Counts() }
+
+// Snapshot copies the accumulated state for shipping to a peer collector.
+func (s *Session) Snapshot() Snapshot { return s.est.Snapshot() }
+
+// Merge folds a peer collector's snapshot (same family and configuration)
+// into this session.
+func (s *Session) Merge(snap Snapshot) error { return s.est.Merge(snap) }
+
+// Freqs reshapes a flattened frequency-family estimate into per-dimension
+// frequency vectors (feed the result to ProjectSimplex).
+func (s *Session) Freqs(flat []float64) ([][]float64, error) {
+	f, ok := s.est.(*freq.Flat)
+	if !ok {
+		return nil, fmt.Errorf("hdr4me: Freqs is only available on the frequency family, not %s", s.est.Kind())
+	}
+	return f.Unflatten(flat)
+}
+
+// Result is the outcome of one Session.Run collection round.
+type Result struct {
+	// Naive is the calibrated naive aggregation θ̂.
+	Naive []float64
+	// Enhanced is the HDR4ME re-calibration of Naive; nil unless the
+	// session was built WithEnhance (or the family has no enhancement).
+	Enhanced []float64
+	// Counts is the per-dimension report count.
+	Counts []int64
+}
+
+// Run executes one full collection round over src, splitting the
+// population across the session's workers. Each worker accumulates into
+// its own shard estimator and the shards Merge into the session at the
+// end, so Run composes with streaming traffic arriving concurrently.
+// Cancelling ctx aborts promptly with ctx.Err(); for the built-in
+// families no shard is merged, so the session state is untouched. A
+// session built WithEstimator ingests directly into that estimator, so an
+// aborted Run may leave the already-observed prefix in it.
+//
+// The mean and whole-tuple families ingest a Dataset; the frequency
+// family ingests a CatDataset.
+func (s *Session) Run(ctx context.Context, src Source) (*Result, error) {
+	if src == nil {
+		return nil, fmt.Errorf("hdr4me: nil source")
+	}
+	n := src.NumUsers()
+	workers := s.workers
+	if workers <= 0 {
+		workers = 8
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var ds Dataset
+	var cds CatDataset
+	if s.est.Kind() == KindFreq {
+		c, ok := src.(CatDataset)
+		if !ok {
+			return nil, fmt.Errorf("hdr4me: frequency session needs a CatDataset source, have %T", src)
+		}
+		cds = c
+	} else {
+		d, ok := src.(Dataset)
+		if !ok {
+			return nil, fmt.Errorf("hdr4me: %s session needs a Dataset source, have %T", s.est.Kind(), src)
+		}
+		ds = d
+	}
+
+	s.mu.Lock()
+	runRNG := s.rng.Child(runStream).Child(s.epoch)
+	s.epoch++
+	s.mu.Unlock()
+
+	// A custom injected estimator cannot be re-constructed per worker, so
+	// workers observe straight into it; family estimators get one shard
+	// each and Merge at the end (no lock contention on the hot path).
+	sharded := s.cfg.custom == nil
+	type shard struct {
+		snap Snapshot
+		err  error
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := s.est
+			if sharded {
+				var err error
+				if local, err = s.newEstimator(); err != nil {
+					shards[w].err = err
+					return
+				}
+			}
+			wrng := runRNG.Child(uint64(w))
+			t := Tuple{}
+			if ds != nil {
+				t.Values = make([]float64, ds.Dim())
+			} else {
+				t.Cats = make([]int, len(cds.Cards()))
+			}
+			for i := w; i < n; i += workers {
+				if (i/workers)%32 == 0 {
+					select {
+					case <-ctx.Done():
+						shards[w].err = ctx.Err()
+						return
+					default:
+					}
+				}
+				if ds != nil {
+					ds.Row(i, t.Values)
+				} else {
+					for j := range t.Cats {
+						t.Cats[j] = cds.Value(i, j)
+					}
+				}
+				if err := local.Observe(t, wrng); err != nil {
+					shards[w].err = err
+					return
+				}
+			}
+			if sharded {
+				shards[w].snap = local.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := range shards {
+		if shards[w].err != nil {
+			return nil, shards[w].err
+		}
+	}
+	if sharded {
+		for w := range shards {
+			if err := s.est.Merge(shards[w].snap); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Build the Result from one snapshot so Naive, Counts and (for the
+	// mean family) Enhanced describe the same instant even when streaming
+	// traffic keeps arriving during and after the merge.
+	snap := s.est.Snapshot()
+	res := &Result{Counts: snap.Counts}
+	var err error
+	switch e := s.est.(type) {
+	case *meanEnhancer:
+		if res.Naive, err = e.Aggregator.EstimateFrom(snap); err != nil {
+			return nil, err
+		}
+		if s.cfg.enhance != nil {
+			if res.Enhanced, err = e.enhancedFrom(snap); err != nil {
+				return nil, err
+			}
+		}
+	case *freq.Flat:
+		if res.Naive, err = e.EstimateFrom(snap); err != nil {
+			return nil, err
+		}
+		if s.cfg.enhance != nil {
+			if res.Enhanced, err = e.Enhanced(); err != nil {
+				return nil, err
+			}
+		}
+	case *highdim.MDAggregator:
+		if res.Naive, err = e.EstimateFrom(snap); err != nil {
+			return nil, err
+		}
+		// The whole-tuple snapshot stores one total count; Result keeps
+		// the per-dimension shape the other families report.
+		res.Counts = make([]int64, e.Dims())
+		for j := range res.Counts {
+			res.Counts[j] = snap.Counts[0]
+		}
+	default: // custom estimator: no snapshot-decoding knowledge here
+		res.Naive, res.Counts = s.est.Estimate(), s.est.Counts()
+		if _, ok := s.est.(est.Enhancer); ok && s.cfg.enhance != nil {
+			if res.Enhanced, err = s.EstimateEnhanced(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// meanEnhancer binds a mean-family aggregator to an HDR4ME configuration,
+// deriving collector-side deviations from the §IV framework with an
+// uninformative 21-atom uniform prior and the observed per-dimension
+// report counts (the collector never touches raw data).
+type meanEnhancer struct {
+	*highdim.Aggregator
+	cfg recal.Config
+}
+
+// Enhanced implements the est.Enhancer interface. It works from one
+// Snapshot so the estimate and the report counts weighting its deviations
+// come from the same instant even while reports stream in.
+func (m *meanEnhancer) Enhanced() ([]float64, error) {
+	return m.enhancedFrom(m.Aggregator.Snapshot())
+}
+
+// enhancedFrom re-calibrates the snapshot's naive estimate, deriving the
+// calibration from the aggregator's single EstimateFrom source of truth.
+func (m *meanEnhancer) enhancedFrom(snap Snapshot) ([]float64, error) {
+	naive, err := m.Aggregator.EstimateFrom(snap)
+	if err != nil {
+		return nil, err
+	}
+	mech := m.Aggregator.P.Mech
+	var spec analysis.DataSpec
+	if mech.Bounded() {
+		spec = UniformGridSpec(21)
+	}
+	devs := make([]analysis.Deviation, len(naive))
+	for j := range devs {
+		r := float64(snap.Counts[j])
+		if r < 1 {
+			r = 1
+		}
+		fw := analysis.Framework{Mech: mech, EpsPerDim: m.Aggregator.EpsFor(j), R: r}
+		if mech.Bounded() {
+			devs[j] = fw.Deviation(&spec)
+		} else {
+			devs[j] = fw.Deviation(nil)
+		}
+	}
+	return recal.Enhance(naive, devs, m.cfg), nil
+}
+
+var _ est.Enhancer = (*meanEnhancer)(nil)
+
+// NewEstimatorServer wraps any Estimator — a Session's, or a bare
+// aggregator — in a TCP collector. Unlike NewCollectorServer it serves
+// every estimator family and, when the estimator supports enhancement,
+// the ENHANCED frame.
+func NewEstimatorServer(e Estimator) *CollectorServer {
+	return transport.NewServer(e)
+}
