@@ -5,6 +5,15 @@
 // own frame type. Ctrl-C cancels the collection cleanly.
 //
 //	ldpcollect -users 20000 -d 100 -m 100 -eps 0.8 -mech piecewise
+//
+// Reports ride the BATCH wire frame (-batch controls the size; 1 falls
+// back to per-report frames). With -merge-into the collector additionally
+// acts as a shard leaf: after its round it ships one snapshot to the
+// parent collector at that address over the MERGE frame, so several
+// ldpcollect processes fold into a tree.
+//
+//	ldpcollect -addr 127.0.0.1:9000 -users 0            # parent: serve only
+//	ldpcollect -merge-into 127.0.0.1:9000 -users 20000  # leaf shard
 package main
 
 import (
@@ -28,7 +37,9 @@ func main() {
 	mechName := flag.String("mech", "piecewise",
 		"mechanism: "+strings.Join(hdr4me.MechanismNames(), "|"))
 	conns := flag.Int("conns", 8, "concurrent client connections")
+	batch := flag.Int("batch", 256, "reports per BATCH frame (1 = unbatched per-report sends)")
 	addr := flag.String("addr", "127.0.0.1:0", "collector listen address")
+	mergeInto := flag.String("merge-into", "", "parent collector address to fold this shard's snapshot into")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -37,6 +48,9 @@ func main() {
 
 	if *m <= 0 || *m > *d {
 		*m = *d
+	}
+	if *batch < 1 {
+		log.Fatalf("ldpcollect: -batch must be >= 1, have %d", *batch)
 	}
 	mech, err := hdr4me.MechanismByName(*mechName)
 	if err != nil {
@@ -64,6 +78,27 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("collector listening on %s (%s, ε=%g, d=%d, m=%d)\n", bound, mech.Name(), *eps, *d, *m)
 
+	// Parent mode: no local users, just serve queries and fold in shard
+	// snapshots arriving over MERGE frames until interrupted. A mid-tier
+	// collector (-merge-into set too) relays its accumulated state upward
+	// on shutdown.
+	if *users == 0 {
+		fmt.Println("serve-only: accepting reports, queries and shard merges (Ctrl-C to stop)")
+		<-ctx.Done()
+		var total int64
+		for _, c := range sess.Counts() {
+			total += c
+		}
+		fmt.Printf("final state: %d (dimension, value) pairs accumulated\n", total)
+		if *mergeInto != "" {
+			if err := sess.PushSnapshot(*mergeInto); err != nil {
+				log.Fatalf("ldpcollect: merge into %s: %v", *mergeInto, err)
+			}
+			fmt.Printf("snapshot folded into parent collector at %s (wire frame 0x08)\n", *mergeInto)
+		}
+		return
+	}
+
 	// User side: perturb locally, ship reports over real sockets.
 	p, err := hdr4me.NewProtocol(mech, *eps, *d, *m)
 	if err != nil {
@@ -75,12 +110,31 @@ func main() {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			cl, err := hdr4me.DialCollector(bound.String())
-			if err != nil {
-				log.Printf("client %d: %v", c, err)
-				return
+			// -batch 1 is the true per-report baseline: a plain client
+			// whose Send blocks on each ack. Anything larger rides the
+			// auto-batching BATCH-frame path.
+			var send func(hdr4me.Report) error
+			if *batch == 1 {
+				cl, err := hdr4me.DialCollector(bound.String())
+				if err != nil {
+					log.Printf("client %d: %v", c, err)
+					return
+				}
+				defer cl.Close()
+				send = cl.Send
+			} else {
+				bc, err := hdr4me.DialCollectorBuffered(bound.String(), hdr4me.WithBatchSize(*batch))
+				if err != nil {
+					log.Printf("client %d: %v", c, err)
+					return
+				}
+				defer func() {
+					if err := bc.Close(); err != nil {
+						log.Printf("client %d: flush: %v", c, err)
+					}
+				}()
+				send = bc.Add
 			}
-			defer cl.Close()
 			client := hdr4me.NewClient(p, hdr4me.NewRNG(*seed^0xc11e).Child(uint64(c)))
 			row := make([]float64, *d)
 			for i := c; i < *users; i += *conns {
@@ -88,7 +142,7 @@ func main() {
 					return
 				}
 				ds.Row(i, row)
-				if err := cl.Send(client.Report(row)); err != nil {
+				if err := send(client.Report(row)); err != nil {
 					log.Printf("client %d: send: %v", c, err)
 					return
 				}
@@ -131,4 +185,13 @@ func main() {
 		log.Fatalf("ldpcollect: enhanced: %v", err)
 	}
 	fmt.Printf("HDR4ME L1-enhanced MSE:   %.6g (served as wire frame 0x04)\n", hdr4me.MSE(enhanced, truth))
+
+	// Leaf-shard mode: fold everything this collector accumulated into the
+	// parent, one snapshot over the wire — no report replay.
+	if *mergeInto != "" {
+		if err := sess.PushSnapshot(*mergeInto); err != nil {
+			log.Fatalf("ldpcollect: merge into %s: %v", *mergeInto, err)
+		}
+		fmt.Printf("shard snapshot folded into parent collector at %s (wire frame 0x08)\n", *mergeInto)
+	}
 }

@@ -1,10 +1,13 @@
-// Streaming: the shard-composition story of the unified Session API. Three
-// regional collectors ingest live report streams concurrently (Observe on
-// the user side of each region), publish periodic Snapshots, and a central
-// aggregator Merges them into a global estimate it re-calibrates with
-// HDR4ME — no raw data, no report replay, just associative state folding.
-// A context deadline stops the whole pipeline mid-stream; whatever arrived
-// before the cutoff is still a valid (noisier) estimate.
+// Streaming: the shard-composition story of the collector, now over real
+// sockets. Two regional shard collectors each run a TCP server; their
+// users perturb locally and stream reports in BATCH frames through
+// auto-batching buffered clients. A root collector then folds both shards
+// in over the wire — it pulls one shard's snapshot (SNAPSHOT frame) and
+// the other shard pushes its own (MERGE frame) — and re-calibrates the
+// global estimate with HDR4ME. No raw data, no report replay, just
+// associative state folding over TCP. A context deadline stops the whole
+// pipeline mid-stream; whatever arrived before the cutoff is still a
+// valid (noisier) estimate.
 //
 //	go run ./examples/streaming
 package main
@@ -21,7 +24,7 @@ import (
 )
 
 const (
-	regions = 3
+	regions = 2
 	dims    = 50
 	eps     = 1.0
 )
@@ -48,20 +51,48 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
 	defer cancel()
 
+	// Each region is a real TCP collector: a Session served by a server.
 	shards := make([]*hdr4me.Session, regions)
-	var wg sync.WaitGroup
+	shardAddr := make([]string, regions)
 	for r := 0; r < regions; r++ {
 		shards[r] = newSession(uint64(1 + r))
+		// The deadline cuts the report stream, not the servers: they must
+		// outlive it so the root can still fold the shards in.
+		srv := hdr4me.NewEstimatorServer(shards[r].Estimator())
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		shardAddr[r] = addr.String()
+		fmt.Printf("region %d collector listening on %s\n", r, shardAddr[r])
+	}
+
+	// User side: perturb locally, stream over the socket in BATCH frames.
+	p, err := hdr4me.NewProtocol(hdr4me.Piecewise(), eps, dims, dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < regions; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
+			bc, err := hdr4me.DialCollectorBuffered(shardAddr[r],
+				hdr4me.WithBatchSize(256), hdr4me.WithFlushInterval(50*time.Millisecond))
+			if err != nil {
+				log.Printf("region %d: %v", r, err)
+				return
+			}
+			defer bc.Close()
+			client := hdr4me.NewClient(p, hdr4me.NewRNG(uint64(1+r)))
 			row := make([]float64, dims)
 			for i := r; i < ds.NumUsers(); i += regions {
 				if ctx.Err() != nil {
 					return // stream cut off; keep what this shard has
 				}
 				ds.Row(i, row)
-				if err := shards[r].Observe(hdr4me.Tuple{Values: row}); err != nil {
+				if err := bc.Add(client.Report(row)); err != nil {
 					log.Printf("region %d: %v", r, err)
 					return
 				}
@@ -73,22 +104,32 @@ func main() {
 		fmt.Println("stream cut off by deadline — aggregating what arrived")
 	}
 
-	// Central aggregation: fold the three regional snapshots into one
-	// session. Merge is associative, so order and grouping don't matter.
+	// Central aggregation over the wire, one direction of each kind: the
+	// root serves its own collector endpoint, pulls region 0's snapshot
+	// (SNAPSHOT frame), and region 1 pushes its snapshot up (MERGE frame).
+	// Merge is associative, so order and grouping don't matter.
 	central := newSession(99)
-	var streamed int64
-	for r, s := range shards {
-		snap := s.Snapshot()
-		var n int64
-		for _, c := range snap.Counts {
-			n += c
-		}
-		streamed += n / int64(dims)
-		fmt.Printf("region %d shipped a snapshot covering ~%d users\n", r, n/int64(dims))
-		if err := central.Merge(snap); err != nil {
-			log.Fatal(err)
-		}
+	rootSrv := hdr4me.NewEstimatorServer(central.Estimator())
+	rootAddr, err := rootSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer rootSrv.Close()
+
+	if err := central.PullSnapshot(shardAddr[0]); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("root pulled region 0's snapshot from %s (wire frame 0x07)\n", shardAddr[0])
+	if err := shards[1].PushSnapshot(rootAddr.String()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("region 1 pushed its snapshot into %s (wire frame 0x08)\n", rootAddr)
+
+	var streamed int64
+	for _, c := range central.Counts() {
+		streamed += c
+	}
+	streamed /= dims
 
 	naive := central.Estimate()
 	enhanced, err := central.EstimateEnhanced()

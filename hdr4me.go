@@ -3,6 +3,7 @@ package hdr4me
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/hdr4me/hdr4me/internal/analysis"
 	"github.com/hdr4me/hdr4me/internal/dataset"
@@ -316,11 +317,26 @@ func SimulateDuchiMD(m DuchiMD, ds Dataset, rng *RNG, workers int) ([]float64, e
 	return highdim.SimulateDuchiMD(m, ds, rng, workers)
 }
 
-// CollectorServer is a TCP collector; CollectorClient its network client.
+// CollectorServer is a TCP collector; CollectorClient its network client;
+// BufferedCollectorClient the auto-batching submitter that rides the BATCH
+// wire frame (one syscall + ack round-trip per batch instead of per
+// report).
 type (
-	CollectorServer = transport.Server
-	CollectorClient = transport.Client
+	CollectorServer         = transport.Server
+	CollectorClient         = transport.Client
+	BufferedCollectorClient = transport.BufferedClient
 )
+
+// Buffered-collector options (batch size, flush interval).
+type BufferOption = transport.BufferOption
+
+// WithBatchSize sets how many reports a BufferedCollectorClient
+// accumulates before shipping one BATCH frame (default 256).
+func WithBatchSize(n int) BufferOption { return transport.WithBatchSize(n) }
+
+// WithFlushInterval bounds how long a report may sit buffered before the
+// batch ships even if short.
+func WithFlushInterval(d time.Duration) BufferOption { return transport.WithFlushInterval(d) }
 
 // NewCollectorServer wraps a mean-family aggregator in a TCP collector.
 // NewEstimatorServer is the generalization serving any Estimator family
@@ -329,3 +345,9 @@ func NewCollectorServer(agg *Aggregator) *CollectorServer { return transport.New
 
 // DialCollector connects to a collector at addr.
 func DialCollector(addr string) (*CollectorClient, error) { return transport.Dial(addr) }
+
+// DialCollectorBuffered connects to a collector at addr with an
+// auto-batching client — the high-throughput submission path.
+func DialCollectorBuffered(addr string, opts ...BufferOption) (*BufferedCollectorClient, error) {
+	return transport.DialBuffered(addr, opts...)
+}

@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/est"
+	"github.com/hdr4me/hdr4me/internal/highdim"
+	"github.com/hdr4me/hdr4me/internal/ldp"
+)
+
+// benchCollector brings up a loopback collector and one report to submit;
+// b.N reports flow through whichever submission path the benchmark
+// exercises, so ns/op is directly the per-report cost.
+func benchCollector(b *testing.B) (addr string, rep est.Report) {
+	b.Helper()
+	p, err := highdim.NewProtocol(ldp.Laplace{}, 1, 8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(highdim.NewAggregator(p))
+	srv.Logf = func(string, ...any) {}
+	bound, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return bound.String(), est.Report{Dims: []uint32{1, 5}, Values: []float64{0.5, -0.25}}
+}
+
+// BenchmarkSend is the per-report baseline: one frame write and one
+// blocking 1-byte ack round-trip per report.
+func BenchmarkSend(b *testing.B) {
+	addr, rep := benchCollector(b)
+	cl, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Send(rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+}
+
+// BenchmarkSendBatch amortizes the syscall and the ack round-trip over
+// 256-report BATCH frames.
+func BenchmarkSendBatch(b *testing.B) {
+	addr, rep := benchCollector(b)
+	cl, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	const size = 256
+	batch := make([]est.Report, size)
+	for i := range batch {
+		batch[i] = rep
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for sent := 0; sent < b.N; sent += size {
+		n := min(size, b.N-sent)
+		accepted, err := cl.SendBatch(batch[:n])
+		if err != nil || accepted != n {
+			b.Fatalf("accepted %d/%d, err %v", accepted, n, err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+}
+
+// BenchmarkBufferedClient adds the auto-batching layer with pipelined
+// acks on top — the path a streaming user-side SDK takes.
+func BenchmarkBufferedClient(b *testing.B) {
+	addr, rep := benchCollector(b)
+	bc, err := DialBuffered(addr, WithBatchSize(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bc.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bc.Add(rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+}

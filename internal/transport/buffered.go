@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hdr4me/hdr4me/internal/est"
+)
+
+// Defaults and bounds for BufferedClient.
+const (
+	defaultBatchSize = 256
+	// defaultMaxPending bounds how many BATCH frames may be in flight
+	// before the client drains their acks. Each ack is 5 bytes, so this
+	// stays far below any socket buffer — pipelining without the
+	// write-write deadlock of never reading.
+	defaultMaxPending = 32
+)
+
+// BufferOption configures a BufferedClient.
+type BufferOption func(*BufferedClient)
+
+// WithBatchSize sets how many reports accumulate before Add ships them as
+// one BATCH frame (default 256, capped at the wire limit of 65536).
+func WithBatchSize(n int) BufferOption {
+	return func(b *BufferedClient) {
+		if n > 0 {
+			b.size = min(n, maxBatch)
+		}
+	}
+}
+
+// WithFlushInterval sets a deadline on buffered reports: d after the first
+// report enters an empty buffer, the buffer flushes even if short (default
+// 0: only size and explicit Flush trigger shipping).
+func WithFlushInterval(d time.Duration) BufferOption {
+	return func(b *BufferedClient) { b.interval = d }
+}
+
+// BufferedClient batches report submission over one Client: Add buffers
+// reports and ships a BATCH frame whenever the buffer reaches the batch
+// size (or the flush interval elapses), pipelining up to a bounded number
+// of un-acked batches before draining their acknowledgements. Flush ships
+// and drains everything; Close flushes and closes the connection.
+//
+// The BufferedClient owns the Client's connection while reports or acks
+// are outstanding: query methods on the underlying Client (Estimate,
+// Counts, ...) may only be interleaved after a successful Flush.
+// BufferedClient methods themselves are safe for concurrent use.
+type BufferedClient struct {
+	c        *Client
+	size     int
+	interval time.Duration
+
+	mu       sync.Mutex
+	buf      []est.Report
+	pending  []int // sent counts of un-acked BATCH frames, in order
+	sent     int64
+	accepted int64
+	timer    *time.Timer
+	err      error // first transport error, sticky
+	closed   bool
+}
+
+// NewBufferedClient wraps an established Client in an auto-batching
+// submitter.
+func NewBufferedClient(c *Client, opts ...BufferOption) *BufferedClient {
+	b := &BufferedClient{c: c, size: defaultBatchSize}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return b
+}
+
+// DialBuffered connects to a collector at addr and wraps the connection in
+// a BufferedClient.
+func DialBuffered(addr string, opts ...BufferOption) (*BufferedClient, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewBufferedClient(c, opts...), nil
+}
+
+// Add buffers one report, shipping a BATCH frame when the buffer fills.
+// The returned error is sticky: once a transport exchange fails, every
+// subsequent Add reports it.
+func (b *BufferedClient) Add(rep est.Report) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("transport: buffered client is closed")
+	}
+	if b.err != nil {
+		return b.err
+	}
+	b.buf = append(b.buf, rep)
+	if len(b.buf) >= b.size {
+		b.shipLocked()
+	} else if len(b.buf) == 1 && b.interval > 0 && b.timer == nil {
+		b.timer = time.AfterFunc(b.interval, b.timedFlush)
+	}
+	return b.err
+}
+
+// Flush ships any buffered reports and drains every outstanding
+// acknowledgement, so the connection is quiescent afterwards.
+func (b *BufferedClient) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.shipLocked()
+	b.drainLocked()
+	return b.err
+}
+
+// Close flushes, closes the underlying connection, and marks the client
+// unusable. A flush failure is reported but the connection still closes.
+func (b *BufferedClient) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.shipLocked()
+	b.drainLocked()
+	b.closed = true
+	b.stopTimerLocked()
+	if cerr := b.c.Close(); b.err == nil {
+		b.err = cerr
+	}
+	return b.err
+}
+
+// Sent returns how many reports have been shipped in BATCH frames.
+func (b *BufferedClient) Sent() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sent
+}
+
+// Accepted returns how many shipped reports the collector has
+// acknowledged as accepted so far (drained acks only; Flush to settle).
+func (b *BufferedClient) Accepted() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.accepted
+}
+
+// timedFlush is the flush-interval callback.
+func (b *BufferedClient) timedFlush() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.timer = nil
+	if b.closed {
+		return
+	}
+	b.shipLocked()
+	b.drainLocked()
+}
+
+// shipLocked writes the buffered reports as one BATCH frame without
+// waiting for the ack, draining first if the pipeline is at its depth
+// bound. Caller holds b.mu.
+func (b *BufferedClient) shipLocked() {
+	if b.err != nil || len(b.buf) == 0 {
+		return
+	}
+	b.stopTimerLocked()
+	if len(b.pending) >= defaultMaxPending {
+		b.drainLocked()
+		if b.err != nil {
+			return
+		}
+	}
+	b.c.mu.Lock()
+	n, err := b.c.sendBatchLocked(b.buf)
+	b.c.mu.Unlock()
+	if err != nil {
+		b.err = err
+		return
+	}
+	b.pending = append(b.pending, n)
+	b.sent += int64(n)
+	b.buf = b.buf[:0]
+}
+
+// drainLocked reads the acknowledgement of every in-flight BATCH frame.
+// Caller holds b.mu.
+func (b *BufferedClient) drainLocked() {
+	if len(b.pending) == 0 {
+		return
+	}
+	b.c.mu.Lock()
+	defer b.c.mu.Unlock()
+	for _, n := range b.pending {
+		if b.err != nil {
+			break
+		}
+		acc, err := b.c.readBatchAckLocked(n)
+		if err != nil {
+			b.err = err
+			break
+		}
+		b.accepted += int64(acc)
+	}
+	b.pending = b.pending[:0]
+}
+
+// stopTimerLocked cancels a pending interval flush. Caller holds b.mu.
+func (b *BufferedClient) stopTimerLocked() {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+}

@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/hdr4me/hdr4me/internal/est"
+)
+
+// Client is the user-side network client: it connects to a collector and
+// submits reports — singly or in batches — queries the running estimates,
+// and ships or fetches whole snapshots for shard composition.
+//
+// A Client is safe for concurrent use: each request/response exchange is
+// serialized under an internal mutex, so goroutines sharing one Client
+// never interleave frames or desync the ack stream. Calls block while
+// another exchange is in flight; open one Client per goroutine when that
+// contention matters.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a collector at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (e.g. a pipe in tests) in a
+// Client. The Client takes ownership of conn.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+// writeReport picks the compact 0x01 frame for pair-shaped reports (the
+// mean family) and the 0x05 frame for reports whose lists differ in length
+// (whole-tuple and frequency families).
+func (c *Client) writeReport(rep est.Report) error {
+	if len(rep.Dims) == len(rep.Values) {
+		return WriteReport(c.bw, rep)
+	}
+	return WriteVecReport(c.bw, rep)
+}
+
+// readAck reads a single status byte; reject is the error for ackErr.
+func (c *Client) readAck(reject string) error {
+	var ack [1]byte
+	if _, err := io.ReadFull(c.br, ack[:]); err != nil {
+		return err
+	}
+	if ack[0] != ackOK {
+		return fmt.Errorf("transport: %s", reject)
+	}
+	return nil
+}
+
+// Send submits one report and waits for the acknowledgement.
+func (c *Client) Send(rep est.Report) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.writeReport(rep); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	return c.readAck("collector rejected report")
+}
+
+// SendBatch submits reps as one BATCH frame — one syscall and one ack
+// round-trip for the whole slice — and returns how many the collector
+// accepted. Rejected reports are skipped server-side, so accepted <
+// len(reps) with a nil error means some reports were malformed for the
+// serving estimator. Batches longer than 65536 reports must be split.
+func (c *Client) SendBatch(reps []est.Report) (accepted int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, err := c.sendBatchLocked(reps)
+	if err != nil {
+		return 0, err
+	}
+	return c.readBatchAckLocked(n)
+}
+
+// sendBatchLocked writes one BATCH frame without reading the ack; the
+// caller holds c.mu. It returns len(reps) for ack bookkeeping.
+func (c *Client) sendBatchLocked(reps []est.Report) (int, error) {
+	if err := WriteBatch(c.bw, reps); err != nil {
+		return 0, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, err
+	}
+	return len(reps), nil
+}
+
+// readBatchAckLocked reads one BATCH acknowledgement (status + accepted
+// count); the caller holds c.mu.
+func (c *Client) readBatchAckLocked(sent int) (int, error) {
+	var reply [5]byte
+	if _, err := io.ReadFull(c.br, reply[:]); err != nil {
+		return 0, err
+	}
+	if reply[0] != ackOK {
+		return 0, fmt.Errorf("transport: collector rejected batch")
+	}
+	accepted := int(binary.BigEndian.Uint32(reply[1:]))
+	if accepted > sent {
+		return 0, fmt.Errorf("transport: collector acknowledged %d of %d reports", accepted, sent)
+	}
+	return accepted, nil
+}
+
+// Estimate asks the collector for its current naive aggregation.
+func (c *Client) Estimate() ([]float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.writeRequestLocked(frameEstimate); err != nil {
+		return nil, err
+	}
+	return readFloats(c.br)
+}
+
+// Enhanced asks the collector for its HDR4ME re-calibrated estimate. The
+// collector replies with an error status when its estimator does not
+// support enhancement.
+func (c *Client) Enhanced() ([]float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.writeRequestLocked(frameEnhanced); err != nil {
+		return nil, err
+	}
+	if err := c.readAck("collector cannot serve an enhanced estimate"); err != nil {
+		return nil, err
+	}
+	return readFloats(c.br)
+}
+
+// Counts asks the collector for the per-dimension report counts.
+func (c *Client) Counts() ([]int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.writeRequestLocked(frameCounts); err != nil {
+		return nil, err
+	}
+	return readInts(c.br)
+}
+
+// PullSnapshot fetches the collector's current estimator snapshot (the
+// SNAPSHOT frame) — the state a parent collector Merges to fold this
+// shard in.
+func (c *Client) PullSnapshot() (est.Snapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.writeRequestLocked(frameSnapshot); err != nil {
+		return est.Snapshot{}, err
+	}
+	if err := c.readAck("collector cannot serve a snapshot"); err != nil {
+		return est.Snapshot{}, err
+	}
+	return readSnapshotBody(c.br)
+}
+
+// PushSnapshot ships a snapshot to the collector (the MERGE frame), which
+// folds it into its estimator. The collector NACKs snapshots whose family
+// or shape does not match its estimator.
+func (c *Client) PushSnapshot(s est.Snapshot) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteMerge(c.bw, s); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	return c.readAck("collector rejected snapshot merge")
+}
+
+// writeRequestLocked writes a payload-free request frame and flushes; the
+// caller holds c.mu.
+func (c *Client) writeRequestLocked(frame byte) error {
+	if err := c.bw.WriteByte(frame); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

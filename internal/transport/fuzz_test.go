@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/est"
+)
+
+// reportsEqual compares two reports bit-exactly (NaN payloads included),
+// treating nil and empty slices as equal.
+func reportsEqual(a, b est.Report) bool {
+	if len(a.Dims) != len(b.Dims) || len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Dims {
+		if a.Dims[i] != b.Dims[i] {
+			return false
+		}
+	}
+	for i := range a.Values {
+		if math.Float64bits(a.Values[i]) != math.Float64bits(b.Values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// frameBody strips the type byte a Write* helper prepends.
+func frameBody(t *testing.T, buf *bytes.Buffer, want byte) []byte {
+	t.Helper()
+	ft, err := readFrameType(buf)
+	if err != nil || ft != want {
+		t.Fatalf("frame type 0x%02x, err %v; want 0x%02x", ft, err, want)
+	}
+	return buf.Bytes()
+}
+
+// FuzzRoundTripReport: any bytes the pair-report decoder accepts must
+// re-encode to a frame that decodes to the same report; hostile length
+// fields must be rejected cleanly.
+func FuzzRoundTripReport(f *testing.F) {
+	var seed bytes.Buffer
+	WriteReport(&seed, est.Report{Dims: []uint32{0, 3, 17}, Values: []float64{-0.5, math.Pi, 1e-300}})
+	f.Add(seed.Bytes()[1:])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := readReportBody(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, rep); err != nil {
+			t.Fatalf("re-encode decoded report: %v", err)
+		}
+		got, err := readReportBody(bytes.NewReader(frameBody(t, &buf, frameReport)))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reportsEqual(rep, got) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", rep, got)
+		}
+	})
+}
+
+// FuzzRoundTripVecReport: same contract for the independent-length 0x05
+// frame.
+func FuzzRoundTripVecReport(f *testing.F) {
+	var seed bytes.Buffer
+	WriteVecReport(&seed, est.Report{Dims: []uint32{1, 4}, Values: []float64{1, -1, 0.5, -0.5, 0}})
+	f.Add(seed.Bytes()[1:])
+	var wt bytes.Buffer
+	WriteVecReport(&wt, est.Report{Values: []float64{0.25, -0.25}})
+	f.Add(wt.Bytes()[1:])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := readVecReportBody(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteVecReport(&buf, rep); err != nil {
+			t.Fatalf("re-encode decoded report: %v", err)
+		}
+		got, err := readVecReportBody(bytes.NewReader(frameBody(t, &buf, frameVecReport)))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reportsEqual(rep, got) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", rep, got)
+		}
+	})
+}
+
+// decodeBatch collects a batch frame's reports.
+func decodeBatch(data []byte) ([]est.Report, error) {
+	var reps []est.Report
+	_, err := readBatchBody(bytes.NewReader(data), func(r est.Report) error {
+		reps = append(reps, r)
+		return nil
+	})
+	return reps, err
+}
+
+// FuzzRoundTripBatch: a decodable batch body must survive
+// encode-decode, report by report.
+func FuzzRoundTripBatch(f *testing.F) {
+	var seed bytes.Buffer
+	WriteBatch(&seed, []est.Report{
+		{Dims: []uint32{0}, Values: []float64{0.5}},
+		{Values: []float64{1, -1}},
+	})
+	f.Add(seed.Bytes()[1:])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})       // hostile count
+	f.Add([]byte{0, 0, 0, 1, 0x07})             // batch embedding a non-report frame
+	f.Add([]byte{0, 0, 0, 2, 0x01, 0, 0, 0, 0}) // truncated second report
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reps, err := decodeBatch(data)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBatch(&buf, reps); err != nil {
+			t.Fatalf("re-encode decoded batch: %v", err)
+		}
+		got, err := decodeBatch(frameBody(t, &buf, frameBatch))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(got) != len(reps) {
+			t.Fatalf("round trip count %d, want %d", len(got), len(reps))
+		}
+		for i := range reps {
+			if !reportsEqual(reps[i], got[i]) {
+				t.Fatalf("report %d mismatch: %+v vs %+v", i, reps[i], got[i])
+			}
+		}
+	})
+}
+
+// FuzzRoundTripSnapshot: the snapshot codec must be lossless on anything
+// it decodes and reject hostile kind/length fields without crashing.
+func FuzzRoundTripSnapshot(f *testing.F) {
+	var seed bytes.Buffer
+	writeSnapshotBody(&seed, est.Snapshot{
+		Kind: "mean", Dims: 3,
+		Sums: []float64{1, -2, 0.5}, Counts: []int64{4, 4, 4},
+	})
+	f.Add(seed.Bytes())
+	var fr bytes.Buffer
+	writeSnapshotBody(&fr, est.Snapshot{
+		Kind: "freq", Dims: 2, Cards: []int{2, 3},
+		Sums: []float64{1, 2, 3, 4, 5}, Counts: []int64{7, 7},
+	})
+	f.Add(fr.Bytes())
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // hostile kind length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := readSnapshotBody(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := writeSnapshotBody(&buf, snap); err != nil {
+			t.Fatalf("re-encode decoded snapshot: %v", err)
+		}
+		got, err := readSnapshotBody(&buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if got.Kind != snap.Kind || got.Dims != snap.Dims ||
+			len(got.Cards) != len(snap.Cards) || len(got.Sums) != len(snap.Sums) ||
+			len(got.Counts) != len(snap.Counts) {
+			t.Fatalf("round trip shape mismatch: %+v vs %+v", got, snap)
+		}
+		for i := range snap.Cards {
+			if got.Cards[i] != snap.Cards[i] {
+				t.Fatalf("cards mismatch at %d", i)
+			}
+		}
+		for i := range snap.Sums {
+			if math.Float64bits(got.Sums[i]) != math.Float64bits(snap.Sums[i]) {
+				t.Fatalf("sums mismatch at %d", i)
+			}
+		}
+		for i := range snap.Counts {
+			if got.Counts[i] != snap.Counts[i] {
+				t.Fatalf("counts mismatch at %d", i)
+			}
+		}
+	})
+}

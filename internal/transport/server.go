@@ -1,31 +1,46 @@
 package transport
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/hdr4me/hdr4me/internal/est"
+)
+
+// Accept-loop backoff bounds: a persistent Accept error (EMFILE, ENFILE,
+// ...) must not hot-spin the loop, so retries back off exponentially from
+// acceptBackoffMin to acceptBackoffMax and reset on the next success —
+// the same discipline net/http.Server uses.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 1 * time.Second
 )
 
 // Server is a TCP collector: it accepts report frames from any number of
 // concurrent client connections and feeds them into any est.Estimator —
 // the sampling-protocol mean aggregator, the whole-tuple aggregator and
-// the frequency reducer all speak the same wire shape.
+// the frequency reducer all speak the same wire shape. Beyond single
+// reports it serves BATCH frames (amortized ingestion) and the
+// SNAPSHOT/MERGE pair, so servers compose into shard trees over the wire.
 type Server struct {
 	Est est.Estimator
 
 	// Logf receives per-connection errors; defaults to log.Printf.
 	Logf func(format string, args ...any)
 
-	ln     net.Listener
-	wg     sync.WaitGroup
-	stop   chan struct{}
+	wg   sync.WaitGroup
+	stop chan struct{}
+
 	mu     sync.Mutex
+	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
 }
@@ -50,14 +65,39 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 // server closes its listener and every open connection, exactly as Close.
 // A nil ctx is treated as context.Background().
 func (s *Server) ListenContext(ctx context.Context, addr string) (net.Addr, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	if err := s.ServeContext(ctx, ln); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return ln.Addr(), nil
+}
+
+// Serve starts serving on an existing listener in background goroutines,
+// for callers that bind their own socket (systemd activation, tests).
+func (s *Server) Serve(ln net.Listener) error {
+	return s.ServeContext(context.Background(), ln)
+}
+
+// ServeContext is Serve bound to a context, exactly as ListenContext.
+func (s *Server) ServeContext(ctx context.Context, ln net.Listener) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("transport: server already listening")
+	}
 	s.ln = ln
+	s.mu.Unlock()
 	if done := ctx.Done(); done != nil {
 		s.wg.Add(1)
 		go func() {
@@ -70,14 +110,15 @@ func (s *Server) ListenContext(ctx context.Context, addr string) (net.Addr, erro
 		}()
 	}
 	s.wg.Add(1)
-	go s.acceptLoop()
-	return ln.Addr(), nil
+	go s.acceptLoop(ln)
+	return nil
 }
 
-func (s *Server) acceptLoop() {
+func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
-		conn, err := s.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
 			closed := s.closed
@@ -85,9 +126,20 @@ func (s *Server) acceptLoop() {
 			if closed || errors.Is(err, net.ErrClosed) {
 				return
 			}
-			s.Logf("transport: accept: %v", err)
+			if backoff == 0 {
+				backoff = acceptBackoffMin
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			s.Logf("transport: accept: %v; retrying in %v", err, backoff)
+			select {
+			case <-time.After(backoff):
+			case <-s.stop:
+				return
+			}
 			continue
 		}
+		backoff = 0
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -112,10 +164,14 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serveConn processes frames until the peer closes the connection.
+// serveConn processes frames until the peer closes the connection. Both
+// directions are buffered; every reply is flushed before the next read so
+// a pipelining client (BufferedClient) sees acks promptly.
 func (s *Server) serveConn(conn net.Conn) error {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
 	for {
-		ft, err := readFrameType(conn)
+		ft, err := readFrameType(br)
 		if err != nil {
 			return err
 		}
@@ -123,9 +179,9 @@ func (s *Server) serveConn(conn net.Conn) error {
 		case frameReport, frameVecReport:
 			var rep est.Report
 			if ft == frameReport {
-				rep, err = readReportBody(conn)
+				rep, err = readReportBody(br)
 			} else {
-				rep, err = readVecReportBody(conn)
+				rep, err = readVecReportBody(br)
 			}
 			if err != nil {
 				return err
@@ -134,45 +190,79 @@ func (s *Server) serveConn(conn net.Conn) error {
 			if err := s.Est.AddReport(rep); err != nil {
 				ack = ackErr
 			}
-			if _, err := conn.Write([]byte{ack}); err != nil {
+			if err := bw.WriteByte(ack); err != nil {
+				return err
+			}
+		case frameBatch:
+			accepted, err := readBatchBody(br, s.Est.AddReport)
+			if err != nil {
+				return err
+			}
+			var reply [5]byte
+			reply[0] = ackOK
+			binary.BigEndian.PutUint32(reply[1:], accepted)
+			if _, err := bw.Write(reply[:]); err != nil {
 				return err
 			}
 		case frameEstimate:
-			if err := writeFloats(conn, s.Est.Estimate()); err != nil {
+			if err := writeFloats(bw, s.Est.Estimate()); err != nil {
 				return err
 			}
 		case frameCounts:
-			if err := writeInts(conn, s.Est.Counts()); err != nil {
+			if err := writeInts(bw, s.Est.Counts()); err != nil {
+				return err
+			}
+		case frameSnapshot:
+			if err := bw.WriteByte(ackOK); err != nil {
+				return err
+			}
+			if err := writeSnapshotBody(bw, s.Est.Snapshot()); err != nil {
+				return err
+			}
+		case frameMerge:
+			snap, err := readSnapshotBody(br)
+			if err != nil {
+				return err
+			}
+			ack := byte(ackOK)
+			if err := s.Est.Merge(snap); err != nil {
+				ack = ackErr
+			}
+			if err := bw.WriteByte(ack); err != nil {
 				return err
 			}
 		case frameEnhanced:
 			en, ok := s.Est.(est.Enhancer)
 			if !ok {
-				if _, err := conn.Write([]byte{ackErr}); err != nil {
+				if err := bw.WriteByte(ackErr); err != nil {
 					return err
 				}
-				continue
+				break
 			}
 			enhanced, err := en.Enhanced()
 			if err != nil {
-				if _, err := conn.Write([]byte{ackErr}); err != nil {
+				if err := bw.WriteByte(ackErr); err != nil {
 					return err
 				}
-				continue
+				break
 			}
-			if _, err := conn.Write([]byte{ackOK}); err != nil {
+			if err := bw.WriteByte(ackOK); err != nil {
 				return err
 			}
-			if err := writeFloats(conn, enhanced); err != nil {
+			if err := writeFloats(bw, enhanced); err != nil {
 				return err
 			}
 		default:
 			return fmt.Errorf("unknown frame type 0x%02x", ft)
 		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
 	}
 }
 
 // shutdown closes the listener and every open connection exactly once.
+// Calling it before Listen is a safe no-op.
 func (s *Server) shutdown() error {
 	s.mu.Lock()
 	if s.closed {
@@ -181,14 +271,15 @@ func (s *Server) shutdown() error {
 	}
 	s.closed = true
 	close(s.stop)
+	ln := s.ln
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
 	var err error
-	if s.ln != nil {
-		err = s.ln.Close()
+	if ln != nil {
+		err = ln.Close()
 	}
 	for _, c := range conns {
 		c.Close()
@@ -197,83 +288,9 @@ func (s *Server) shutdown() error {
 }
 
 // Close stops accepting, closes open connections, and waits for the
-// serving goroutines to drain.
+// serving goroutines to drain. Closing before Listen, or twice, is safe.
 func (s *Server) Close() error {
 	err := s.shutdown()
 	s.wg.Wait()
 	return err
 }
-
-// Client is the user-side network client: it connects to a collector and
-// submits reports, and can query the running estimates.
-type Client struct {
-	conn net.Conn
-}
-
-// Dial connects to a collector at addr.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Client{conn: conn}, nil
-}
-
-// Send submits one report and waits for the acknowledgement. Pair-shaped
-// reports (the mean family) ride the compact 0x01 frame; whole-tuple and
-// frequency reports, whose lists differ in length, ride the 0x05 frame.
-func (c *Client) Send(rep est.Report) error {
-	var err error
-	if len(rep.Dims) == len(rep.Values) {
-		err = WriteReport(c.conn, rep)
-	} else {
-		err = WriteVecReport(c.conn, rep)
-	}
-	if err != nil {
-		return err
-	}
-	var ack [1]byte
-	if _, err := io.ReadFull(c.conn, ack[:]); err != nil {
-		return err
-	}
-	if ack[0] != ackOK {
-		return fmt.Errorf("transport: collector rejected report")
-	}
-	return nil
-}
-
-// Estimate asks the collector for its current naive aggregation.
-func (c *Client) Estimate() ([]float64, error) {
-	if _, err := c.conn.Write([]byte{frameEstimate}); err != nil {
-		return nil, err
-	}
-	return readFloats(c.conn)
-}
-
-// Enhanced asks the collector for its HDR4ME re-calibrated estimate. The
-// collector replies with an error status when its estimator does not
-// support enhancement.
-func (c *Client) Enhanced() ([]float64, error) {
-	if _, err := c.conn.Write([]byte{frameEnhanced}); err != nil {
-		return nil, err
-	}
-	var status [1]byte
-	if _, err := io.ReadFull(c.conn, status[:]); err != nil {
-		return nil, err
-	}
-	if status[0] != ackOK {
-		return nil, fmt.Errorf("transport: collector cannot serve an enhanced estimate")
-	}
-	return readFloats(c.conn)
-}
-
-// Counts asks the collector for the per-dimension report counts.
-func (c *Client) Counts() ([]int64, error) {
-	if _, err := c.conn.Write([]byte{frameCounts}); err != nil {
-		return nil, err
-	}
-	return readInts(c.conn)
-}
-
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }

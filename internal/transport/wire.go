@@ -15,6 +15,14 @@
 //	0x05 VECREPORT uint32 ndims, ndims × uint32 dim, uint32 nvals,
 //	     nvals × float64 — a report whose dim and value lists have
 //	     independent lengths (whole-tuple and frequency families)
+//	0x06 BATCH     uint32 count, then count × one embedded report frame
+//	     (each a full 0x01 or 0x05 frame, type byte included) — server
+//	     replies a status byte then uint32 accepted-count; reports the
+//	     estimator rejects are skipped, not fatal
+//	0x07 SNAPSHOT  (no payload) — server replies a status byte; on 0x00 it
+//	     follows with the serialized est.Snapshot of its estimator
+//	0x08 MERGE     a serialized est.Snapshot — the server folds it into
+//	     its estimator and replies a single status byte
 //
 // A report frame (0x01 or 0x05) is acknowledged with a single 0x00 byte
 // (ok) or 0xFF (rejected). Frames are small, so no additional length prefix
@@ -22,6 +30,18 @@
 // is up to the serving estimator family (see est.Report); the classic pair
 // frame 0x01 remains the compact encoding for the mean family where the
 // two lists pair up.
+//
+// A serialized est.Snapshot is: uint32 kind length, kind bytes, uint32
+// dims, then the Cards, Sums and Counts vectors each as uint32 length +
+// elements (uint32 cards, float64 sums, int64 counts). SNAPSHOT and MERGE
+// make shard collectors composable over the wire: a leaf collector
+// aggregates its region's reports, ships one snapshot upstream, and the
+// parent folds it in associatively — no report replay, no raw data.
+//
+// Both sides of a connection are buffered (bufio); the server flushes
+// after every reply, clients flush before every read of a reply. BATCH
+// amortizes the per-report syscall and ack round-trip that bound
+// per-report Send throughput.
 package transport
 
 import (
@@ -40,6 +60,9 @@ const (
 	frameCounts    = 0x03
 	frameEnhanced  = 0x04
 	frameVecReport = 0x05
+	frameBatch     = 0x06
+	frameSnapshot  = 0x07
+	frameMerge     = 0x08
 
 	ackOK  = 0x00
 	ackErr = 0xFF
@@ -48,6 +71,14 @@ const (
 // maxPairs caps a report frame to guard the server against hostile or
 // corrupt length fields.
 const maxPairs = 1 << 20
+
+// maxBatch caps the report count of one BATCH frame; larger batches gain
+// nothing (the syscall is already amortized) and a hostile count must not
+// pin a connection goroutine for unbounded work.
+const maxBatch = 1 << 16
+
+// maxKindLen caps the estimator-kind string of a serialized snapshot.
+const maxKindLen = 64
 
 // WriteReport serializes one pair-shaped report frame (0x01) to w. Reports
 // whose dim and value lists differ in length must use WriteVecReport.
@@ -154,6 +185,163 @@ func readVecReportBody(r io.Reader) (est.Report, error) {
 		rep.Values[i] = math.Float64frombits(binary.BigEndian.Uint64(vbuf[8*i:]))
 	}
 	return rep, nil
+}
+
+// WriteBatch serializes one batch frame (0x06): a uint32 report count
+// followed by that many embedded report frames. Pair-shaped reports embed
+// as 0x01 frames, all others as 0x05, exactly as Client.Send would pick.
+func WriteBatch(w io.Writer, reps []est.Report) error {
+	if len(reps) > maxBatch {
+		return fmt.Errorf("transport: batch of %d reports exceeds limit %d", len(reps), maxBatch)
+	}
+	var hdr [5]byte
+	hdr[0] = frameBatch
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(reps)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, rep := range reps {
+		var err error
+		if len(rep.Dims) == len(rep.Values) {
+			err = WriteReport(w, rep)
+		} else {
+			err = WriteVecReport(w, rep)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readBatchBody streams the embedded reports of a batch frame to fn,
+// one at a time, so the server never holds a whole hostile batch in
+// memory. fn's error marks that report rejected (counted, not fatal);
+// a malformed embedded frame aborts with an error. It returns how many
+// reports fn accepted.
+func readBatchBody(r io.Reader, fn func(est.Report) error) (accepted uint32, err error) {
+	var cnt uint32
+	if err := binary.Read(r, binary.BigEndian, &cnt); err != nil {
+		return 0, err
+	}
+	if cnt > maxBatch {
+		return 0, fmt.Errorf("transport: batch of %d reports exceeds limit %d", cnt, maxBatch)
+	}
+	for i := uint32(0); i < cnt; i++ {
+		ft, err := readFrameType(r)
+		if err != nil {
+			return accepted, err
+		}
+		var rep est.Report
+		switch ft {
+		case frameReport:
+			rep, err = readReportBody(r)
+		case frameVecReport:
+			rep, err = readVecReportBody(r)
+		default:
+			return accepted, fmt.Errorf("transport: batch embeds frame type 0x%02x", ft)
+		}
+		if err != nil {
+			return accepted, err
+		}
+		if fn(rep) == nil {
+			accepted++
+		}
+	}
+	return accepted, nil
+}
+
+// writeSnapshotBody serializes an est.Snapshot: kind string, dims, then
+// the Cards, Sums and Counts vectors. It enforces the same limits the
+// reader does, so an unshippable snapshot fails with a clear error at the
+// sender instead of a torn-down connection at the receiver.
+func writeSnapshotBody(w io.Writer, s est.Snapshot) error {
+	if len(s.Kind) > maxKindLen {
+		return fmt.Errorf("transport: snapshot kind %q exceeds %d bytes", s.Kind, maxKindLen)
+	}
+	if s.Dims > maxPairs || len(s.Cards) > maxPairs || len(s.Sums) > maxPairs || len(s.Counts) > maxPairs {
+		return fmt.Errorf("transport: snapshot shape %d/%d/%d/%d exceeds the wire limit of %d",
+			s.Dims, len(s.Cards), len(s.Sums), len(s.Counts), maxPairs)
+	}
+	hdr := make([]byte, 4+len(s.Kind)+4)
+	binary.BigEndian.PutUint32(hdr, uint32(len(s.Kind)))
+	copy(hdr[4:], s.Kind)
+	binary.BigEndian.PutUint32(hdr[4+len(s.Kind):], uint32(s.Dims))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	cards := make([]byte, 4+4*len(s.Cards))
+	binary.BigEndian.PutUint32(cards, uint32(len(s.Cards)))
+	for i, c := range s.Cards {
+		binary.BigEndian.PutUint32(cards[4+4*i:], uint32(c))
+	}
+	if _, err := w.Write(cards); err != nil {
+		return err
+	}
+	if err := writeFloats(w, s.Sums); err != nil {
+		return err
+	}
+	return writeInts(w, s.Counts)
+}
+
+// readSnapshotBody deserializes an est.Snapshot written by
+// writeSnapshotBody, rejecting hostile length fields.
+func readSnapshotBody(r io.Reader) (est.Snapshot, error) {
+	var s est.Snapshot
+	var kl uint32
+	if err := binary.Read(r, binary.BigEndian, &kl); err != nil {
+		return s, err
+	}
+	if kl > maxKindLen {
+		return s, fmt.Errorf("transport: snapshot kind of %d bytes exceeds limit", kl)
+	}
+	kind := make([]byte, kl)
+	if _, err := io.ReadFull(r, kind); err != nil {
+		return s, err
+	}
+	s.Kind = string(kind)
+	var dims uint32
+	if err := binary.Read(r, binary.BigEndian, &dims); err != nil {
+		return s, err
+	}
+	if dims > maxPairs {
+		return s, fmt.Errorf("transport: snapshot with %d dims exceeds limit", dims)
+	}
+	s.Dims = int(dims)
+	var nc uint32
+	if err := binary.Read(r, binary.BigEndian, &nc); err != nil {
+		return s, err
+	}
+	if nc > maxPairs {
+		return s, fmt.Errorf("transport: snapshot with %d cards exceeds limit", nc)
+	}
+	if nc > 0 {
+		buf := make([]byte, 4*nc)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return s, err
+		}
+		s.Cards = make([]int, nc)
+		for i := range s.Cards {
+			s.Cards[i] = int(binary.BigEndian.Uint32(buf[4*i:]))
+		}
+	}
+	var err error
+	if s.Sums, err = readFloats(r); err != nil {
+		return s, err
+	}
+	if s.Counts, err = readInts(r); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// WriteMerge serializes one merge frame (0x08): a serialized snapshot the
+// receiving collector folds into its estimator.
+func WriteMerge(w io.Writer, s est.Snapshot) error {
+	if _, err := w.Write([]byte{frameMerge}); err != nil {
+		return err
+	}
+	return writeSnapshotBody(w, s)
 }
 
 // writeFloats writes a uint32 length followed by the values.

@@ -338,6 +338,34 @@ func (s *Session) Snapshot() Snapshot { return s.est.Snapshot() }
 // into this session.
 func (s *Session) Merge(snap Snapshot) error { return s.est.Merge(snap) }
 
+// PushSnapshot ships this session's snapshot to a parent collector server
+// at addr over the MERGE wire frame: the leaf-to-root direction of a shard
+// tree. The parent folds it in associatively; no reports are replayed.
+func (s *Session) PushSnapshot(addr string) error {
+	cl, err := transport.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	return cl.PushSnapshot(s.Snapshot())
+}
+
+// PullSnapshot fetches a leaf collector server's snapshot from addr over
+// the SNAPSHOT wire frame and folds it into this session: the root-driven
+// direction of a shard tree.
+func (s *Session) PullSnapshot(addr string) error {
+	cl, err := transport.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	snap, err := cl.PullSnapshot()
+	if err != nil {
+		return err
+	}
+	return s.Merge(snap)
+}
+
 // Freqs reshapes a flattened frequency-family estimate into per-dimension
 // frequency vectors (feed the result to ProjectSimplex).
 func (s *Session) Freqs(flat []float64) ([][]float64, error) {
