@@ -1,0 +1,18 @@
+# Developer entry points; CI runs the same targets.
+
+.PHONY: build test race bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# bench runs the transport benchmarks and emits BENCH_transport.json, the
+# machine-readable perf trajectory. BENCHTIME=1x (default) is a smoke
+# run; use BENCHTIME=2s for stable numbers.
+bench:
+	sh scripts/bench.sh

@@ -1,0 +1,87 @@
+package hdr4me
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/hdr4me/hdr4me/internal/est"
+)
+
+// budgetSlack absorbs float64 accumulation noise when charges sum exactly
+// to the configured total (e.g. 0.8 + 0.6 + 0.6 against 2.0).
+const budgetSlack = 1e-9
+
+// Accountant tracks the cumulative per-user privacy spend of every query
+// registered against one user population. Each query with budget ε costs
+// every reporting user ε by sequential composition, so the sum of the
+// live queries' budgets is the per-user total; the accountant rejects any
+// registration that would push that sum past the configured ceiling.
+//
+// Deleting a query does not refund its ε: the reports were already
+// collected, so the privacy cost is sunk. Only a registration that never
+// went live (estimator construction failed) is rolled back.
+//
+// An Accountant implements the registry's admission interface; plug it in
+// with NewQueryRegistry. Safe for concurrent use.
+type Accountant struct {
+	mu    sync.Mutex
+	total float64
+	spent float64
+}
+
+// NewAccountant returns an accountant enforcing the given total per-user
+// budget ε across all registered queries.
+func NewAccountant(totalEps float64) (*Accountant, error) {
+	if !(totalEps > 0) || math.IsInf(totalEps, 0) {
+		return nil, fmt.Errorf("hdr4me: total budget %v must be finite and positive", totalEps)
+	}
+	return &Accountant{total: totalEps}, nil
+}
+
+// Admit charges spec's ε against the remaining budget, rejecting the
+// charge when it would exceed the total.
+func (a *Accountant) Admit(spec est.QuerySpec) error {
+	if spec.Eps < 0 || math.IsNaN(spec.Eps) || math.IsInf(spec.Eps, 0) {
+		return fmt.Errorf("hdr4me: query %q: cannot account for budget %v", spec.Name, spec.Eps)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.spent+spec.Eps > a.total+budgetSlack {
+		return fmt.Errorf("hdr4me: query %q (ε=%g) would push the per-user spend to %g, over the budget of %g",
+			spec.Name, spec.Eps, a.spent+spec.Eps, a.total)
+	}
+	a.spent += spec.Eps
+	return nil
+}
+
+// Release rolls back an Admit whose query never went live. The registry
+// calls it only on construction failure; deleted queries keep their
+// charge.
+func (a *Accountant) Release(spec est.QuerySpec) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spent -= spec.Eps
+	if a.spent < 0 {
+		a.spent = 0
+	}
+}
+
+// Total returns the configured per-user budget ceiling.
+func (a *Accountant) Total() float64 { return a.total }
+
+// Spent returns the cumulative per-user ε charged so far.
+func (a *Accountant) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+// Remaining returns the per-user budget still available.
+func (a *Accountant) Remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total - a.spent
+}
+
+var _ est.Admission = (*Accountant)(nil)

@@ -1,8 +1,8 @@
 // Command ldpcollect demonstrates the full networked collection pipeline: a
-// TCP collector server wrapping a Session estimator, a fleet of concurrent
-// clients perturbing a synthetic dataset, and the collector-side naive +
-// HDR4ME-enhanced estimates — the enhanced one served over the wire as its
-// own frame type. Ctrl-C cancels the collection cleanly.
+// TCP collector server, a fleet of concurrent clients perturbing synthetic
+// data locally, and the collector-side naive + HDR4ME-enhanced estimates —
+// the enhanced one served over the wire as its own frame type. Ctrl-C
+// cancels the collection cleanly.
 //
 //	ldpcollect -users 20000 -d 100 -m 100 -eps 0.8 -mech piecewise
 //
@@ -14,12 +14,23 @@
 //
 //	ldpcollect -addr 127.0.0.1:9000 -users 0            # parent: serve only
 //	ldpcollect -merge-into 127.0.0.1:9000 -users 20000  # leaf shard
+//
+// Multi-query mode: each repeatable -query flag opens one named query on
+// a shared registry — means, whole-tuple distributions and frequencies
+// side by side on one port, wire-routed by name, with the per-user
+// privacy spend accounted across all of them (-total-eps).
+//
+//	ldpcollect -total-eps 2.0 \
+//	  -query temps,kind=mean,mech=piecewise,eps=0.8,d=16 \
+//	  -query vitals,kind=wholetuple,eps=0.6,d=4 \
+//	  -query pets,kind=freq,mech=squarewave,eps=0.5,cards=3x4x5,m=2
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"os/signal"
 	"strings"
@@ -29,8 +40,28 @@ import (
 	hdr4me "github.com/hdr4me/hdr4me"
 )
 
+// querySpecs collects repeatable -query flags.
+type querySpecs []hdr4me.QuerySpec
+
+func (q *querySpecs) String() string {
+	names := make([]string, len(*q))
+	for i, s := range *q {
+		names[i] = s.Name
+	}
+	return strings.Join(names, ",")
+}
+
+func (q *querySpecs) Set(s string) error {
+	spec, err := hdr4me.ParseQuerySpec(s)
+	if err != nil {
+		return err
+	}
+	*q = append(*q, spec)
+	return nil
+}
+
 func main() {
-	users := flag.Int("users", 20_000, "number of simulated users")
+	users := flag.Int("users", 20_000, "number of simulated users (0 = serve only)")
 	d := flag.Int("d", 100, "dimensions")
 	m := flag.Int("m", 0, "reported dimensions per user (default: d)")
 	eps := flag.Float64("eps", 0.8, "collective privacy budget")
@@ -41,16 +72,43 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "collector listen address")
 	mergeInto := flag.String("merge-into", "", "parent collector address to fold this shard's snapshot into")
 	seed := flag.Uint64("seed", 1, "random seed")
+	totalEps := flag.Float64("total-eps", 0, "total per-user privacy budget across all queries (0 = unaccounted)")
+	var queries querySpecs
+	flag.Var(&queries, "query",
+		"open a named query (repeatable): name,kind=mean|wholetuple|freq,mech=...,eps=...,d=...[,m=...][,cards=AxBxC]")
 	flag.Parse()
+
+	// Flag validation: reject combinations that cannot work instead of
+	// silently misbehaving.
+	if *batch < 1 {
+		log.Fatalf("ldpcollect: -batch must be >= 1, have %d", *batch)
+	}
+	if *users < 0 {
+		log.Fatalf("ldpcollect: -users must be >= 0, have %d", *users)
+	}
+	if *conns < 1 {
+		log.Fatalf("ldpcollect: -conns must be >= 1, have %d", *conns)
+	}
+	if *mergeInto != "" && *users == 0 {
+		log.Fatalf("ldpcollect: -merge-into with -users 0 is invalid: a serve-only collector has no " +
+			"collection round after which to fold; run the parent without -merge-into and give this " +
+			"process users, or push the snapshot from a leaf that collects")
+	}
+	if *mergeInto != "" && len(queries) > 0 {
+		log.Fatalf("ldpcollect: -merge-into supports single-query mode only (the MERGE frame would " +
+			"need one -query name to route to; push per-query snapshots with the client API instead)")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if len(queries) > 0 {
+		multiQuery(ctx, queries, *addr, *users, *batch, *totalEps, *seed)
+		return
+	}
+
 	if *m <= 0 || *m > *d {
 		*m = *d
-	}
-	if *batch < 1 {
-		log.Fatalf("ldpcollect: -batch must be >= 1, have %d", *batch)
 	}
 	mech, err := hdr4me.MechanismByName(*mechName)
 	if err != nil {
@@ -79,9 +137,7 @@ func main() {
 	fmt.Printf("collector listening on %s (%s, ε=%g, d=%d, m=%d)\n", bound, mech.Name(), *eps, *d, *m)
 
 	// Parent mode: no local users, just serve queries and fold in shard
-	// snapshots arriving over MERGE frames until interrupted. A mid-tier
-	// collector (-merge-into set too) relays its accumulated state upward
-	// on shutdown.
+	// snapshots arriving over MERGE frames until interrupted.
 	if *users == 0 {
 		fmt.Println("serve-only: accepting reports, queries and shard merges (Ctrl-C to stop)")
 		<-ctx.Done()
@@ -90,12 +146,6 @@ func main() {
 			total += c
 		}
 		fmt.Printf("final state: %d (dimension, value) pairs accumulated\n", total)
-		if *mergeInto != "" {
-			if err := sess.PushSnapshot(*mergeInto); err != nil {
-				log.Fatalf("ldpcollect: merge into %s: %v", *mergeInto, err)
-			}
-			fmt.Printf("snapshot folded into parent collector at %s (wire frame 0x08)\n", *mergeInto)
-		}
 		return
 	}
 
@@ -189,9 +239,141 @@ func main() {
 	// Leaf-shard mode: fold everything this collector accumulated into the
 	// parent, one snapshot over the wire — no report replay.
 	if *mergeInto != "" {
-		if err := sess.PushSnapshot(*mergeInto); err != nil {
+		if err := sess.PushSnapshotContext(ctx, *mergeInto); err != nil {
 			log.Fatalf("ldpcollect: merge into %s: %v", *mergeInto, err)
 		}
 		fmt.Printf("shard snapshot folded into parent collector at %s (wire frame 0x08)\n", *mergeInto)
 	}
+}
+
+// multiQuery hosts every -query spec on one registry behind one port and,
+// when users > 0, runs one routed collection round per query.
+func multiQuery(ctx context.Context, queries querySpecs, addr string, users, batch int, totalEps float64, seed uint64) {
+	var acct *hdr4me.Accountant
+	if totalEps > 0 {
+		var err error
+		if acct, err = hdr4me.NewAccountant(totalEps); err != nil {
+			log.Fatalf("ldpcollect: %v", err)
+		}
+	}
+	reg := hdr4me.NewQueryRegistry(acct)
+	for _, spec := range queries {
+		if _, err := reg.Open(spec); err != nil {
+			log.Fatalf("ldpcollect: open query: %v", err)
+		}
+		fmt.Printf("query %q open (kind=%s, ε=%g)\n", spec.Name, spec.Kind, spec.Eps)
+	}
+	srv := hdr4me.NewRegistryServer(reg)
+	bound, err := srv.ListenContext(ctx, addr)
+	if err != nil {
+		log.Fatalf("ldpcollect: listen: %v", err)
+	}
+	defer srv.Close()
+	fmt.Printf("multi-query collector listening on %s (%d queries", bound, len(queries))
+	if acct != nil {
+		fmt.Printf(", per-user spend %g of %g", acct.Spent(), acct.Total())
+	}
+	fmt.Println(")")
+
+	if users == 0 {
+		fmt.Println("serve-only: accepting routed reports, OPENQUERY registrations and estimates (Ctrl-C to stop)")
+		<-ctx.Done()
+		return
+	}
+
+	var wg sync.WaitGroup
+	for _, spec := range queries {
+		wg.Add(1)
+		go func(spec hdr4me.QuerySpec) {
+			defer wg.Done()
+			if err := runQueryRound(ctx, bound.String(), spec, users, batch, seed); err != nil {
+				log.Printf("query %q: %v", spec.Name, err)
+			}
+		}(spec)
+	}
+	wg.Wait()
+}
+
+// runQueryRound simulates one query's user population: a spec-built
+// session perturbs on the "device", routed BATCH frames carry the reports,
+// and the query's served estimate is compared against the exact answer.
+func runQueryRound(ctx context.Context, addr string, spec hdr4me.QuerySpec, users, batch int, seed uint64) error {
+	// Derive an independent perturbation stream per query: hashing the
+	// name keeps same-length names from colliding into identical noise.
+	h := fnv.New64a()
+	h.Write([]byte(spec.Name))
+	perturber, err := hdr4me.NewFromSpec(spec, hdr4me.WithSeed(seed^h.Sum64()))
+	if err != nil {
+		return err
+	}
+	cl, err := hdr4me.DialCollectorContext(ctx, addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	q := cl.Query(spec.Name)
+
+	reps := make([]hdr4me.Report, 0, batch)
+	flush := func() error {
+		if len(reps) == 0 {
+			return nil
+		}
+		if _, err := q.SendBatch(reps); err != nil {
+			return err
+		}
+		reps = reps[:0]
+		return nil
+	}
+
+	var truth []float64
+	if spec.Kind == hdr4me.KindFreq {
+		cds := hdr4me.NewZipfCatDataset(users, spec.Cards, 1.1, seed)
+		for _, row := range hdr4me.TrueFreqs(cds) {
+			truth = append(truth, row...)
+		}
+		cats := make([]int, len(spec.Cards))
+		for i := 0; i < users && ctx.Err() == nil; i++ {
+			for j := range cats {
+				cats[j] = cds.Value(i, j)
+			}
+			rep, err := perturber.Report(hdr4me.Tuple{Cats: cats})
+			if err != nil {
+				return err
+			}
+			if reps = append(reps, rep); len(reps) >= batch {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		ds := hdr4me.Memoize(hdr4me.NewGaussianDataset(users, spec.D, seed))
+		truth = ds.TrueMean()
+		row := make([]float64, spec.D)
+		for i := 0; i < users && ctx.Err() == nil; i++ {
+			ds.Row(i, row)
+			rep, err := perturber.Report(hdr4me.Tuple{Values: row})
+			if err != nil {
+				return err
+			}
+			if reps = append(reps, rep); len(reps) >= batch {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	estimate, err := q.Estimate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query %q: %d users collected, naive MSE %.6g (SELECT-routed over one shared port)\n",
+		spec.Name, users, hdr4me.MSE(estimate, truth))
+	return nil
 }

@@ -26,6 +26,16 @@
 // Snapshot copies a collector's state, Merge folds a peer's snapshot in,
 // associatively. Run is context-aware and aborts promptly on cancellation.
 //
+// One collector serves many concurrent analytics: a Registry of named
+// queries (each a QuerySpec-built estimator with an open → sealed →
+// deleted lifecycle) behind a single TCP port, budget-gated by an
+// Accountant that bounds the cumulative per-user ε across all of them.
+// Clients route by name (CollectorClient.Query, WithQueryName) or open
+// queries over the wire (CollectorClient.Open); un-routed legacy clients
+// land on the query named "default". The same QuerySpec drives both
+// sides: NewFromSpec builds a Session whose Report perturbs on the user's
+// device while the collector's spec-built estimator aggregates.
+//
 // The pre-Session facade (Simulate, SimulateAllocated, SimulateDuchiMD,
 // SimulateFreq) remains available as deprecated wrappers over the same
 // internals; see README.md for the migration table and EXPERIMENTS.md for

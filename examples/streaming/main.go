@@ -1,13 +1,16 @@
-// Streaming: the shard-composition story of the collector, now over real
-// sockets. Two regional shard collectors each run a TCP server; their
-// users perturb locally and stream reports in BATCH frames through
-// auto-batching buffered clients. A root collector then folds both shards
-// in over the wire — it pulls one shard's snapshot (SNAPSHOT frame) and
-// the other shard pushes its own (MERGE frame) — and re-calibrates the
-// global estimate with HDR4ME. No raw data, no report replay, just
-// associative state folding over TCP. A context deadline stops the whole
-// pipeline mid-stream; whatever arrived before the cutoff is still a
-// valid (noisier) estimate.
+// Streaming: the multi-query shard-composition story over real sockets.
+// Two regional collectors each host TWO named analytics — a mean query
+// over numeric telemetry and a frequency query over categorical data —
+// behind one TCP port each, registered from the same QuerySpecs and
+// budget-gated by a per-user privacy accountant (which also demonstrates
+// a rejection: a third query would exceed the budget). Each region's
+// users perturb locally and stream routed BATCH frames through
+// auto-batching buffered clients; a root collector then folds every
+// (region, query) shard in over the wire with context-bounded snapshot
+// pulls, and re-calibrates the mean estimate with HDR4ME. No raw data, no
+// report replay, just associative state folding over TCP. A context
+// deadline stops the whole pipeline mid-stream; whatever arrived before
+// the cutoff is still a valid (noisier) estimate.
 //
 //	go run ./examples/streaming
 package main
@@ -23,121 +26,179 @@ import (
 	hdr4me "github.com/hdr4me/hdr4me"
 )
 
-const (
-	regions = 2
-	dims    = 50
-	eps     = 1.0
+const regions = 2
+
+var (
+	tempsSpec = hdr4me.QuerySpec{
+		Name: "temps", Kind: hdr4me.KindMean, Mech: "piecewise", Eps: 1.0, D: 50,
+	}
+	petsSpec = hdr4me.QuerySpec{
+		Name: "pets", Kind: hdr4me.KindFreq, Mech: "squarewave", Eps: 0.4, Cards: []int{3, 5}, M: 1,
+	}
 )
 
 func main() {
-	// The global population, split across regions round-robin.
-	ds := hdr4me.Memoize(hdr4me.NewGaussianDataset(60_000, dims, 17))
-
-	newSession := func(seed uint64) *hdr4me.Session {
-		s, err := hdr4me.New(
-			hdr4me.WithMechanism(hdr4me.Piecewise()),
-			hdr4me.WithBudget(eps),
-			hdr4me.WithDims(dims, dims),
-			hdr4me.WithEnhance(hdr4me.DefaultEnhanceConfig(hdr4me.RegL1)),
-			hdr4me.WithSeed(seed),
-		)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return s
-	}
+	// The global populations, split across regions round-robin.
+	numeric := hdr4me.Memoize(hdr4me.NewGaussianDataset(60_000, tempsSpec.D, 17))
+	categorical := hdr4me.NewZipfCatDataset(60_000, petsSpec.Cards, 1.2, 23)
 
 	// Give the stream 400 ms, then cut it off mid-flight.
 	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
 	defer cancel()
 
-	// Each region is a real TCP collector: a Session served by a server.
-	shards := make([]*hdr4me.Session, regions)
-	shardAddr := make([]string, regions)
+	// Each region is one multi-query collector: a registry hosting both
+	// analytics behind a single port, with a per-user budget of ε=1.5
+	// shared across everything this population is asked.
+	regAddr := make([]string, regions)
 	for r := 0; r < regions; r++ {
-		shards[r] = newSession(uint64(1 + r))
+		acct, err := hdr4me.NewAccountant(1.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg := hdr4me.NewQueryRegistry(acct)
+		for _, spec := range []hdr4me.QuerySpec{tempsSpec, petsSpec} {
+			if _, err := reg.Open(spec); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// A third analytic does not fit: 1.0 + 0.4 + 0.2 > 1.5. The
+		// accountant guards the population's total exposure.
+		third := hdr4me.QuerySpec{Name: "heart-rate", Kind: hdr4me.KindMean, Mech: "piecewise", Eps: 0.2, D: 1}
+		if _, err := reg.Open(third); err == nil {
+			log.Fatal("over-budget query was admitted")
+		} else if r == 0 {
+			fmt.Printf("accountant rejected a third query: %v\n", err)
+		}
 		// The deadline cuts the report stream, not the servers: they must
 		// outlive it so the root can still fold the shards in.
-		srv := hdr4me.NewEstimatorServer(shards[r].Estimator())
+		srv := hdr4me.NewRegistryServer(reg)
 		addr, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		shardAddr[r] = addr.String()
-		fmt.Printf("region %d collector listening on %s\n", r, shardAddr[r])
+		regAddr[r] = addr.String()
+		fmt.Printf("region %d collector listening on %s (queries: temps, pets)\n", r, regAddr[r])
 	}
 
-	// User side: perturb locally, stream over the socket in BATCH frames.
-	p, err := hdr4me.NewProtocol(hdr4me.Piecewise(), eps, dims, dims)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// User side: one perturber session per (region, query) — built from
+	// the same specs the collectors serve — streaming routed BATCH frames.
 	var wg sync.WaitGroup
 	for r := 0; r < regions; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			bc, err := hdr4me.DialCollectorBuffered(shardAddr[r],
-				hdr4me.WithBatchSize(256), hdr4me.WithFlushInterval(50*time.Millisecond))
-			if err != nil {
-				log.Printf("region %d: %v", r, err)
-				return
-			}
-			defer bc.Close()
-			client := hdr4me.NewClient(p, hdr4me.NewRNG(uint64(1+r)))
-			row := make([]float64, dims)
-			for i := r; i < ds.NumUsers(); i += regions {
-				if ctx.Err() != nil {
-					return // stream cut off; keep what this shard has
+		for _, spec := range []hdr4me.QuerySpec{tempsSpec, petsSpec} {
+			wg.Add(1)
+			go func(r int, spec hdr4me.QuerySpec) {
+				defer wg.Done()
+				perturber, err := hdr4me.NewFromSpec(spec, hdr4me.WithSeed(uint64(1+r)))
+				if err != nil {
+					log.Fatal(err)
 				}
-				ds.Row(i, row)
-				if err := bc.Add(client.Report(row)); err != nil {
-					log.Printf("region %d: %v", r, err)
+				bc, err := hdr4me.DialCollectorBuffered(regAddr[r],
+					hdr4me.WithBatchSize(256),
+					hdr4me.WithFlushInterval(50*time.Millisecond),
+					hdr4me.WithQueryName(spec.Name))
+				if err != nil {
+					log.Printf("region %d %s: %v", r, spec.Name, err)
 					return
 				}
-			}
-		}(r)
+				defer bc.Close()
+				t := hdr4me.Tuple{}
+				if spec.Kind == hdr4me.KindFreq {
+					t.Cats = make([]int, len(spec.Cards))
+				} else {
+					t.Values = make([]float64, spec.D)
+				}
+				for i := r; i < numeric.NumUsers(); i += regions {
+					if ctx.Err() != nil {
+						return // stream cut off; keep what this shard has
+					}
+					if spec.Kind == hdr4me.KindFreq {
+						for j := range t.Cats {
+							t.Cats[j] = categorical.Value(i, j)
+						}
+					} else {
+						numeric.Row(i, t.Values)
+					}
+					rep, err := perturber.Report(t)
+					if err != nil {
+						log.Printf("region %d %s: %v", r, spec.Name, err)
+						return
+					}
+					if err := bc.Add(rep); err != nil {
+						log.Printf("region %d %s: %v", r, spec.Name, err)
+						return
+					}
+				}
+			}(r, spec)
+		}
 	}
 	wg.Wait()
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 		fmt.Println("stream cut off by deadline — aggregating what arrived")
 	}
 
-	// Central aggregation over the wire, one direction of each kind: the
-	// root serves its own collector endpoint, pulls region 0's snapshot
-	// (SNAPSHOT frame), and region 1 pushes its snapshot up (MERGE frame).
-	// Merge is associative, so order and grouping don't matter.
-	central := newSession(99)
-	rootSrv := hdr4me.NewEstimatorServer(central.Estimator())
-	rootAddr, err := rootSrv.Listen("127.0.0.1:0")
+	// Central aggregation over the wire: the root holds one session per
+	// query and folds in every region's shard with a routed,
+	// context-bounded snapshot pull — an unresponsive region cannot hang
+	// the fold.
+	foldCtx, foldCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer foldCancel()
+	rootTemps, err := hdr4me.NewFromSpec(tempsSpec, hdr4me.WithSeed(99),
+		hdr4me.WithEnhance(hdr4me.DefaultEnhanceConfig(hdr4me.RegL1)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer rootSrv.Close()
-
-	if err := central.PullSnapshot(shardAddr[0]); err != nil {
+	rootPets, err := hdr4me.NewFromSpec(petsSpec, hdr4me.WithSeed(99))
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("root pulled region 0's snapshot from %s (wire frame 0x07)\n", shardAddr[0])
-	if err := shards[1].PushSnapshot(rootAddr.String()); err != nil {
-		log.Fatal(err)
+	for r := 0; r < regions; r++ {
+		cl, err := hdr4me.DialCollectorContext(foldCtx, regAddr[r])
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, fold := range []struct {
+			sess *hdr4me.Session
+			name string
+		}{{rootTemps, tempsSpec.Name}, {rootPets, petsSpec.Name}} {
+			snap, err := cl.Query(fold.name).PullSnapshot()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := fold.sess.Merge(snap); err != nil {
+				log.Fatal(err)
+			}
+		}
+		cl.Close()
+		fmt.Printf("root folded region %d's temps+pets snapshots (SELECT-routed 0x07 frames)\n", r)
 	}
-	fmt.Printf("region 1 pushed its snapshot into %s (wire frame 0x08)\n", rootAddr)
 
 	var streamed int64
-	for _, c := range central.Counts() {
+	for _, c := range rootTemps.Counts() {
 		streamed += c
 	}
-	streamed /= dims
+	streamed /= int64(tempsSpec.D)
 
-	naive := central.Estimate()
-	enhanced, err := central.EstimateEnhanced()
+	naive := rootTemps.Estimate()
+	enhanced, err := rootTemps.EstimateEnhanced()
 	if err != nil {
 		log.Fatal(err)
 	}
-	truth := ds.TrueMean()
-	fmt.Printf("\nglobal estimate over ~%d of %d users\n", streamed, ds.NumUsers())
-	fmt.Printf("naive MSE:     %.6g\n", hdr4me.MSE(naive, truth))
-	fmt.Printf("HDR4ME L1 MSE: %.6g\n", hdr4me.MSE(enhanced, truth))
+	truth := numeric.TrueMean()
+	fmt.Printf("\ntemps (mean, ε=%g) over ~%d of %d users\n", tempsSpec.Eps, streamed, numeric.NumUsers())
+	fmt.Printf("  naive MSE:     %.6g\n", hdr4me.MSE(naive, truth))
+	fmt.Printf("  HDR4ME L1 MSE: %.6g\n", hdr4me.MSE(enhanced, truth))
+
+	freqs, err := rootPets.Freqs(rootPets.Estimate())
+	if err != nil {
+		log.Fatal(err)
+	}
+	freqs = hdr4me.ProjectSimplex(freqs)
+	var truthFlat, gotFlat []float64
+	for j, row := range hdr4me.TrueFreqs(categorical) {
+		truthFlat = append(truthFlat, row...)
+		gotFlat = append(gotFlat, freqs[j]...)
+	}
+	fmt.Printf("pets (freq, ε=%g): projected frequency MSE %.6g\n",
+		petsSpec.Eps, hdr4me.MSE(gotFlat, truthFlat))
 }

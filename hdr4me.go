@@ -338,6 +338,11 @@ func WithBatchSize(n int) BufferOption { return transport.WithBatchSize(n) }
 // batch ships even if short.
 func WithFlushInterval(d time.Duration) BufferOption { return transport.WithFlushInterval(d) }
 
+// WithQueryName routes a BufferedCollectorClient's batches to the named
+// query of a multi-query collector (default: the collector's default
+// query).
+func WithQueryName(name string) BufferOption { return transport.WithQueryName(name) }
+
 // NewCollectorServer wraps a mean-family aggregator in a TCP collector.
 // NewEstimatorServer is the generalization serving any Estimator family
 // (and the ENHANCED frame where supported).

@@ -88,6 +88,18 @@ type Estimator interface {
 	Merge(s Snapshot) error
 }
 
+// Reporter is implemented by estimators whose user-side perturbation can
+// run detached from accumulation: MakeReport perturbs one raw tuple into
+// the wire-ready report Observe would have accumulated, without touching
+// collector state. It is the client half of a remote pipeline — the same
+// spec-built estimator perturbs on the user's device and estimates on the
+// collector, with only reports crossing the wire.
+type Reporter interface {
+	// MakeReport perturbs t with the caller's randomness. The rng must not
+	// be shared with concurrent MakeReport or Observe calls.
+	MakeReport(t Tuple, rng *mathx.RNG) (Report, error)
+}
+
 // Enhancer is implemented by estimators that support the HDR4ME §V
 // re-calibration of their naive estimate. The enhancement configuration is
 // bound at construction time (see the Session options and the freq and

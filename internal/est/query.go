@@ -1,0 +1,98 @@
+package est
+
+import (
+	"fmt"
+	"math"
+)
+
+// Estimator family kinds. These are the canonical wire strings; the
+// highdim and freq packages re-declare them next to their implementations
+// (est cannot import those packages — they import est).
+const (
+	KindMean       = "mean"
+	KindWholeTuple = "wholetuple"
+	KindFreq       = "freq"
+)
+
+// QuerySpec is the serializable description of one named analytics query:
+// everything a collector needs to build the query's estimator, and
+// everything an accountant needs to charge it against the per-user privacy
+// budget. The same spec drives in-process use (a Session built from it)
+// and remote use (the OPENQUERY wire frame carries it verbatim).
+type QuerySpec struct {
+	// Name keys the query in a Registry and routes wire frames to it.
+	Name string
+	// Kind selects the estimator family: KindMean (default), KindWholeTuple
+	// or KindFreq ("" resolves to KindFreq when Cards is set, KindMean
+	// otherwise).
+	Kind string
+	// Mech names the one-dimensional LDP mechanism (mean and frequency
+	// families; the whole-tuple family carries its own mechanism).
+	Mech string
+	// Eps is the query's per-user privacy budget — the amount an
+	// Accountant charges each user for this query.
+	Eps float64
+	// D is the tuple dimensionality, M the number of dimensions each user
+	// reports (0 resolves to D for the mean family, len(Cards) for the
+	// frequency family; the whole-tuple family ignores M).
+	D, M int
+	// Cards lists the per-dimension category counts of a frequency query.
+	Cards []int
+}
+
+// Normalize resolves the defaulted fields: an empty Kind and a zero M.
+func (s QuerySpec) Normalize() QuerySpec {
+	if s.Kind == "" {
+		if len(s.Cards) > 0 {
+			s.Kind = KindFreq
+		} else {
+			s.Kind = KindMean
+		}
+	}
+	if s.M <= 0 {
+		switch s.Kind {
+		case KindFreq:
+			s.M = len(s.Cards)
+		default:
+			s.M = s.D
+		}
+	}
+	return s
+}
+
+// Validate checks the spec invariants common to every family; family
+// constructors enforce the rest (mechanism existence, cardinality floors).
+func (s QuerySpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("est: query spec has no name")
+	}
+	if !(s.Eps > 0) || math.IsInf(s.Eps, 0) {
+		return fmt.Errorf("est: query %q: budget %v must be finite and positive", s.Name, s.Eps)
+	}
+	switch s.Kind {
+	case KindMean, KindWholeTuple:
+		if s.D < 1 {
+			return fmt.Errorf("est: query %q: dimensionality %d < 1", s.Name, s.D)
+		}
+		if len(s.Cards) != 0 {
+			return fmt.Errorf("est: query %q: %s queries carry no cardinalities", s.Name, s.Kind)
+		}
+	case KindFreq:
+		if len(s.Cards) == 0 {
+			return fmt.Errorf("est: query %q: frequency query without cardinalities", s.Name)
+		}
+		if s.D != 0 && s.D != len(s.Cards) {
+			return fmt.Errorf("est: query %q: d=%d disagrees with %d cardinalities", s.Name, s.D, len(s.Cards))
+		}
+	default:
+		return fmt.Errorf("est: query %q: unknown kind %q", s.Name, s.Kind)
+	}
+	return nil
+}
+
+// clone deep-copies the spec so registry entries and callers never share
+// the Cards slice.
+func (s QuerySpec) clone() QuerySpec {
+	s.Cards = append([]int(nil), s.Cards...)
+	return s
+}

@@ -56,13 +56,23 @@ func (f *Flat) Offset(j int) int { return f.offsets[j] }
 // every entry with ε/(2m), and accumulate. The rng must not be shared with
 // concurrent Observe calls.
 func (f *Flat) Observe(t est.Tuple, rng *mathx.RNG) error {
+	rep, err := f.MakeReport(t, rng)
+	if err != nil {
+		return err
+	}
+	return f.AddReport(rep)
+}
+
+// MakeReport implements est.Reporter: the user-side sample-and-perturb
+// half of Observe, detached from accumulation.
+func (f *Flat) MakeReport(t est.Tuple, rng *mathx.RNG) (est.Report, error) {
 	p := f.Aggregator.P
 	if len(t.Cats) != len(p.Cards) {
-		return fmt.Errorf("freq: tuple has %d dims, protocol says %d", len(t.Cats), len(p.Cards))
+		return est.Report{}, fmt.Errorf("freq: tuple has %d dims, protocol says %d", len(t.Cats), len(p.Cards))
 	}
 	for j, c := range t.Cats {
 		if c < 0 || c >= p.Cards[j] {
-			return fmt.Errorf("freq: category %d out of range [0, %d) in dimension %d", c, p.Cards[j], j)
+			return est.Report{}, fmt.Errorf("freq: category %d out of range [0, %d) in dimension %d", c, p.Cards[j], j)
 		}
 	}
 	epsEntry := p.EpsPerEntry()
@@ -78,7 +88,7 @@ func (f *Flat) Observe(t est.Tuple, rng *mathx.RNG) error {
 			rep.Values = append(rep.Values, p.Mech.Perturb(rng, e, epsEntry))
 		}
 	}
-	return f.AddReport(rep)
+	return rep, nil
 }
 
 // AddReport implements est.Estimator. A frequency report lists the sampled
@@ -227,4 +237,5 @@ func (f *Flat) Merge(s est.Snapshot) error {
 var (
 	_ est.Estimator = (*Flat)(nil)
 	_ est.Enhancer  = (*Flat)(nil)
+	_ est.Reporter  = (*Flat)(nil)
 )

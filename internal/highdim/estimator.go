@@ -32,8 +32,18 @@ func (a *Aggregator) AddReport(rep est.Report) error { return a.Add(rep) }
 // rng must not be shared with concurrent Observe calls; the accumulation
 // itself is locked and safe.
 func (a *Aggregator) Observe(t est.Tuple, rng *mathx.RNG) error {
+	rep, err := a.MakeReport(t, rng)
+	if err != nil {
+		return err
+	}
+	return a.Add(rep)
+}
+
+// MakeReport implements est.Reporter: the user-side half of Observe,
+// without the accumulation.
+func (a *Aggregator) MakeReport(t est.Tuple, rng *mathx.RNG) (est.Report, error) {
 	if len(t.Values) != a.P.D {
-		return fmt.Errorf("highdim: tuple has %d dims, protocol says %d", len(t.Values), a.P.D)
+		return est.Report{}, fmt.Errorf("highdim: tuple has %d dims, protocol says %d", len(t.Values), a.P.D)
 	}
 	dims := rng.SampleIndices(a.P.D, a.P.M, nil, nil)
 	rep := est.Report{Dims: make([]uint32, a.P.M), Values: make([]float64, a.P.M)}
@@ -41,7 +51,7 @@ func (a *Aggregator) Observe(t est.Tuple, rng *mathx.RNG) error {
 		rep.Dims[i] = uint32(j)
 		rep.Values[i] = a.P.Mech.Perturb(rng, t.Values[j], a.EpsFor(j))
 	}
-	return a.Add(rep)
+	return rep, nil
 }
 
 // Snapshot implements est.Estimator.
@@ -107,15 +117,25 @@ func (a *MDAggregator) Dims() int { return a.M.D }
 // Observe perturbs one raw tuple through the whole-tuple mechanism and
 // accumulates the release.
 func (a *MDAggregator) Observe(t est.Tuple, rng *mathx.RNG) error {
+	rep, err := a.MakeReport(t, rng)
+	if err != nil {
+		return err
+	}
+	return a.AddReport(rep)
+}
+
+// MakeReport implements est.Reporter: one whole-tuple release, detached
+// from accumulation.
+func (a *MDAggregator) MakeReport(t est.Tuple, rng *mathx.RNG) (est.Report, error) {
 	if len(t.Values) != a.M.D {
-		return fmt.Errorf("highdim: tuple has %d dims, duchi-md says %d", len(t.Values), a.M.D)
+		return est.Report{}, fmt.Errorf("highdim: tuple has %d dims, duchi-md says %d", len(t.Values), a.M.D)
 	}
 	for _, v := range t.Values {
 		if math.IsNaN(v) || v < -1 || v > 1 {
-			return fmt.Errorf("highdim: duchi-md value %v outside [−1, 1]", v)
+			return est.Report{}, fmt.Errorf("highdim: duchi-md value %v outside [−1, 1]", v)
 		}
 	}
-	return a.AddReport(est.Report{Values: a.M.PerturbTuple(rng, t.Values)})
+	return est.Report{Values: a.M.PerturbTuple(rng, t.Values)}, nil
 }
 
 // AddReport implements est.Estimator: a whole-tuple report has no Dims and
@@ -207,4 +227,6 @@ func (a *MDAggregator) Merge(s est.Snapshot) error {
 var (
 	_ est.Estimator = (*Aggregator)(nil)
 	_ est.Estimator = (*MDAggregator)(nil)
+	_ est.Reporter  = (*Aggregator)(nil)
+	_ est.Reporter  = (*MDAggregator)(nil)
 )

@@ -38,6 +38,13 @@ func WithFlushInterval(d time.Duration) BufferOption {
 	return func(b *BufferedClient) { b.interval = d }
 }
 
+// WithQueryName routes every shipped batch to the named query of a
+// multi-query collector (each BATCH frame is prefixed with a SELECT route
+// header). The default, "", targets the collector's default query.
+func WithQueryName(name string) BufferOption {
+	return func(b *BufferedClient) { b.query = name }
+}
+
 // BufferedClient batches report submission over one Client: Add buffers
 // reports and ships a BATCH frame whenever the buffer reaches the batch
 // size (or the flush interval elapses), pipelining up to a bounded number
@@ -52,6 +59,7 @@ type BufferedClient struct {
 	c        *Client
 	size     int
 	interval time.Duration
+	query    string
 
 	mu       sync.Mutex
 	buf      []est.Report
@@ -174,7 +182,7 @@ func (b *BufferedClient) shipLocked() {
 		}
 	}
 	b.c.mu.Lock()
-	n, err := b.c.sendBatchLocked(b.buf)
+	n, err := b.c.sendBatchLocked(b.query, b.buf)
 	b.c.mu.Unlock()
 	if err != nil {
 		b.err = err

@@ -85,16 +85,22 @@ func (c *Client) Send(rep est.Report) error {
 func (c *Client) SendBatch(reps []est.Report) (accepted int, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n, err := c.sendBatchLocked(reps)
+	n, err := c.sendBatchLocked("", reps)
 	if err != nil {
 		return 0, err
 	}
 	return c.readBatchAckLocked(n)
 }
 
-// sendBatchLocked writes one BATCH frame without reading the ack; the
-// caller holds c.mu. It returns len(reps) for ack bookkeeping.
-func (c *Client) sendBatchLocked(reps []est.Report) (int, error) {
+// sendBatchLocked writes one BATCH frame — prefixed with a SELECT route
+// header when query is non-empty — without reading the ack; the caller
+// holds c.mu. It returns len(reps) for ack bookkeeping.
+func (c *Client) sendBatchLocked(query string, reps []est.Report) (int, error) {
+	if query != "" {
+		if err := writeSelect(c.bw, query); err != nil {
+			return 0, err
+		}
+	}
 	if err := WriteBatch(c.bw, reps); err != nil {
 		return 0, err
 	}

@@ -37,6 +37,44 @@ func frameBody(t *testing.T, buf *bytes.Buffer, want byte) []byte {
 	return buf.Bytes()
 }
 
+// FuzzRoundTripQuerySpec: any bytes the query-spec decoder accepts must
+// re-encode to a frame that decodes to the same spec; hostile length
+// fields must be rejected cleanly.
+func FuzzRoundTripQuerySpec(f *testing.F) {
+	var seed bytes.Buffer
+	WriteOpenQuery(&seed, est.QuerySpec{
+		Name: "pets", Kind: est.KindFreq, Mech: "squarewave",
+		Eps: 0.4, Cards: []int{3, 4, 5}, M: 2,
+	})
+	f.Add(seed.Bytes()[1:])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0, 0, 0, 1, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := readQuerySpecBody(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteOpenQuery(&buf, spec); err != nil {
+			t.Fatalf("re-encode decoded spec: %v", err)
+		}
+		got, err := readQuerySpecBody(bytes.NewReader(frameBody(t, &buf, frameOpenQuery)))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if got.Name != spec.Name || got.Kind != spec.Kind || got.Mech != spec.Mech ||
+			math.Float64bits(got.Eps) != math.Float64bits(spec.Eps) ||
+			got.D != spec.D || got.M != spec.M || len(got.Cards) != len(spec.Cards) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, spec)
+		}
+		for i := range spec.Cards {
+			if got.Cards[i] != spec.Cards[i] {
+				t.Fatalf("cards mismatch: %v vs %v", got.Cards, spec.Cards)
+			}
+		}
+	})
+}
+
 // FuzzRoundTripReport: any bytes the pair-report decoder accepts must
 // re-encode to a frame that decodes to the same report; hostile length
 // fields must be rejected cleanly.

@@ -1,0 +1,238 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"github.com/hdr4me/hdr4me/internal/est"
+)
+
+// DialContext connects to a collector at addr under ctx: a cancelled or
+// expired context aborts the dial. The returned Client's exchanges are
+// not bound to ctx — use the *Context exchange variants for that.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// guard binds the connection to ctx for the duration of one exchange: the
+// context deadline becomes the connection deadline, and a cancellation
+// mid-exchange unblocks any pending read or write immediately. The
+// returned release func detaches the context and clears the deadline;
+// callers must invoke it before the next exchange. Caller holds c.mu.
+func (c *Client) guard(ctx context.Context) func() {
+	if ctx == nil {
+		return func() {}
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(dl)
+	}
+	done := make(chan struct{})
+	stop := context.AfterFunc(ctx, func() {
+		c.conn.SetDeadline(time.Unix(1, 0))
+		close(done)
+	})
+	return func() {
+		if !stop() {
+			// The cancel callback already started; wait for it so the
+			// clear below wins and cannot leave a poisoned deadline on
+			// this long-lived connection.
+			<-done
+		}
+		c.conn.SetDeadline(time.Time{})
+	}
+}
+
+// PullSnapshotContext is PullSnapshot bound to a context: the exchange
+// aborts when ctx expires or is cancelled, so an unresponsive collector
+// cannot hang the caller forever.
+func (c *Client) PullSnapshotContext(ctx context.Context) (est.Snapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.guard(ctx)()
+	if err := c.writeRequestLocked(frameSnapshot); err != nil {
+		return est.Snapshot{}, err
+	}
+	if err := c.readAck("collector cannot serve a snapshot"); err != nil {
+		return est.Snapshot{}, err
+	}
+	return readSnapshotBody(c.br)
+}
+
+// PushSnapshotContext is PushSnapshot bound to a context, exactly as
+// PullSnapshotContext.
+func (c *Client) PushSnapshotContext(ctx context.Context, s est.Snapshot) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.guard(ctx)()
+	if err := WriteMerge(c.bw, s); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	return c.readAck("collector rejected snapshot merge")
+}
+
+// Query is a client-side handle on one named query of a multi-query
+// collector. Every exchange it performs is prefixed with a SELECT route
+// header, so the same connection serves any number of queries
+// concurrently; the handle shares the Client's mutex, so handles and the
+// plain Client methods interleave safely.
+type Query struct {
+	c    *Client
+	name string
+}
+
+// Query returns a handle on the named query. No wire exchange happens
+// until the first method call, and the query need not exist yet.
+func (c *Client) Query(name string) *Query { return &Query{c: c, name: name} }
+
+// Open registers a new named query on the collector (the OPENQUERY frame)
+// and returns its handle. The collector validates the spec, charges its ε
+// against the per-user budget accountant, and builds the estimator; a
+// rejection (name taken, budget exceeded, bad spec) comes back as an
+// error carrying the collector's reason.
+func (c *Client) Open(spec est.QuerySpec) (*Query, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteOpenQuery(c.bw, spec); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(c.br, ack[:]); err != nil {
+		return nil, err
+	}
+	if ack[0] != ackOK {
+		msg, err := readString(c.br, maxErrLen)
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("transport: collector rejected query %q: %s", spec.Name, msg)
+	}
+	return &Query{c: c, name: spec.Name}, nil
+}
+
+// Name returns the query name this handle routes to.
+func (q *Query) Name() string { return q.name }
+
+// Send submits one report to the query and waits for the acknowledgement.
+func (q *Query) Send(rep est.Report) error {
+	c := q.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeSelect(c.bw, q.name); err != nil {
+		return err
+	}
+	if err := c.writeReport(rep); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	return c.readAck(fmt.Sprintf("query %q rejected report", q.name))
+}
+
+// SendBatch submits reps to the query as one routed BATCH frame and
+// returns how many the collector accepted, exactly as Client.SendBatch.
+func (q *Query) SendBatch(reps []est.Report) (accepted int, err error) {
+	c := q.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, err := c.sendBatchLocked(q.name, reps)
+	if err != nil {
+		return 0, err
+	}
+	return c.readBatchAckLocked(n)
+}
+
+// Estimate asks the collector for the query's current naive aggregation.
+func (q *Query) Estimate() ([]float64, error) {
+	return q.vector(frameEstimate)
+}
+
+// Counts asks the collector for the query's per-dimension report counts.
+func (q *Query) Counts() ([]int64, error) {
+	c := q.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := q.requestLocked(frameCounts); err != nil {
+		return nil, err
+	}
+	return readInts(c.br)
+}
+
+// Enhanced asks the collector for the query's HDR4ME re-calibrated
+// estimate.
+func (q *Query) Enhanced() ([]float64, error) {
+	return q.vector(frameEnhanced)
+}
+
+// PullSnapshot fetches the query's current estimator snapshot.
+func (q *Query) PullSnapshot() (est.Snapshot, error) {
+	c := q.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := q.requestLocked(frameSnapshot); err != nil {
+		return est.Snapshot{}, err
+	}
+	return readSnapshotBody(c.br)
+}
+
+// PushSnapshot ships a snapshot into the query, which folds it into its
+// estimator (same family and configuration required; sealed queries
+// reject merges).
+func (q *Query) PushSnapshot(s est.Snapshot) error {
+	c := q.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeSelect(c.bw, q.name); err != nil {
+		return err
+	}
+	if err := WriteMerge(c.bw, s); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	return c.readAck(fmt.Sprintf("query %q rejected snapshot merge", q.name))
+}
+
+// vector runs one routed status-prefixed vector exchange (ESTIMATE,
+// ENHANCED).
+func (q *Query) vector(frame byte) ([]float64, error) {
+	c := q.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := q.requestLocked(frame); err != nil {
+		return nil, err
+	}
+	return readFloats(c.br)
+}
+
+// requestLocked writes one routed payload-free request and reads the
+// leading status byte every routed query exchange carries. Caller holds
+// c.mu.
+func (q *Query) requestLocked(frame byte) error {
+	c := q.c
+	if err := writeSelect(c.bw, q.name); err != nil {
+		return err
+	}
+	if err := c.bw.WriteByte(frame); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	return c.readAck(fmt.Sprintf("collector cannot serve query %q", q.name))
+}

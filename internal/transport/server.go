@@ -25,16 +25,26 @@ const (
 )
 
 // Server is a TCP collector: it accepts report frames from any number of
-// concurrent client connections and feeds them into any est.Estimator —
-// the sampling-protocol mean aggregator, the whole-tuple aggregator and
-// the frequency reducer all speak the same wire shape. Beyond single
-// reports it serves BATCH frames (amortized ingestion) and the
-// SNAPSHOT/MERGE pair, so servers compose into shard trees over the wire.
+// concurrent client connections and routes them into the named queries of
+// an est.Registry — each query its own est.Estimator (the
+// sampling-protocol mean aggregator, the whole-tuple aggregator and the
+// frequency reducer all speak the same wire shape). Un-routed frames
+// resolve to the registry's default query, so a single-tenant server
+// (NewServer) is just a registry with one default entry and legacy
+// clients keep working. Beyond single reports it serves BATCH frames
+// (amortized ingestion), the SNAPSHOT/MERGE pair (shard-tree
+// composition), OPENQUERY (remote query registration) and SELECT-routed
+// exchanges against any named query.
 type Server struct {
+	// Est is the default query's estimator (nil for a registry server
+	// without a default query). Kept for single-tenant callers and tests;
+	// routing always goes through the registry.
 	Est est.Estimator
 
 	// Logf receives per-connection errors; defaults to log.Printf.
 	Logf func(format string, args ...any)
+
+	reg *est.Registry
 
 	wg   sync.WaitGroup
 	stop chan struct{}
@@ -45,15 +55,38 @@ type Server struct {
 	closed bool
 }
 
-// NewServer wraps an estimator in a collector server.
+// NewServer wraps a single estimator in a collector server: a registry
+// with e as its default query (no factory, no admission — the multi-query
+// surface needs NewRegistryServer).
 func NewServer(e est.Estimator) *Server {
-	return &Server{
-		Est:   e,
+	reg := est.NewRegistry(nil, nil)
+	if _, err := reg.Attach(est.QuerySpec{Name: est.DefaultName}, e); err != nil {
+		// Attach of a non-nil estimator under a fresh name cannot fail.
+		panic(fmt.Sprintf("transport: default query: %v", err))
+	}
+	srv := NewRegistryServer(reg)
+	srv.Est = e
+	return srv
+}
+
+// NewRegistryServer wraps a registry of named queries in a collector
+// server. Legacy un-routed frames resolve to the registry's default query
+// (est.DefaultName), if one is registered.
+func NewRegistryServer(reg *est.Registry) *Server {
+	srv := &Server{
 		Logf:  log.Printf,
+		reg:   reg,
 		stop:  make(chan struct{}),
 		conns: make(map[net.Conn]struct{}),
 	}
+	if d := reg.Default(); d != nil {
+		srv.Est = d.Estimator()
+	}
+	return srv
 }
+
+// Registry exposes the registry this server routes into.
+func (s *Server) Registry() *est.Registry { return s.reg }
 
 // Listen binds addr ("host:port"; use ":0" for an ephemeral port) and starts
 // serving in background goroutines. It returns the bound address.
@@ -164,9 +197,18 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
+// errNoQuery rejects every report of a batch routed to a missing query.
+var errNoQuery = errors.New("transport: no such query")
+
 // serveConn processes frames until the peer closes the connection. Both
 // directions are buffered; every reply is flushed before the next read so
 // a pipelining client (BufferedClient) sees acks promptly.
+//
+// Each iteration resolves a target query: the default one, or — when the
+// frame is a SELECT route header — the named one, for exactly the one
+// frame that follows. A resolution failure (unknown name, no default) is
+// answered with the inner frame's rejection status after its body has
+// been consumed, so one bad route never desyncs the connection.
 func (s *Server) serveConn(conn net.Conn) error {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
@@ -175,7 +217,44 @@ func (s *Server) serveConn(conn net.Conn) error {
 		if err != nil {
 			return err
 		}
+		routed := false
+		var q *est.Query
+		if ft == frameSelect {
+			name, err := readString(br, maxNameLen)
+			if err != nil {
+				return err
+			}
+			q = s.reg.Get(name)
+			routed = true
+			if ft, err = readFrameType(br); err != nil {
+				return err
+			}
+		} else {
+			q = s.reg.Default()
+		}
 		switch ft {
+		case frameOpenQuery:
+			if routed {
+				return fmt.Errorf("transport: OPENQUERY cannot be routed")
+			}
+			spec, err := readQuerySpecBody(br)
+			if err != nil {
+				return err
+			}
+			if _, oerr := s.reg.Open(spec); oerr != nil {
+				if err := bw.WriteByte(ackErr); err != nil {
+					return err
+				}
+				msg := oerr.Error()
+				if len(msg) > maxErrLen {
+					msg = msg[:maxErrLen]
+				}
+				if err := writeString(bw, msg, maxErrLen); err != nil {
+					return err
+				}
+			} else if err := bw.WriteByte(ackOK); err != nil {
+				return err
+			}
 		case frameReport, frameVecReport:
 			var rep est.Report
 			if ft == frameReport {
@@ -187,36 +266,69 @@ func (s *Server) serveConn(conn net.Conn) error {
 				return err
 			}
 			ack := byte(ackOK)
-			if err := s.Est.AddReport(rep); err != nil {
+			if q == nil || q.AddReport(rep) != nil {
 				ack = ackErr
 			}
 			if err := bw.WriteByte(ack); err != nil {
 				return err
 			}
 		case frameBatch:
-			accepted, err := readBatchBody(br, s.Est.AddReport)
+			sink := func(est.Report) error { return errNoQuery }
+			if q != nil {
+				sink = q.AddReport
+			}
+			accepted, err := readBatchBody(br, sink)
 			if err != nil {
 				return err
 			}
 			var reply [5]byte
 			reply[0] = ackOK
+			if q == nil {
+				reply[0] = ackErr
+			}
 			binary.BigEndian.PutUint32(reply[1:], accepted)
 			if _, err := bw.Write(reply[:]); err != nil {
 				return err
 			}
-		case frameEstimate:
-			if err := writeFloats(bw, s.Est.Estimate()); err != nil {
-				return err
+		case frameEstimate, frameCounts:
+			// The routed forms carry a status byte the legacy forms lack:
+			// a legacy client has nowhere to learn about a missing query,
+			// so an un-routed request without a default query kills the
+			// connection instead of desyncing it.
+			if routed {
+				ack := byte(ackOK)
+				if q == nil {
+					ack = ackErr
+				}
+				if err := bw.WriteByte(ack); err != nil {
+					return err
+				}
 			}
-		case frameCounts:
-			if err := writeInts(bw, s.Est.Counts()); err != nil {
+			if q == nil {
+				if !routed {
+					return fmt.Errorf("transport: no default query to serve frame 0x%02x", ft)
+				}
+				break
+			}
+			if ft == frameEstimate {
+				err = writeFloats(bw, q.Estimator().Estimate())
+			} else {
+				err = writeInts(bw, q.Estimator().Counts())
+			}
+			if err != nil {
 				return err
 			}
 		case frameSnapshot:
+			if q == nil {
+				if err := bw.WriteByte(ackErr); err != nil {
+					return err
+				}
+				break
+			}
 			if err := bw.WriteByte(ackOK); err != nil {
 				return err
 			}
-			if err := writeSnapshotBody(bw, s.Est.Snapshot()); err != nil {
+			if err := writeSnapshotBody(bw, q.Estimator().Snapshot()); err != nil {
 				return err
 			}
 		case frameMerge:
@@ -225,15 +337,18 @@ func (s *Server) serveConn(conn net.Conn) error {
 				return err
 			}
 			ack := byte(ackOK)
-			if err := s.Est.Merge(snap); err != nil {
+			if q == nil || q.Merge(snap) != nil {
 				ack = ackErr
 			}
 			if err := bw.WriteByte(ack); err != nil {
 				return err
 			}
 		case frameEnhanced:
-			en, ok := s.Est.(est.Enhancer)
-			if !ok {
+			var en est.Enhancer
+			if q != nil {
+				en, _ = q.Estimator().(est.Enhancer)
+			}
+			if en == nil {
 				if err := bw.WriteByte(ackErr); err != nil {
 					return err
 				}

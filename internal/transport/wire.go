@@ -23,6 +23,14 @@
 //	     follows with the serialized est.Snapshot of its estimator
 //	0x08 MERGE     a serialized est.Snapshot — the server folds it into
 //	     its estimator and replies a single status byte
+//	0x09 OPENQUERY a serialized est.QuerySpec — the server registers a new
+//	     named query (admission-checked against the privacy budget) and
+//	     replies a status byte; on 0xFF a length-prefixed error string
+//	     follows
+//	0x0A SELECT    uint32 name length + name bytes — a route header, not a
+//	     standalone exchange: it prefixes exactly one frame of types
+//	     0x01–0x08, and that frame's exchange executes against the named
+//	     query instead of the default one
 //
 // A report frame (0x01 or 0x05) is acknowledged with a single 0x00 byte
 // (ok) or 0xFF (rejected). Frames are small, so no additional length prefix
@@ -30,6 +38,16 @@
 // is up to the serving estimator family (see est.Report); the classic pair
 // frame 0x01 remains the compact encoding for the mean family where the
 // two lists pair up.
+//
+// Routing (the multi-query service). A collector hosts an est.Registry of
+// named queries; un-routed frames resolve to the query named
+// est.DefaultName, so legacy single-tenant clients keep working
+// unchanged. A SELECT-prefixed ESTIMATE or COUNTS exchange gains a
+// leading status byte before its vector reply (the un-routed forms have
+// nowhere to report an unknown query name; the routed forms do). All
+// other routed exchanges keep their legacy reply shapes — a routing
+// failure surfaces as the frame's ordinary rejection status, after the
+// server has consumed the frame body, so the connection stays usable.
 //
 // A serialized est.Snapshot is: uint32 kind length, kind bytes, uint32
 // dims, then the Cards, Sums and Counts vectors each as uint32 length +
@@ -63,10 +81,18 @@ const (
 	frameBatch     = 0x06
 	frameSnapshot  = 0x07
 	frameMerge     = 0x08
+	frameOpenQuery = 0x09
+	frameSelect    = 0x0A
 
 	ackOK  = 0x00
 	ackErr = 0xFF
 )
+
+// maxNameLen caps query names and other short strings on the wire.
+const maxNameLen = 128
+
+// maxErrLen caps the error string an OPENQUERY rejection carries.
+const maxErrLen = 1 << 10
 
 // maxPairs caps a report frame to guard the server against hostile or
 // corrupt length fields.
@@ -384,6 +410,137 @@ func writeInts(w io.Writer, xs []int64) error {
 	}
 	_, err := w.Write(buf)
 	return err
+}
+
+// writeString writes a uint32 length followed by the bytes of s.
+func writeString(w io.Writer, s string, max int) error {
+	if len(s) > max {
+		return fmt.Errorf("transport: string of %d bytes exceeds limit %d", len(s), max)
+	}
+	buf := make([]byte, 4+len(s))
+	binary.BigEndian.PutUint32(buf, uint32(len(s)))
+	copy(buf[4:], s)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readString reads a uint32 length followed by that many bytes, rejecting
+// lengths beyond max.
+func readString(r io.Reader, max int) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return "", err
+	}
+	if n > uint32(max) {
+		return "", fmt.Errorf("transport: string of %d bytes exceeds limit %d", n, max)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// writeSelect writes one SELECT route header (0x0A): the next frame on the
+// connection executes against the named query.
+func writeSelect(w io.Writer, name string) error {
+	if _, err := w.Write([]byte{frameSelect}); err != nil {
+		return err
+	}
+	return writeString(w, name, maxNameLen)
+}
+
+// writeQuerySpecBody serializes an est.QuerySpec: name, kind and mechanism
+// strings, the ε budget, d and m, then the cardinality vector.
+func writeQuerySpecBody(w io.Writer, spec est.QuerySpec) error {
+	if err := writeString(w, spec.Name, maxNameLen); err != nil {
+		return err
+	}
+	if err := writeString(w, spec.Kind, maxKindLen); err != nil {
+		return err
+	}
+	if err := writeString(w, spec.Mech, maxKindLen); err != nil {
+		return err
+	}
+	if spec.D < 0 || spec.D > maxPairs || spec.M < 0 || spec.M > maxPairs || len(spec.Cards) > maxPairs {
+		return fmt.Errorf("transport: query spec shape %d/%d/%d exceeds the wire limit of %d",
+			spec.D, spec.M, len(spec.Cards), maxPairs)
+	}
+	buf := make([]byte, 8+4+4+4+4*len(spec.Cards))
+	binary.BigEndian.PutUint64(buf, math.Float64bits(spec.Eps))
+	binary.BigEndian.PutUint32(buf[8:], uint32(spec.D))
+	binary.BigEndian.PutUint32(buf[12:], uint32(spec.M))
+	binary.BigEndian.PutUint32(buf[16:], uint32(len(spec.Cards)))
+	for i, c := range spec.Cards {
+		binary.BigEndian.PutUint32(buf[20+4*i:], uint32(c))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readQuerySpecBody deserializes an est.QuerySpec written by
+// writeQuerySpecBody, rejecting hostile length fields.
+func readQuerySpecBody(r io.Reader) (est.QuerySpec, error) {
+	var spec est.QuerySpec
+	var err error
+	if spec.Name, err = readString(r, maxNameLen); err != nil {
+		return spec, err
+	}
+	if spec.Kind, err = readString(r, maxKindLen); err != nil {
+		return spec, err
+	}
+	if spec.Mech, err = readString(r, maxKindLen); err != nil {
+		return spec, err
+	}
+	var fixed [16]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return spec, err
+	}
+	spec.Eps = math.Float64frombits(binary.BigEndian.Uint64(fixed[:8]))
+	d := binary.BigEndian.Uint32(fixed[8:12])
+	m := binary.BigEndian.Uint32(fixed[12:16])
+	if d > maxPairs || m > maxPairs {
+		return spec, fmt.Errorf("transport: query spec d=%d m=%d exceeds limit", d, m)
+	}
+	spec.D, spec.M = int(d), int(m)
+	var n uint32
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return spec, err
+	}
+	if n > maxPairs {
+		return spec, fmt.Errorf("transport: query spec with %d cards exceeds limit", n)
+	}
+	if n > 0 {
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return spec, err
+		}
+		spec.Cards = make([]int, n)
+		total := 0
+		for i := range spec.Cards {
+			c := binary.BigEndian.Uint32(buf[4*i:])
+			// The flattened entry space Σ cards is what the collector
+			// allocates; a hostile card value must not force that
+			// allocation past the same bound every report vector obeys.
+			if c > maxPairs {
+				return spec, fmt.Errorf("transport: query spec card %d exceeds limit", c)
+			}
+			if total += int(c); total > maxPairs {
+				return spec, fmt.Errorf("transport: query spec with %d total entries exceeds limit %d", total, maxPairs)
+			}
+			spec.Cards[i] = int(c)
+		}
+	}
+	return spec, nil
+}
+
+// WriteOpenQuery serializes one OPENQUERY frame (0x09): the spec of a new
+// named query for the receiving collector to register.
+func WriteOpenQuery(w io.Writer, spec est.QuerySpec) error {
+	if _, err := w.Write([]byte{frameOpenQuery}); err != nil {
+		return err
+	}
+	return writeQuerySpecBody(w, spec)
 }
 
 // readInts reads a uint32 length followed by that many int64s.

@@ -1,0 +1,358 @@
+package hdr4me
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMultiQueryCollectorAcceptance is the acceptance scenario of the
+// multi-query redesign: one CollectorServer hosts three concurrently-open
+// named queries of different kinds (mean, freq, whole-tuple) over a
+// single TCP port; interleaved batched reports route to all three and
+// each query's estimate matches its single-tenant baseline exactly; the
+// accountant rejects a query that would push the per-user spend past the
+// budget; and a legacy (un-routed) client still works against the
+// default query.
+func TestMultiQueryCollectorAcceptance(t *testing.T) {
+	specs := []QuerySpec{
+		{Name: "temps", Kind: KindMean, Mech: "piecewise", Eps: 0.8, D: 6},
+		{Name: "pets", Kind: KindFreq, Mech: "squarewave", Eps: 0.6, Cards: []int{3, 4}, M: 2},
+		{Name: "vitals", Kind: KindWholeTuple, Eps: 0.5, D: 4},
+	}
+
+	acct, err := NewAccountant(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewQueryRegistry(acct)
+	for _, spec := range specs {
+		if _, err := reg.Open(spec); err != nil {
+			t.Fatalf("open %q: %v", spec.Name, err)
+		}
+	}
+	// A default query for legacy clients: ε=0.1 lands the spend exactly on
+	// the 2.0 ceiling (0.8+0.6+0.5+0.1), which must still be admitted.
+	defSpec := QuerySpec{Name: DefaultQueryName, Kind: KindMean, Mech: "piecewise", Eps: 0.1, D: 3}
+	if _, err := reg.Open(defSpec); err != nil {
+		t.Fatalf("open default query: %v", err)
+	}
+	if got := acct.Spent(); got < 1.999 || got > 2.001 {
+		t.Fatalf("spent = %g, want 2.0", got)
+	}
+
+	srv := NewRegistryServer(reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Per-query deterministic workloads: one perturber session per query
+	// produces the reports; identical copies feed a single-tenant baseline
+	// estimator, so the served estimate must match it bit for bit.
+	const users = 400
+	reports := make([][]Report, len(specs))
+	baselines := make([]Estimator, len(specs))
+	for i, spec := range specs {
+		perturber, err := NewFromSpec(spec, WithSeed(uint64(100+i)))
+		if err != nil {
+			t.Fatalf("perturber %q: %v", spec.Name, err)
+		}
+		baseline, err := NewFromSpec(spec)
+		if err != nil {
+			t.Fatalf("baseline %q: %v", spec.Name, err)
+		}
+		baselines[i] = baseline.Estimator()
+		switch spec.Kind {
+		case KindFreq:
+			cds := NewZipfCatDataset(users, spec.Cards, 1.1, uint64(7+i))
+			cats := make([]int, len(spec.Cards))
+			for u := 0; u < users; u++ {
+				for j := range cats {
+					cats[j] = cds.Value(u, j)
+				}
+				rep, err := perturber.Report(Tuple{Cats: cats})
+				if err != nil {
+					t.Fatal(err)
+				}
+				reports[i] = append(reports[i], rep)
+			}
+		default:
+			ds := NewGaussianDataset(users, spec.D, uint64(7+i))
+			row := make([]float64, spec.D)
+			for u := 0; u < users; u++ {
+				ds.Row(u, row)
+				rep, err := perturber.Report(Tuple{Values: row})
+				if err != nil {
+					t.Fatal(err)
+				}
+				reports[i] = append(reports[i], rep)
+			}
+		}
+		for _, rep := range reports[i] {
+			if err := baselines[i].AddReport(rep); err != nil {
+				t.Fatalf("baseline %q: %v", spec.Name, err)
+			}
+		}
+	}
+
+	// One shared connection, three goroutines, interleaved routed batches.
+	cl, err := DialCollector(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			q := cl.Query(name)
+			const chunk = 25
+			for off := 0; off < len(reports[i]); off += chunk {
+				end := min(off+chunk, len(reports[i]))
+				acc, err := q.SendBatch(reports[i][off:end])
+				if err != nil {
+					t.Errorf("query %q: %v", name, err)
+					return
+				}
+				if acc != end-off {
+					t.Errorf("query %q: accepted %d of %d", name, acc, end-off)
+					return
+				}
+			}
+		}(i, spec.Name)
+	}
+	wg.Wait()
+
+	for i, spec := range specs {
+		got, err := cl.Query(spec.Name).Estimate()
+		if err != nil {
+			t.Fatalf("estimate %q: %v", spec.Name, err)
+		}
+		want := baselines[i].Estimate()
+		if len(got) != len(want) {
+			t.Fatalf("query %q: estimate length %d, want %d", spec.Name, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("query %q dim %d: served %v != single-tenant baseline %v",
+					spec.Name, j, got[j], want[j])
+			}
+		}
+	}
+
+	// The accountant rejects the query that would exceed the budget — over
+	// the wire, with the reason intact.
+	if _, err := cl.Open(QuerySpec{Name: "extra", Kind: KindMean, Mech: "piecewise", Eps: 0.2, D: 2}); err == nil ||
+		!strings.Contains(err.Error(), "budget") {
+		t.Fatalf("over-budget Open = %v, want budget rejection", err)
+	}
+
+	// Legacy client: no routing frames at all, lands in the default query.
+	legacy, err := DialCollector(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	defPerturber, err := NewFromSpec(defSpec, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := defPerturber.Report(Tuple{Values: []float64{0.1, -0.2, 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Send(rep); err != nil {
+		t.Fatalf("legacy send: %v", err)
+	}
+	counts, err := legacy.Counts()
+	if err != nil {
+		t.Fatalf("legacy counts: %v", err)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("legacy report did not land in the default query")
+	}
+	if _, err := legacy.Estimate(); err != nil {
+		t.Fatalf("legacy estimate: %v", err)
+	}
+	// The named queries were untouched by the legacy traffic.
+	for i, spec := range specs {
+		c, err := cl.Query(spec.Name).Counts()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got int64
+		for _, v := range c {
+			got += v
+		}
+		var want int64
+		for _, v := range baselines[i].Counts() {
+			want += v
+		}
+		if got != want {
+			t.Fatalf("query %q: counts changed after legacy traffic: %d != %d", spec.Name, got, want)
+		}
+	}
+}
+
+func TestSessionFreqsErrors(t *testing.T) {
+	fs, err := New(WithMechanism(SquareWave()), WithBudget(1), WithCards([]int{3, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong flattened length: total entries are 3+4=7.
+	if _, err := fs.Freqs(make([]float64, 5)); err == nil ||
+		!strings.Contains(err.Error(), "7") {
+		t.Fatalf("Freqs with wrong length = %v, want length error naming 7", err)
+	}
+	if _, err := fs.Freqs(nil); err == nil {
+		t.Fatal("Freqs(nil) succeeded")
+	}
+	out, err := fs.Freqs(make([]float64, 7))
+	if err != nil {
+		t.Fatalf("Freqs with the right length: %v", err)
+	}
+	if len(out) != 2 || len(out[0]) != 3 || len(out[1]) != 4 {
+		t.Fatalf("Freqs shape = %v", out)
+	}
+
+	// Non-frequency estimator kinds reject Freqs outright.
+	ms, err := New(WithMechanism(Piecewise()), WithBudget(1), WithDims(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.Freqs(make([]float64, 4)); err == nil ||
+		!strings.Contains(err.Error(), "frequency") {
+		t.Fatalf("Freqs on mean session = %v, want frequency-family error", err)
+	}
+	ws, err := New(WithWholeTuple(), WithBudget(1), WithDims(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.Freqs(make([]float64, 4)); err == nil {
+		t.Fatal("Freqs on whole-tuple session succeeded")
+	}
+}
+
+func TestParseQuerySpec(t *testing.T) {
+	spec, err := ParseQuerySpec("temps,kind=mean,mech=piecewise,eps=0.8,d=16,m=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "temps" || spec.Kind != KindMean || spec.Mech != "piecewise" ||
+		spec.Eps != 0.8 || spec.D != 16 || spec.M != 8 {
+		t.Fatalf("parsed %+v", spec)
+	}
+	spec, err = ParseQuerySpec("pets,mech=squarewave,eps=0.4,cards=3x4x5,m=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kind != KindFreq || len(spec.Cards) != 3 || spec.Cards[2] != 5 || spec.M != 2 {
+		t.Fatalf("parsed %+v", spec)
+	}
+	spec, err = ParseQuerySpec("vitals,kind=wholetuple,eps=0.5,d=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kind != KindWholeTuple || spec.M != 4 {
+		t.Fatalf("parsed %+v", spec)
+	}
+	for _, bad := range []string{
+		"",                          // empty
+		"kind=mean,eps=1,d=2",       // no name (first token is a pair)
+		"x,nonsense",                // not k=v
+		"x,flavor=spicy,eps=1,d=2",  // unknown key
+		"x,eps=abc,d=2",             // bad float
+		"x,eps=1,d=2,cards=3xtwo",   // bad card
+		"x,kind=mean,eps=1",         // d missing
+		"x,kind=freq,mech=a,eps=1",  // cards missing
+		"x,kind=mean,eps=-1,d=2",    // negative budget
+		"x,kind=weird,eps=1,d=2",    // unknown kind
+	} {
+		if _, err := ParseQuerySpec(bad); err == nil {
+			t.Errorf("ParseQuerySpec(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestSessionSpecRoundTrip(t *testing.T) {
+	// A session built from a spec reports an equivalent spec back, for all
+	// three families.
+	for _, spec := range []QuerySpec{
+		{Name: "a", Kind: KindMean, Mech: "piecewise", Eps: 0.8, D: 6, M: 3},
+		{Name: "b", Kind: KindFreq, Mech: "squarewave", Eps: 0.5, Cards: []int{3, 4}, M: 1},
+		{Name: "c", Kind: KindWholeTuple, Eps: 0.4, D: 4},
+	} {
+		s, err := NewFromSpec(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		got, err := s.Spec()
+		if err != nil {
+			t.Fatalf("%s: Spec: %v", spec.Name, err)
+		}
+		want := spec.Normalize()
+		if got.Kind != want.Kind || got.Eps != want.Eps || got.M != want.M ||
+			len(got.Cards) != len(want.Cards) {
+			t.Fatalf("%s: round trip %+v != %+v", spec.Name, got, want)
+		}
+		if want.Kind != KindFreq && got.D != want.D {
+			t.Fatalf("%s: d %d != %d", spec.Name, got.D, want.D)
+		}
+		if s.Kind() != want.Kind {
+			t.Fatalf("%s: session kind %s", spec.Name, s.Kind())
+		}
+	}
+	// Bad specs are rejected at construction.
+	if _, err := NewFromSpec(QuerySpec{Kind: KindMean, Mech: "nope", Eps: 1, D: 2}); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+	if _, err := NewFromSpec(QuerySpec{Kind: KindMean, Mech: "piecewise", Eps: 0, D: 2}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	// Configurations a spec cannot express must error, not silently build
+	// a collector with the wrong budgets.
+	alloc, err := OptimalMSEAllocation(1.0, []float64{1, 2, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := New(WithMechanism(Piecewise()), WithBudget(1), WithDims(3, 3), WithAllocation(alloc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Spec(); err == nil || !strings.Contains(err.Error(), "allocation") {
+		t.Fatalf("Spec of allocated session = %v, want allocation error", err)
+	}
+}
+
+func TestAccountant(t *testing.T) {
+	if _, err := NewAccountant(0); err == nil {
+		t.Fatal("zero total accepted")
+	}
+	a, err := NewAccountant(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Admit(QuerySpec{Name: "a", Eps: 0.6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Admit(QuerySpec{Name: "b", Eps: 0.5}); err == nil {
+		t.Fatal("over-budget admit succeeded")
+	}
+	if err := a.Admit(QuerySpec{Name: "c", Eps: 0.4}); err != nil {
+		t.Fatalf("exact-fit admit failed: %v", err)
+	}
+	if got := a.Remaining(); got > 1e-9 || got < -1e-9 {
+		t.Fatalf("remaining = %g, want ~0", got)
+	}
+	a.Release(QuerySpec{Name: "c", Eps: 0.4})
+	if got := a.Spent(); got < 0.599 || got > 0.601 {
+		t.Fatalf("spent after release = %g, want 0.6", got)
+	}
+}

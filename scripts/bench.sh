@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Runs the transport benchmarks and emits BENCH_transport.json, a
+# machine-readable record of the perf trajectory (one object per
+# benchmark: iterations, ns/op, B/op, allocs/op). BENCHTIME controls the
+# go test -benchtime value (default 1x: a smoke run; use e.g. 2s for
+# stable numbers). OUT overrides the output path.
+set -eu
+
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${OUT:-BENCH_transport.json}"
+PKG="${PKG:-./internal/transport/}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" "$PKG" | tee "$raw"
+
+goos="$(go env GOOS)"
+goarch="$(go env GOARCH)"
+goversion="$(go env GOVERSION)"
+
+awk -v goos="$goos" -v goarch="$goarch" -v goversion="$goversion" -v benchtime="$BENCHTIME" '
+BEGIN {
+    printf "{\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"goversion\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", goos, goarch, goversion, benchtime
+    n = 0
+}
+/^Benchmark/ {
+    name = $1
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    rps = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "reports/s") rps = $i
+    }
+    if (n++) printf ","
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s", name, iters
+    if (ns != "")     printf ", \"ns_per_op\": %s", ns
+    if (rps != "")    printf ", \"reports_per_s\": %s", rps
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n  ]\n}" }
+' "$raw" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"

@@ -211,7 +211,13 @@ func New(opts ...Option) (*Session, error) {
 // lock-free and Merge at the end — the same composition path distributed
 // collectors use.
 func (s *Session) newEstimator() (Estimator, error) {
-	c := &s.cfg
+	return buildEstimator(&s.cfg)
+}
+
+// buildEstimator is the family-construction core shared by Session and
+// the query-registry factory: one resolved configuration in, one fresh
+// estimator out.
+func buildEstimator(c *sessionConfig) (Estimator, error) {
 	switch {
 	case c.custom != nil:
 		return c.custom, nil
@@ -288,6 +294,24 @@ func (s *Session) Observe(t Tuple) error {
 	return s.est.Observe(t, rng)
 }
 
+// Report perturbs one raw tuple with the session's randomness and returns
+// the wire-ready report WITHOUT accumulating it — the user-device half of
+// a remote pipeline. Build the session from the collector's QuerySpec
+// (NewFromSpec) and ship the reports over a CollectorClient; the
+// collector's identically-spec'd estimator aggregates them. Safe for
+// concurrent use, exactly as Observe.
+func (s *Session) Report(t Tuple) (Report, error) {
+	rp, ok := s.est.(est.Reporter)
+	if !ok {
+		return Report{}, fmt.Errorf("hdr4me: %s estimator cannot produce detached reports", s.est.Kind())
+	}
+	s.mu.Lock()
+	rng := s.rng.Child(obsStream).Child(s.obs)
+	s.obs++
+	s.mu.Unlock()
+	return rp.MakeReport(t, rng)
+}
+
 // Substream namespaces, so Observe and Run never share a child stream.
 const (
 	obsStream = 0x0b5e0000
@@ -341,25 +365,41 @@ func (s *Session) Merge(snap Snapshot) error { return s.est.Merge(snap) }
 // PushSnapshot ships this session's snapshot to a parent collector server
 // at addr over the MERGE wire frame: the leaf-to-root direction of a shard
 // tree. The parent folds it in associatively; no reports are replayed.
+// The exchange is unbounded in time; use PushSnapshotContext against
+// peers that may hang.
 func (s *Session) PushSnapshot(addr string) error {
-	cl, err := transport.Dial(addr)
+	return s.PushSnapshotContext(context.Background(), addr)
+}
+
+// PushSnapshotContext is PushSnapshot bound to a context: both the dial
+// and the snapshot exchange abort when ctx expires or is cancelled, so an
+// unresponsive parent collector cannot hang the shard forever.
+func (s *Session) PushSnapshotContext(ctx context.Context, addr string) error {
+	cl, err := transport.DialContext(ctx, addr)
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
-	return cl.PushSnapshot(s.Snapshot())
+	return cl.PushSnapshotContext(ctx, s.Snapshot())
 }
 
 // PullSnapshot fetches a leaf collector server's snapshot from addr over
 // the SNAPSHOT wire frame and folds it into this session: the root-driven
-// direction of a shard tree.
+// direction of a shard tree. The exchange is unbounded in time; use
+// PullSnapshotContext against peers that may hang.
 func (s *Session) PullSnapshot(addr string) error {
-	cl, err := transport.Dial(addr)
+	return s.PullSnapshotContext(context.Background(), addr)
+}
+
+// PullSnapshotContext is PullSnapshot bound to a context, exactly as
+// PushSnapshotContext.
+func (s *Session) PullSnapshotContext(ctx context.Context, addr string) error {
+	cl, err := transport.DialContext(ctx, addr)
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
-	snap, err := cl.PullSnapshot()
+	snap, err := cl.PullSnapshotContext(ctx)
 	if err != nil {
 		return err
 	}
