@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same targets.
 
-.PHONY: build test race bench
+.PHONY: build test race bench benchdiff
 
 build:
 	go build ./...
@@ -11,8 +11,16 @@ test:
 race:
 	go test -race ./...
 
-# bench runs the transport benchmarks and emits BENCH_transport.json, the
-# machine-readable perf trajectory. BENCHTIME=1x (default) is a smoke
-# run; use BENCHTIME=2s for stable numbers.
+# bench runs both transport benchmark suites and emits the
+# machine-readable perf trajectories: BENCH_transport.json (client-side
+# submission paths, BENCHTIME=1x smoke by default) and BENCH_ingest.json
+# (collector-side multi-connection ingest with -benchmem,
+# INGEST_BENCHTIME=1s by default; use 2s for stable numbers).
 bench:
 	sh scripts/bench.sh
+
+# benchdiff compares the fresh BENCH_ingest.json against the committed
+# baseline and prints warning annotations on >20% reports/s regressions
+# (non-blocking: exit status is always 0).
+benchdiff:
+	sh scripts/benchdiff.sh

@@ -24,6 +24,13 @@
 //	  -query temps,kind=mean,mech=piecewise,eps=0.8,d=16 \
 //	  -query vitals,kind=wholetuple,eps=0.6,d=4 \
 //	  -query pets,kind=freq,mech=squarewave,eps=0.5,cards=3x4x5,m=2
+//
+// With -pprof addr a net/http/pprof listener comes up on a side port, so
+// ingest contention (stripe mutexes) and decode allocations are
+// observable in deployments:
+//
+//	ldpcollect -users 0 -pprof localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/mutex
 package main
 
 import (
@@ -32,7 +39,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // -pprof side listener
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -72,6 +82,9 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "collector listen address")
 	mergeInto := flag.String("merge-into", "", "parent collector address to fold this shard's snapshot into")
 	seed := flag.Uint64("seed", 1, "random seed")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof on this side listener (e.g. localhost:6060; empty = off) "+
+			"to observe ingest contention and allocation in a live collector")
 	totalEps := flag.Float64("total-eps", 0, "total per-user privacy budget across all queries (0 = unaccounted)")
 	var queries querySpecs
 	flag.Var(&queries, "query",
@@ -101,6 +114,21 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// Observability side listener: pprof profiles (mutex contention on the
+	// ingest stripes, allocation in the decode path) without exposing the
+	// debug surface on the collector port. Mutex profiling is off by
+	// default in the runtime; sample 1-in-10 contention events so
+	// /debug/pprof/mutex actually shows the stripe locks.
+	if *pprofAddr != "" {
+		runtime.SetMutexProfileFraction(10)
+		go func() {
+			log.Printf("ldpcollect: pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("ldpcollect: pprof: %v", err)
+			}
+		}()
+	}
 
 	if len(queries) > 0 {
 		multiQuery(ctx, queries, *addr, *users, *batch, *totalEps, *seed)

@@ -88,6 +88,71 @@ type Estimator interface {
 	Merge(s Snapshot) error
 }
 
+// BatchAdder is implemented by estimators whose accumulation lock can be
+// amortized over a whole batch: AddReports validates and accumulates each
+// report under one lock acquisition, skipping (not aborting on) malformed
+// ones. accepted is how many landed; err carries the first per-report
+// rejection for diagnostics and is nil when everything landed. Partial
+// success is therefore expressed by accepted < len(reps), not by err —
+// callers that treat any non-nil err as total failure must check accepted
+// first. All three built-in families implement BatchAdder.
+type BatchAdder interface {
+	AddReports(reps []Report) (accepted int, err error)
+}
+
+// Lane is a stripe-bound ingest handle: every report added through one
+// Lane accumulates under the same stripe lock, in arrival order, so a
+// single caller's stream keeps the serial path's exact floating-point
+// association while independent lanes never contend. AddReports shares
+// BatchAdder's skip-don't-abort contract.
+type Lane interface {
+	AddReport(rep Report) error
+	AddReports(reps []Report) (accepted int, err error)
+}
+
+// LaneProvider is implemented by estimators with lock-striped
+// accumulation: AcquireLane binds the caller to one stripe (round-robin)
+// for the lifetime of the handle. Long-lived ingest loops — a collector
+// connection, a Run worker — acquire once and reuse the lane.
+type LaneProvider interface {
+	AcquireLane() Lane
+}
+
+// AddReports batch-adds into any estimator: through its BatchAdder fast
+// path when implemented, one AddReport at a time otherwise. The return
+// contract is BatchAdder's.
+func AddReports(e Estimator, reps []Report) (accepted int, err error) {
+	if ba, ok := e.(BatchAdder); ok {
+		return ba.AddReports(reps)
+	}
+	for _, rep := range reps {
+		if aerr := e.AddReport(rep); aerr != nil {
+			if err == nil {
+				err = aerr
+			}
+			continue
+		}
+		accepted++
+	}
+	return accepted, err
+}
+
+// AcquireLane returns an ingest lane for e: a striped lane when the
+// estimator provides them, a pass-through adapter otherwise.
+func AcquireLane(e Estimator) Lane {
+	if lp, ok := e.(LaneProvider); ok {
+		return lp.AcquireLane()
+	}
+	return passLane{e}
+}
+
+// passLane adapts a non-striped estimator to the Lane surface.
+type passLane struct{ e Estimator }
+
+func (l passLane) AddReport(rep Report) error { return l.e.AddReport(rep) }
+
+func (l passLane) AddReports(reps []Report) (int, error) { return AddReports(l.e, reps) }
+
 // Reporter is implemented by estimators whose user-side perturbation can
 // run detached from accumulation: MakeReport perturbs one raw tuple into
 // the wire-ready report Observe would have accumulated, without touching

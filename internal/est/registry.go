@@ -86,6 +86,45 @@ func (q *Query) AddReport(rep Report) error {
 	return q.est.AddReport(rep)
 }
 
+// AddReports accumulates a batch of reports with one lifecycle check and
+// (for BatchAdder estimators) one accumulation-lock acquisition for the
+// whole batch. The return contract is BatchAdder's: rejected reports are
+// skipped and counted out of accepted, err carries the first rejection.
+func (q *Query) AddReports(reps []Report) (int, error) {
+	if st := q.State(); st != StateOpen {
+		return 0, fmt.Errorf("est: query %q is %s, not accepting reports", q.spec.Name, st)
+	}
+	return AddReports(q.est, reps)
+}
+
+// AcquireLane binds the caller to one accumulation stripe of the query's
+// estimator (round-robin; a pass-through for non-striped estimators).
+// The returned lane re-checks the query lifecycle on every call, so
+// sealing still takes effect immediately on connections holding lanes.
+func (q *Query) AcquireLane() Lane {
+	return queryLane{q: q, lane: AcquireLane(q.est)}
+}
+
+// queryLane gates a stripe-bound lane behind the query lifecycle.
+type queryLane struct {
+	q    *Query
+	lane Lane
+}
+
+func (l queryLane) AddReport(rep Report) error {
+	if st := l.q.State(); st != StateOpen {
+		return fmt.Errorf("est: query %q is %s, not accepting reports", l.q.spec.Name, st)
+	}
+	return l.lane.AddReport(rep)
+}
+
+func (l queryLane) AddReports(reps []Report) (int, error) {
+	if st := l.q.State(); st != StateOpen {
+		return 0, fmt.Errorf("est: query %q is %s, not accepting reports", l.q.spec.Name, st)
+	}
+	return l.lane.AddReports(reps)
+}
+
 // Merge folds a peer snapshot in, rejecting it unless the query is open.
 func (q *Query) Merge(s Snapshot) error {
 	if st := q.State(); st != StateOpen {

@@ -1,0 +1,163 @@
+// Lock-striped accumulation: the ingest hot path shared by every
+// estimator family. A Stripes value banks N independent accumulation
+// lanes (Kahan-compensated sums plus report counts), each behind its own
+// mutex, so independent callers — one collector connection, one Run
+// worker — accumulate without contending on a single global lock. Reads
+// (Snapshot/Estimate/Counts) fold the stripes on demand under every
+// stripe lock at once, in a fixed order, so a fold is an atomic
+// point-in-time view and the floating-point association of the folded
+// sum is deterministic for a fixed sequence of stripe assignments.
+//
+// Exactness contract: a caller that only ever touches one stripe (the
+// serial AddReport path pins stripe 0; a Lane pins its acquired stripe)
+// folds to the bitwise-identical sums the pre-striping single-mutex
+// accumulator produced, because untouched stripes contribute exact
+// floating-point zeros. Multi-stripe ingest differs from the serial
+// association only by the fold's final cross-stripe additions of
+// compensated partials — a few ULPs — while counts stay exact.
+package est
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/hdr4me/hdr4me/internal/mathx"
+)
+
+// DefaultStripeCount is the stripe count every family banks by default.
+// It is a fixed constant — not GOMAXPROCS — so stripe assignment and
+// fold order (and therefore the exact floating-point result of a fold)
+// do not depend on the machine running the collector. Stripes allocate
+// their lanes lazily, so unused stripes cost one mutex each.
+const DefaultStripeCount = 16
+
+// Stripes is a lock-striped bank of accumulation lanes: nsums
+// Kahan-compensated sum lanes and ncounts int64 count lanes per stripe,
+// plus one merge-only base lane that peer snapshots fold into. All
+// methods are safe for concurrent use.
+type Stripes struct {
+	nsums   int
+	ncounts int
+	next    atomic.Uint32
+	base    stripe // merge lane: folded first, never report-striped
+	lanes   []stripe
+}
+
+// stripe is one lock-striped lane set; sums stays nil until the stripe
+// is first locked, so idle stripes cost no memory.
+type stripe struct {
+	mu     sync.Mutex
+	sums   []mathx.KahanSum
+	counts []int64
+}
+
+// NewStripes returns a bank of n stripes (n < 1 selects
+// DefaultStripeCount) with nsums sum lanes and ncounts count lanes each.
+func NewStripes(n, nsums, ncounts int) *Stripes {
+	if n < 1 {
+		n = DefaultStripeCount
+	}
+	return &Stripes{nsums: nsums, ncounts: ncounts, lanes: make([]stripe, n)}
+}
+
+// Count returns the number of stripes.
+func (s *Stripes) Count() int { return len(s.lanes) }
+
+// Acquire returns the next stripe index round-robin. Long-lived callers
+// (one connection, one worker) acquire once and keep the index: all
+// their reports then accumulate under one stripe lock, in arrival order,
+// preserving the serial path's exact floating-point association.
+func (s *Stripes) Acquire() int {
+	return int((s.next.Add(1) - 1) % uint32(len(s.lanes)))
+}
+
+// Locked runs fn with stripe i held, allocating its lanes on first use.
+func (s *Stripes) Locked(i int, fn func(sums []mathx.KahanSum, counts []int64)) {
+	s.locked(&s.lanes[i], fn)
+}
+
+// LockedBase runs fn with the merge lane held. Merges are kept out of
+// the report stripes so a shard fold never perturbs the association of
+// any connection's report stream.
+func (s *Stripes) LockedBase(fn func(sums []mathx.KahanSum, counts []int64)) {
+	s.locked(&s.base, fn)
+}
+
+func (s *Stripes) locked(st *stripe, fn func([]mathx.KahanSum, []int64)) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.sums == nil {
+		st.sums = make([]mathx.KahanSum, s.nsums)
+		st.counts = make([]int64, s.ncounts)
+	}
+	fn(st.sums, st.counts)
+}
+
+// Fold returns a point-in-time copy of the accumulated state. It holds
+// the merge lane and every stripe lock simultaneously, so the fold is
+// atomic exactly as the old single-mutex Snapshot was. Fold order is
+// fixed — base first, then stripes by ascending index — and each lane
+// contributes its compensated value with one plain addition, so folding
+// is deterministic for a fixed ingest history and untouched stripes
+// leave the folded value bitwise unchanged.
+func (s *Stripes) Fold() (sums []float64, counts []int64) {
+	s.lockAll()
+	defer s.unlockAll()
+	sums = make([]float64, s.nsums)
+	counts = make([]int64, s.ncounts)
+	s.foldInto(sums, counts)
+	return sums, counts
+}
+
+// FoldCounts folds only the count lanes — the Counts() fast path, which
+// skips materializing the (possibly much wider) sum vector.
+func (s *Stripes) FoldCounts() []int64 {
+	s.lockAll()
+	defer s.unlockAll()
+	counts := make([]int64, s.ncounts)
+	fold := func(st *stripe) {
+		for j, c := range st.counts {
+			counts[j] += c
+		}
+	}
+	fold(&s.base)
+	for i := range s.lanes {
+		fold(&s.lanes[i])
+	}
+	return counts
+}
+
+// foldInto adds every lane into sums/counts; the caller holds all locks.
+func (s *Stripes) foldInto(sums []float64, counts []int64) {
+	fold := func(st *stripe) {
+		if st.sums == nil {
+			return
+		}
+		for j := range st.sums {
+			sums[j] += st.sums[j].Value()
+		}
+		for j, c := range st.counts {
+			counts[j] += c
+		}
+	}
+	fold(&s.base)
+	for i := range s.lanes {
+		fold(&s.lanes[i])
+	}
+}
+
+// lockAll acquires the merge lane and every stripe in ascending order
+// (the fixed order that makes concurrent folds deadlock-free).
+func (s *Stripes) lockAll() {
+	s.base.mu.Lock()
+	for i := range s.lanes {
+		s.lanes[i].mu.Lock()
+	}
+}
+
+func (s *Stripes) unlockAll() {
+	for i := len(s.lanes) - 1; i >= 0; i-- {
+		s.lanes[i].mu.Unlock()
+	}
+	s.base.mu.Unlock()
+}

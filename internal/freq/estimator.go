@@ -21,25 +21,17 @@ type Flat struct {
 	*Aggregator
 	// Cfg parameterizes the HDR4ME re-calibration served by Enhanced.
 	Cfg recal.Config
-
-	offsets []int
-	total   int
 }
 
 // NewFlat returns an empty frequency collector speaking the unified
 // estimator interface. cfg parameterizes Enhanced (RegNone passes the
-// naive estimate through).
+// naive estimate through). The flattened entry layout (offsets, total)
+// lives on the embedded Aggregator, whose accumulation is lock-striped.
 func NewFlat(p Protocol, cfg recal.Config) (*Flat, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	f := &Flat{Aggregator: NewAggregator(p), Cfg: cfg}
-	f.offsets = make([]int, len(p.Cards))
-	for j, v := range p.Cards {
-		f.offsets[j] = f.total
-		f.total += v
-	}
-	return f, nil
+	return &Flat{Aggregator: NewAggregator(p), Cfg: cfg}, nil
 }
 
 // Kind implements est.Estimator.
@@ -91,11 +83,10 @@ func (f *Flat) MakeReport(t est.Tuple, rng *mathx.RNG) (est.Report, error) {
 	return rep, nil
 }
 
-// AddReport implements est.Estimator. A frequency report lists the sampled
-// dimensions in Dims (strictly increasing, at most m of them — one user's
-// sample) and concatenates each dimension's perturbed one-hot vector
-// (card(j) released-frame values) in Values, in the same order.
-func (f *Flat) AddReport(rep est.Report) error {
+// validate checks one frequency report: at most m strictly increasing
+// in-range dimensions, a value vector of exactly Σ card(j) finite
+// released-frame entries over the sampled dims.
+func (f *Flat) validate(rep est.Report) error {
 	p := f.Aggregator.P
 	if len(rep.Dims) > p.M {
 		return fmt.Errorf("freq: report carries %d dims, protocol allows m=%d", len(rep.Dims), p.M)
@@ -118,19 +109,76 @@ func (f *Flat) AddReport(rep est.Report) error {
 			return fmt.Errorf("freq: report value %v not finite", v)
 		}
 	}
-	a := f.Aggregator
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	off := 0
-	for _, j := range rep.Dims {
-		for k := 0; k < p.Cards[j]; k++ {
-			a.sums[j][k].Add(rep.Values[off+k])
-		}
-		a.counts[j]++
-		off += p.Cards[j]
-	}
 	return nil
 }
+
+// accumulate folds one validated report into the given lanes; the caller
+// holds the stripe lock.
+func (f *Flat) accumulate(sums []mathx.KahanSum, counts []int64, rep est.Report) {
+	p := f.Aggregator.P
+	off := 0
+	for _, j := range rep.Dims {
+		base := f.offsets[j]
+		for k := 0; k < p.Cards[j]; k++ {
+			sums[base+k].Add(rep.Values[off+k])
+		}
+		counts[j]++
+		off += p.Cards[j]
+	}
+}
+
+// AddReport implements est.Estimator. A frequency report lists the sampled
+// dimensions in Dims (strictly increasing, at most m of them — one user's
+// sample) and concatenates each dimension's perturbed one-hot vector
+// (card(j) released-frame values) in Values, in the same order. It pins
+// the serial stripe.
+func (f *Flat) AddReport(rep est.Report) error { return f.addAt(0, rep) }
+
+func (f *Flat) addAt(lane int, rep est.Report) error {
+	if err := f.validate(rep); err != nil {
+		return err
+	}
+	f.acc.Locked(lane, func(sums []mathx.KahanSum, counts []int64) {
+		f.accumulate(sums, counts, rep)
+	})
+	return nil
+}
+
+// AddReports implements est.BatchAdder: one stripe lock for the whole
+// batch; malformed reports are skipped, accepted counts the rest and err
+// carries the first rejection.
+func (f *Flat) AddReports(reps []est.Report) (int, error) {
+	return f.addReportsAt(f.acc.Acquire(), reps)
+}
+
+func (f *Flat) addReportsAt(lane int, reps []est.Report) (accepted int, err error) {
+	f.acc.Locked(lane, func(sums []mathx.KahanSum, counts []int64) {
+		for _, rep := range reps {
+			if verr := f.validate(rep); verr != nil {
+				if err == nil {
+					err = verr
+				}
+				continue
+			}
+			f.accumulate(sums, counts, rep)
+			accepted++
+		}
+	})
+	return accepted, err
+}
+
+// AcquireLane implements est.LaneProvider.
+func (f *Flat) AcquireLane() est.Lane { return flatLane{f: f, lane: f.acc.Acquire()} }
+
+// flatLane is a stripe-bound ingest handle over a Flat.
+type flatLane struct {
+	f    *Flat
+	lane int
+}
+
+func (l flatLane) AddReport(rep est.Report) error { return l.f.addAt(l.lane, rep) }
+
+func (l flatLane) AddReports(reps []est.Report) (int, error) { return l.f.addReportsAt(l.lane, reps) }
 
 // Estimate implements est.Estimator: the flattened naive frequency
 // estimates in [0, 1] (unprojected; see ProjectSimplex).
@@ -187,27 +235,19 @@ func (f *Flat) flatten(rows [][]float64) []float64 {
 }
 
 // Snapshot implements est.Estimator: flattened released-frame sums plus
-// per-dimension report counts.
+// per-dimension report counts, folded atomically across every stripe.
 func (f *Flat) Snapshot() est.Snapshot {
-	a := f.Aggregator
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	s := est.Snapshot{
+	sums, counts := f.acc.Fold()
+	return est.Snapshot{
 		Kind:   KindFreq,
 		Dims:   f.total,
-		Cards:  append([]int(nil), a.P.Cards...),
-		Sums:   make([]float64, 0, f.total),
-		Counts: append([]int64(nil), a.counts...),
+		Cards:  append([]int(nil), f.Aggregator.P.Cards...),
+		Sums:   sums,
+		Counts: counts,
 	}
-	for j := range a.sums {
-		for k := range a.sums[j] {
-			s.Sums = append(s.Sums, a.sums[j][k].Value())
-		}
-	}
-	return s
 }
 
-// Merge implements est.Estimator.
+// Merge implements est.Estimator: peer snapshots fold into the merge lane.
 func (f *Flat) Merge(s est.Snapshot) error {
 	a := f.Aggregator
 	if err := est.CheckMerge(f, s, f.total, len(a.P.Cards)); err != nil {
@@ -221,21 +261,21 @@ func (f *Flat) Merge(s est.Snapshot) error {
 			return fmt.Errorf("freq: snapshot cards %v incompatible with protocol %v", s.Cards, a.P.Cards)
 		}
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	off := 0
-	for j := range a.sums {
-		for k := range a.sums[j] {
-			a.sums[j][k].Add(s.Sums[off+k])
+	a.acc.LockedBase(func(sums []mathx.KahanSum, counts []int64) {
+		for i := range sums {
+			sums[i].Add(s.Sums[i])
 		}
-		a.counts[j] += s.Counts[j]
-		off += a.P.Cards[j]
-	}
+		for j := range counts {
+			counts[j] += s.Counts[j]
+		}
+	})
 	return nil
 }
 
 var (
-	_ est.Estimator = (*Flat)(nil)
-	_ est.Enhancer  = (*Flat)(nil)
-	_ est.Reporter  = (*Flat)(nil)
+	_ est.Estimator    = (*Flat)(nil)
+	_ est.Enhancer     = (*Flat)(nil)
+	_ est.Reporter     = (*Flat)(nil)
+	_ est.BatchAdder   = (*Flat)(nil)
+	_ est.LaneProvider = (*Flat)(nil)
 )

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"github.com/hdr4me/hdr4me/internal/analysis"
+	"github.com/hdr4me/hdr4me/internal/est"
 	"github.com/hdr4me/hdr4me/internal/ldp"
 	"github.com/hdr4me/hdr4me/internal/mathx"
 	"github.com/hdr4me/hdr4me/internal/recal"
@@ -100,57 +101,56 @@ func (p Protocol) Validate() error {
 func (p Protocol) EpsPerEntry() float64 { return p.Eps / (2 * float64(p.M)) }
 
 // Aggregator accumulates per-entry sums in the released [−1, 1] frame.
+// The per-dimension entry vectors are stored flattened (entry (j, k)
+// lives at offsets[j]+k) inside a lock-striped accumulator (est.Stripes),
+// so concurrent ingest paths do not serialize on one mutex.
 type Aggregator struct {
 	P Protocol
 
-	mu     sync.Mutex
-	sums   [][]mathx.KahanSum
-	counts []int64 // reports per dimension (shared by its entries)
+	offsets []int // flattened index of each dimension's first entry
+	total   int   // Σⱼ card(j)
+	acc     *est.Stripes
 }
 
 // NewAggregator returns an empty frequency collector.
 func NewAggregator(p Protocol) *Aggregator {
-	a := &Aggregator{P: p, counts: make([]int64, len(p.Cards))}
-	a.sums = make([][]mathx.KahanSum, len(p.Cards))
+	a := &Aggregator{P: p, offsets: make([]int, len(p.Cards))}
 	for j, v := range p.Cards {
-		a.sums[j] = make([]mathx.KahanSum, v)
+		a.offsets[j] = a.total
+		a.total += v
 	}
+	a.acc = est.NewStripes(est.DefaultStripeCount, a.total, len(p.Cards))
 	return a
 }
 
-// merge folds worker-local partials into the aggregator.
+// merge folds worker-local partials into the merge lane.
 func (a *Aggregator) merge(sums [][]mathx.KahanSum, counts []int64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	for j := range sums {
-		for k := range sums[j] {
-			a.sums[j][k].Add(sums[j][k].Value())
+	a.acc.LockedBase(func(base []mathx.KahanSum, baseCounts []int64) {
+		for j := range sums {
+			off := a.offsets[j]
+			for k := range sums[j] {
+				base[off+k].Add(sums[j][k].Value())
+			}
+			baseCounts[j] += counts[j]
 		}
-		a.counts[j] += counts[j]
-	}
+	})
 }
 
 // Counts returns the per-dimension report counts.
-func (a *Aggregator) Counts() []int64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make([]int64, len(a.counts))
-	copy(out, a.counts)
-	return out
-}
+func (a *Aggregator) Counts() []int64 { return a.acc.FoldCounts() }
 
 // rawMeans returns the per-entry naive means in the released frame.
 func (a *Aggregator) rawMeans() [][]float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make([][]float64, len(a.sums))
-	for j := range a.sums {
-		out[j] = make([]float64, len(a.sums[j]))
-		if a.counts[j] == 0 {
+	sums, counts := a.acc.Fold()
+	out := make([][]float64, len(a.P.Cards))
+	for j, card := range a.P.Cards {
+		out[j] = make([]float64, card)
+		if counts[j] == 0 {
 			continue
 		}
-		for k := range a.sums[j] {
-			out[j][k] = a.sums[j][k].Value() / float64(a.counts[j])
+		off := a.offsets[j]
+		for k := 0; k < card; k++ {
+			out[j][k] = sums[off+k] / float64(counts[j])
 		}
 	}
 	return out

@@ -1,0 +1,152 @@
+package freq
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/est"
+	"github.com/hdr4me/hdr4me/internal/ldp"
+	"github.com/hdr4me/hdr4me/internal/mathx"
+	"github.com/hdr4me/hdr4me/internal/recal"
+)
+
+// TestFlatStripedEquivalence: N goroutines hammering AddReports on the
+// frequency reducer must match the serial AddReport path — counts
+// exactly, sums within the documented cross-stripe fold tolerance. Run
+// under -race this also exercises the stripe locking.
+func TestFlatStripedEquivalence(t *testing.T) {
+	p := Protocol{Mech: ldp.SquareWave{}, Eps: 1.5, Cards: []int{3, 4, 2}, M: 2}
+	mk := func() *Flat {
+		f, err := NewFlat(p, recal.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	gen := mk()
+	rng := mathx.NewRNG(17)
+	reps := make([]est.Report, 2500)
+	cats := make([]int, len(p.Cards))
+	for i := range reps {
+		for j, card := range p.Cards {
+			cats[j] = rng.IntN(card)
+		}
+		rep, err := gen.MakeReport(est.Tuple{Cats: cats}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = rep
+	}
+
+	serial := mk()
+	for _, rep := range reps {
+		if err := serial.AddReport(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	striped := mk()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			const chunk = 40
+			for off := w * chunk; off < len(reps); off += workers * chunk {
+				end := min(off+chunk, len(reps))
+				if acc, _ := striped.AddReports(reps[off:end]); acc != end-off {
+					t.Errorf("worker %d: accepted %d of %d", w, acc, end-off)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	ss, sp := serial.Snapshot(), striped.Snapshot()
+	for j := range ss.Counts {
+		if sp.Counts[j] != ss.Counts[j] {
+			t.Fatalf("dim %d: striped count %d != serial %d", j, sp.Counts[j], ss.Counts[j])
+		}
+	}
+	for i := range ss.Sums {
+		tol := 1e-12 * math.Max(1, math.Abs(ss.Sums[i]))
+		if math.Abs(sp.Sums[i]-ss.Sums[i]) > tol {
+			t.Fatalf("entry %d: striped sum %v != serial %v", i, sp.Sums[i], ss.Sums[i])
+		}
+	}
+}
+
+// TestFlatLaneBitwiseSerial: one lane's stream folds bitwise-identical
+// to the serial path, exactly as a single wire connection would.
+func TestFlatLaneBitwiseSerial(t *testing.T) {
+	p := Protocol{Mech: ldp.SquareWave{}, Eps: 1, Cards: []int{2, 3}, M: 1}
+	gen, err := NewFlat(p, recal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(5)
+	reps := make([]est.Report, 300)
+	for i := range reps {
+		rep, err := gen.MakeReport(est.Tuple{Cats: []int{i % 2, i % 3}}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = rep
+	}
+	serial, _ := NewFlat(p, recal.Config{})
+	for _, rep := range reps {
+		if err := serial.AddReport(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	laned, _ := NewFlat(p, recal.Config{})
+	laned.AcquireLane() // burn stripe 0 so the tested lane differs
+	lane := laned.AcquireLane()
+	for off := 0; off < len(reps); off += 23 {
+		end := min(off+23, len(reps))
+		if acc, err := lane.AddReports(reps[off:end]); err != nil || acc != end-off {
+			t.Fatalf("lane accepted %d of %d, err %v", acc, end-off, err)
+		}
+	}
+	ss, ls := serial.Snapshot(), laned.Snapshot()
+	for i := range ss.Sums {
+		if ls.Sums[i] != ss.Sums[i] {
+			t.Fatalf("entry %d: lane %v != serial %v (must be bitwise equal)", i, ls.Sums[i], ss.Sums[i])
+		}
+	}
+	for j := range ss.Counts {
+		if ls.Counts[j] != ss.Counts[j] {
+			t.Fatalf("dim %d: lane count %d != serial %d", j, ls.Counts[j], ss.Counts[j])
+		}
+	}
+}
+
+// TestFlatAddReportsSkipsMalformed: rejected reports in a batch are
+// skipped without aborting it or corrupting the accumulator.
+func TestFlatAddReportsSkipsMalformed(t *testing.T) {
+	p := Protocol{Mech: ldp.SquareWave{}, Eps: 1, Cards: []int{2, 2}, M: 1}
+	f, err := NewFlat(p, recal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := []est.Report{
+		{Dims: []uint32{0}, Values: []float64{1, -1}},
+		{Dims: []uint32{5}, Values: []float64{1, -1}},          // dim out of range
+		{Dims: []uint32{1}, Values: []float64{1}},              // wrong value count
+		{Dims: []uint32{1}, Values: []float64{math.Inf(1), 0}}, // not finite
+		{Dims: []uint32{1}, Values: []float64{-1, 1}},
+	}
+	acc, err := f.AddReports(reps)
+	if acc != 2 {
+		t.Fatalf("accepted %d, want 2", acc)
+	}
+	if err == nil {
+		t.Fatal("want first rejection error, got nil")
+	}
+	counts := f.Counts()
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Fatalf("counts %v, want [1 1]", counts)
+	}
+}

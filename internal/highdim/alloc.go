@@ -3,7 +3,7 @@ package highdim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"github.com/hdr4me/hdr4me/internal/dataset"
@@ -45,13 +45,15 @@ func WeightedAllocation(eps float64, weights []float64, m int) (Allocation, erro
 			return Allocation{}, fmt.Errorf("highdim: weight[%d]=%v must be finite and positive", j, w)
 		}
 	}
-	// Binding constraint: sum of the m largest weights.
+	// Binding constraint: sum of the m largest weights — sorted ascending
+	// (slices.Sort avoids the interface boxing of sort.Sort/sort.Reverse)
+	// and summed from the tail down, preserving the descending add order.
 	sorted := make([]float64, len(weights))
 	copy(sorted, weights)
-	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	slices.Sort(sorted)
 	var top mathx.KahanSum
-	for _, w := range sorted[:m] {
-		top.Add(w)
+	for i := len(sorted) - 1; i >= len(sorted)-m; i-- {
+		top.Add(sorted[i])
 	}
 	c := eps / top.Value()
 	a := Allocation{Eps: make([]float64, len(weights))}
@@ -89,10 +91,10 @@ func (a Allocation) Validate(eps float64, m int) error {
 			return fmt.Errorf("highdim: allocation[%d]=%v must be positive", j, e)
 		}
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	slices.Sort(sorted)
 	var top mathx.KahanSum
-	for _, e := range sorted[:m] {
-		top.Add(e)
+	for i := len(sorted) - 1; i >= len(sorted)-m; i-- {
+		top.Add(sorted[i])
 	}
 	if top.Value() > eps*(1+1e-9) {
 		return fmt.Errorf("highdim: worst-case m-subset spends %v > ε=%v", top.Value(), eps)

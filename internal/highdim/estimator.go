@@ -3,7 +3,6 @@ package highdim
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"github.com/hdr4me/hdr4me/internal/est"
 	"github.com/hdr4me/hdr4me/internal/mathx"
@@ -54,35 +53,25 @@ func (a *Aggregator) MakeReport(t est.Tuple, rng *mathx.RNG) (est.Report, error)
 	return rep, nil
 }
 
-// Snapshot implements est.Estimator.
+// Snapshot implements est.Estimator: an atomic fold of every
+// accumulation stripe plus the merge lane.
 func (a *Aggregator) Snapshot() est.Snapshot {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	s := est.Snapshot{
-		Kind:   KindMean,
-		Dims:   a.P.D,
-		Sums:   make([]float64, a.P.D),
-		Counts: make([]int64, a.P.D),
-	}
-	for j := range a.sums {
-		s.Sums[j] = a.sums[j].Value()
-	}
-	copy(s.Counts, a.counts)
-	return s
+	sums, counts := a.acc.Fold()
+	return est.Snapshot{Kind: KindMean, Dims: a.P.D, Sums: sums, Counts: counts}
 }
 
-// Merge implements est.Estimator: it folds a peer collector's snapshot in.
+// Merge implements est.Estimator: it folds a peer collector's snapshot
+// into the merge lane, never perturbing a report stripe.
 func (a *Aggregator) Merge(s est.Snapshot) error {
 	if err := est.CheckMerge(a, s, a.P.D, a.P.D); err != nil {
 		return err
 	}
-	sums := make([]mathx.KahanSum, a.P.D)
-	counts := make([]int64, a.P.D)
-	for j := range sums {
-		sums[j].Add(s.Sums[j])
-		counts[j] = s.Counts[j]
-	}
-	a.merge(sums, counts)
+	a.acc.LockedBase(func(sums []mathx.KahanSum, counts []int64) {
+		for j := range sums {
+			sums[j].Add(s.Sums[j])
+			counts[j] += s.Counts[j]
+		}
+	})
 	return nil
 }
 
@@ -91,13 +80,12 @@ func (a *Aggregator) Merge(s est.Snapshot) error {
 // MDAggregator is the collector for the Duchi et al. whole-tuple mechanism:
 // every report carries a full released tuple and the estimate is the plain
 // per-dimension average (the release is unbiased, so no calibration step).
-// It implements est.Estimator and is safe for concurrent use.
+// It implements est.Estimator and is safe for concurrent use; accumulation
+// is lock-striped exactly as the mean family's (est.Stripes).
 type MDAggregator struct {
 	M DuchiMD
 
-	mu   sync.Mutex
-	sums []mathx.KahanSum
-	n    int64
+	acc *est.Stripes // D sum lanes, one count lane (total tuples)
 }
 
 // NewMDAggregator returns an empty whole-tuple collector.
@@ -105,7 +93,7 @@ func NewMDAggregator(m DuchiMD) (*MDAggregator, error) {
 	if _, err := NewDuchiMD(m.D, m.Eps); err != nil {
 		return nil, err
 	}
-	return &MDAggregator{M: m, sums: make([]mathx.KahanSum, m.D)}, nil
+	return &MDAggregator{M: m, acc: est.NewStripes(est.DefaultStripeCount, m.D, 1)}, nil
 }
 
 // Kind implements est.Estimator.
@@ -138,9 +126,9 @@ func (a *MDAggregator) MakeReport(t est.Tuple, rng *mathx.RNG) (est.Report, erro
 	return est.Report{Values: a.M.PerturbTuple(rng, t.Values)}, nil
 }
 
-// AddReport implements est.Estimator: a whole-tuple report has no Dims and
-// exactly D released values.
-func (a *MDAggregator) AddReport(rep est.Report) error {
+// validate checks one whole-tuple report: no sampled Dims, exactly D
+// finite released values.
+func (a *MDAggregator) validate(rep est.Report) error {
 	if len(rep.Dims) != 0 {
 		return fmt.Errorf("highdim: whole-tuple report must not carry sampled dims (have %d)", len(rep.Dims))
 	}
@@ -152,14 +140,63 @@ func (a *MDAggregator) AddReport(rep est.Report) error {
 			return fmt.Errorf("highdim: whole-tuple report value %v not finite", v)
 		}
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	for j, v := range rep.Values {
-		a.sums[j].Add(v)
-	}
-	a.n++
 	return nil
 }
+
+// AddReport implements est.Estimator: a whole-tuple report has no Dims and
+// exactly D released values. It pins the serial stripe.
+func (a *MDAggregator) AddReport(rep est.Report) error { return a.addAt(0, rep) }
+
+func (a *MDAggregator) addAt(lane int, rep est.Report) error {
+	if err := a.validate(rep); err != nil {
+		return err
+	}
+	a.acc.Locked(lane, func(sums []mathx.KahanSum, counts []int64) {
+		for j, v := range rep.Values {
+			sums[j].Add(v)
+		}
+		counts[0]++
+	})
+	return nil
+}
+
+// AddReports implements est.BatchAdder: one stripe lock for the whole
+// batch; malformed reports are skipped, accepted counts the rest.
+func (a *MDAggregator) AddReports(reps []est.Report) (int, error) {
+	return a.addReportsAt(a.acc.Acquire(), reps)
+}
+
+func (a *MDAggregator) addReportsAt(lane int, reps []est.Report) (accepted int, err error) {
+	a.acc.Locked(lane, func(sums []mathx.KahanSum, counts []int64) {
+		for _, rep := range reps {
+			if verr := a.validate(rep); verr != nil {
+				if err == nil {
+					err = verr
+				}
+				continue
+			}
+			for j, v := range rep.Values {
+				sums[j].Add(v)
+			}
+			counts[0]++
+			accepted++
+		}
+	})
+	return accepted, err
+}
+
+// AcquireLane implements est.LaneProvider.
+func (a *MDAggregator) AcquireLane() est.Lane { return mdLane{a: a, lane: a.acc.Acquire()} }
+
+// mdLane is a stripe-bound ingest handle over an MDAggregator.
+type mdLane struct {
+	a    *MDAggregator
+	lane int
+}
+
+func (l mdLane) AddReport(rep est.Report) error { return l.a.addAt(l.lane, rep) }
+
+func (l mdLane) AddReports(reps []est.Report) (int, error) { return l.a.addReportsAt(l.lane, reps) }
 
 // Estimate implements est.Estimator: the per-dimension average release.
 func (a *MDAggregator) Estimate() []float64 {
@@ -185,48 +222,41 @@ func (a *MDAggregator) EstimateFrom(s est.Snapshot) ([]float64, error) {
 
 // Counts implements est.Estimator: every dimension has seen every tuple.
 func (a *MDAggregator) Counts() []int64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	n := a.acc.FoldCounts()[0]
 	out := make([]int64, a.M.D)
 	for j := range out {
-		out[j] = a.n
+		out[j] = n
 	}
 	return out
 }
 
-// Snapshot implements est.Estimator.
+// Snapshot implements est.Estimator: an atomic fold of every stripe.
 func (a *MDAggregator) Snapshot() est.Snapshot {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	s := est.Snapshot{
-		Kind:   KindWholeTuple,
-		Dims:   a.M.D,
-		Sums:   make([]float64, a.M.D),
-		Counts: []int64{a.n},
-	}
-	for j := range a.sums {
-		s.Sums[j] = a.sums[j].Value()
-	}
-	return s
+	sums, counts := a.acc.Fold()
+	return est.Snapshot{Kind: KindWholeTuple, Dims: a.M.D, Sums: sums, Counts: counts}
 }
 
-// Merge implements est.Estimator.
+// Merge implements est.Estimator: peer snapshots fold into the merge lane.
 func (a *MDAggregator) Merge(s est.Snapshot) error {
 	if err := est.CheckMerge(a, s, a.M.D, 1); err != nil {
 		return err
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	for j := range a.sums {
-		a.sums[j].Add(s.Sums[j])
-	}
-	a.n += s.Counts[0]
+	a.acc.LockedBase(func(sums []mathx.KahanSum, counts []int64) {
+		for j := range sums {
+			sums[j].Add(s.Sums[j])
+		}
+		counts[0] += s.Counts[0]
+	})
 	return nil
 }
 
 var (
-	_ est.Estimator = (*Aggregator)(nil)
-	_ est.Estimator = (*MDAggregator)(nil)
-	_ est.Reporter  = (*Aggregator)(nil)
-	_ est.Reporter  = (*MDAggregator)(nil)
+	_ est.Estimator    = (*Aggregator)(nil)
+	_ est.Estimator    = (*MDAggregator)(nil)
+	_ est.Reporter     = (*Aggregator)(nil)
+	_ est.Reporter     = (*MDAggregator)(nil)
+	_ est.BatchAdder   = (*Aggregator)(nil)
+	_ est.BatchAdder   = (*MDAggregator)(nil)
+	_ est.LaneProvider = (*Aggregator)(nil)
+	_ est.LaneProvider = (*MDAggregator)(nil)
 )

@@ -99,20 +99,22 @@ func (c *Client) Report(tuple []float64) Report {
 // naive per-dimension mean estimate θ̂ (§IV-B step 3), applying the
 // calibration step (§IV-B step 2) where the bias is data-independent.
 // Aggregator is safe for concurrent use and implements est.Estimator.
+// Accumulation is lock-striped (est.Stripes): Add pins the serial stripe,
+// AddReports takes one stripe lock per batch, and AcquireLane hands heavy
+// callers their own stripe, so concurrent ingest does not serialize on a
+// single mutex.
 type Aggregator struct {
 	P Protocol
 	// alloc optionally overrides the uniform ε/m with a per-dimension
 	// budget (see Allocation); nil means uniform.
 	alloc []float64
 
-	mu     sync.Mutex
-	sums   []mathx.KahanSum
-	counts []int64
+	acc *est.Stripes // D sum lanes, D count lanes
 }
 
 // NewAggregator returns an empty collector for protocol p.
 func NewAggregator(p Protocol) *Aggregator {
-	return &Aggregator{P: p, sums: make([]mathx.KahanSum, p.D), counts: make([]int64, p.D)}
+	return &Aggregator{P: p, acc: est.NewStripes(est.DefaultStripeCount, p.D, p.D)}
 }
 
 // NewAllocatedAggregator returns an empty collector whose Observe path
@@ -141,11 +143,11 @@ func (a *Aggregator) EpsFor(j int) float64 {
 	return a.P.EpsPerDim()
 }
 
-// Add accumulates one report. Malformed reports — out-of-range, repeated
-// or unsorted dimensions, or more than the protocol's m of them — are
-// rejected with an error: one report is one user's m-subset, and a wire
-// client must not be able to weight itself beyond that.
-func (a *Aggregator) Add(rep Report) error {
+// validate checks one report against the protocol: paired lists, at most
+// m strictly increasing in-range dimensions, finite values. One report is
+// one user's m-subset, and a wire client must not be able to weight
+// itself beyond that.
+func (a *Aggregator) validate(rep Report) error {
 	if len(rep.Dims) != len(rep.Values) {
 		return fmt.Errorf("highdim: report has %d dims but %d values", len(rep.Dims), len(rep.Values))
 	}
@@ -165,33 +167,82 @@ func (a *Aggregator) Add(rep Report) error {
 			return fmt.Errorf("highdim: report value %v not finite", v)
 		}
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	for i, j := range rep.Dims {
-		a.sums[j].Add(rep.Values[i])
-		a.counts[j]++
-	}
 	return nil
 }
 
-// merge folds a partial accumulation into the aggregator.
-func (a *Aggregator) merge(sums []mathx.KahanSum, counts []int64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	for j := range sums {
-		a.sums[j].Add(sums[j].Value())
-		a.counts[j] += counts[j]
+// Add accumulates one report, rejecting malformed ones with an error. It
+// pins the serial stripe, so a single-caller stream accumulates with
+// exactly the pre-striping association.
+func (a *Aggregator) Add(rep Report) error { return a.addAt(0, rep) }
+
+// addAt accumulates one validated report under stripe lane's lock.
+func (a *Aggregator) addAt(lane int, rep Report) error {
+	if err := a.validate(rep); err != nil {
+		return err
 	}
+	a.acc.Locked(lane, func(sums []mathx.KahanSum, counts []int64) {
+		for i, j := range rep.Dims {
+			sums[j].Add(rep.Values[i])
+			counts[j]++
+		}
+	})
+	return nil
+}
+
+// AddReports implements est.BatchAdder: the whole batch accumulates under
+// one stripe lock (stripe chosen round-robin per call). Malformed reports
+// are skipped, not fatal; accepted counts the rest and err carries the
+// first rejection.
+func (a *Aggregator) AddReports(reps []Report) (int, error) {
+	return a.addReportsAt(a.acc.Acquire(), reps)
+}
+
+func (a *Aggregator) addReportsAt(lane int, reps []Report) (accepted int, err error) {
+	a.acc.Locked(lane, func(sums []mathx.KahanSum, counts []int64) {
+		for _, rep := range reps {
+			if verr := a.validate(rep); verr != nil {
+				if err == nil {
+					err = verr
+				}
+				continue
+			}
+			for i, j := range rep.Dims {
+				sums[j].Add(rep.Values[i])
+				counts[j]++
+			}
+			accepted++
+		}
+	})
+	return accepted, err
+}
+
+// AcquireLane implements est.LaneProvider: the caller gets its own
+// accumulation stripe for the lifetime of the handle.
+func (a *Aggregator) AcquireLane() est.Lane { return aggLane{a: a, lane: a.acc.Acquire()} }
+
+// aggLane is a stripe-bound ingest handle over an Aggregator.
+type aggLane struct {
+	a    *Aggregator
+	lane int
+}
+
+func (l aggLane) AddReport(rep est.Report) error { return l.a.addAt(l.lane, rep) }
+
+func (l aggLane) AddReports(reps []est.Report) (int, error) { return l.a.addReportsAt(l.lane, reps) }
+
+// merge folds a partial accumulation into the merge lane, leaving every
+// report stripe's association untouched.
+func (a *Aggregator) merge(sums []mathx.KahanSum, counts []int64) {
+	a.acc.LockedBase(func(base []mathx.KahanSum, baseCounts []int64) {
+		for j := range sums {
+			base[j].Add(sums[j].Value())
+			baseCounts[j] += counts[j]
+		}
+	})
 }
 
 // Counts returns a copy of the per-dimension report counts rⱼ.
-func (a *Aggregator) Counts() []int64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make([]int64, len(a.counts))
-	copy(out, a.counts)
-	return out
-}
+func (a *Aggregator) Counts() []int64 { return a.acc.FoldCounts() }
 
 // Estimate returns the naive aggregation θ̂ⱼ = (1/rⱼ)Σ t*ᵢⱼ, calibrated by
 // the data-independent bias for unbounded mechanisms (δ = E[N]; zero for

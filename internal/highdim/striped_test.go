@@ -1,0 +1,209 @@
+package highdim
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/est"
+	"github.com/hdr4me/hdr4me/internal/ldp"
+	"github.com/hdr4me/hdr4me/internal/mathx"
+)
+
+// genMeanReports builds n valid mean-family reports for protocol p.
+func genMeanReports(t *testing.T, p Protocol, n int, seed uint64) []est.Report {
+	t.Helper()
+	rng := mathx.NewRNG(seed)
+	agg := NewAggregator(p)
+	reps := make([]est.Report, n)
+	row := make([]float64, p.D)
+	for i := range reps {
+		for j := range row {
+			row[j] = 2*rng.Float64() - 1
+		}
+		rep, err := agg.MakeReport(est.Tuple{Values: row}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = rep
+	}
+	return reps
+}
+
+// closeEnough allows the documented cross-stripe fold tolerance: each
+// stripe's partial is Kahan-compensated, so the fold differs from the
+// serial association by at most a few ULPs.
+func closeEnough(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestAggregatorStripedEquivalence: N goroutines hammering AddReports
+// must produce a Snapshot equal to the same reports applied serially —
+// counts exactly, sums within the documented fold tolerance. Run under
+// -race this also exercises the stripe locking.
+func TestAggregatorStripedEquivalence(t *testing.T) {
+	p, err := NewProtocol(ldp.Piecewise{}, 1, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := genMeanReports(t, p, 4000, 7)
+
+	serial := NewAggregator(p)
+	for _, rep := range reps {
+		if err := serial.AddReport(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	striped := NewAggregator(p)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			const chunk = 64
+			for off := w * chunk; off < len(reps); off += workers * chunk {
+				end := min(off+chunk, len(reps))
+				if acc, _ := striped.AddReports(reps[off:end]); acc != end-off {
+					t.Errorf("worker %d: accepted %d of %d", w, acc, end-off)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	ss, sp := serial.Snapshot(), striped.Snapshot()
+	for j := 0; j < p.D; j++ {
+		if sp.Counts[j] != ss.Counts[j] {
+			t.Fatalf("dim %d: striped count %d != serial %d", j, sp.Counts[j], ss.Counts[j])
+		}
+		if !closeEnough(sp.Sums[j], ss.Sums[j]) {
+			t.Fatalf("dim %d: striped sum %v != serial %v", j, sp.Sums[j], ss.Sums[j])
+		}
+	}
+}
+
+// TestAggregatorLaneBitwiseSerial: all reports through one lane fold to
+// the bitwise-identical snapshot of the serial AddReport path — the
+// invariant that keeps a single wire connection's ingest exact.
+func TestAggregatorLaneBitwiseSerial(t *testing.T) {
+	p, err := NewProtocol(ldp.Laplace{}, 1, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := genMeanReports(t, p, 500, 11)
+
+	serial := NewAggregator(p)
+	for _, rep := range reps {
+		if err := serial.AddReport(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	laned := NewAggregator(p)
+	laned.AcquireLane() // burn one acquire so the tested lane is not stripe 0
+	lane := laned.AcquireLane()
+	for off := 0; off < len(reps); off += 37 {
+		end := min(off+37, len(reps))
+		if acc, err := lane.AddReports(reps[off:end]); err != nil || acc != end-off {
+			t.Fatalf("lane accepted %d of %d, err %v", acc, end-off, err)
+		}
+	}
+	ss, ls := serial.Snapshot(), laned.Snapshot()
+	for j := 0; j < p.D; j++ {
+		if ls.Sums[j] != ss.Sums[j] || ls.Counts[j] != ss.Counts[j] {
+			t.Fatalf("dim %d: lane %v/%d != serial %v/%d (must be bitwise equal)",
+				j, ls.Sums[j], ls.Counts[j], ss.Sums[j], ss.Counts[j])
+		}
+	}
+}
+
+// TestAggregatorAddReportsSkipsMalformed: a batch with malformed reports
+// accepts the rest, reports the first rejection, and corrupts nothing.
+func TestAggregatorAddReportsSkipsMalformed(t *testing.T) {
+	p, err := NewProtocol(ldp.Laplace{}, 1, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAggregator(p)
+	reps := []est.Report{
+		{Dims: []uint32{0, 2}, Values: []float64{0.5, -0.5}},
+		{Dims: []uint32{0, 9}, Values: []float64{1, 1}},          // out of range
+		{Dims: []uint32{1}, Values: []float64{math.NaN()}},       // not finite
+		{Dims: []uint32{1, 3}, Values: []float64{0.25, 0.75}},    // fine
+		{Dims: []uint32{3, 1}, Values: []float64{0.25, 0.75}},    // unsorted
+		{Dims: []uint32{0, 1, 2}, Values: []float64{0, 0, 0, 0}}, // dims/values mismatch
+	}
+	acc, err := a.AddReports(reps)
+	if acc != 2 {
+		t.Fatalf("accepted %d, want 2", acc)
+	}
+	if err == nil {
+		t.Fatal("want first rejection error, got nil")
+	}
+	counts := a.Counts()
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 1 || counts[3] != 1 {
+		t.Fatalf("counts %v, want one report per touched dim", counts)
+	}
+}
+
+// TestMDAggregatorStripedEquivalence is the whole-tuple family's
+// N-goroutine AddReports vs serial equivalence check.
+func TestMDAggregatorStripedEquivalence(t *testing.T) {
+	md, err := NewDuchiMD(5, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *MDAggregator {
+		a, err := NewMDAggregator(DuchiMD{D: 5, Eps: 1.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	rng := mathx.NewRNG(3)
+	reps := make([]est.Report, 3000)
+	tuple := make([]float64, md.D)
+	for i := range reps {
+		for j := range tuple {
+			tuple[j] = 2*rng.Float64() - 1
+		}
+		reps[i] = est.Report{Values: md.PerturbTuple(rng, tuple)}
+	}
+
+	serial := mk()
+	for _, rep := range reps {
+		if err := serial.AddReport(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	striped := mk()
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			const chunk = 50
+			for off := w * chunk; off < len(reps); off += workers * chunk {
+				end := min(off+chunk, len(reps))
+				if acc, _ := striped.AddReports(reps[off:end]); acc != end-off {
+					t.Errorf("worker %d: accepted %d of %d", w, acc, end-off)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	ss, sp := serial.Snapshot(), striped.Snapshot()
+	if sp.Counts[0] != ss.Counts[0] {
+		t.Fatalf("striped count %d != serial %d", sp.Counts[0], ss.Counts[0])
+	}
+	for j := range ss.Sums {
+		if !closeEnough(sp.Sums[j], ss.Sums[j]) {
+			t.Fatalf("dim %d: striped sum %v != serial %v", j, sp.Sums[j], ss.Sums[j])
+		}
+	}
+}

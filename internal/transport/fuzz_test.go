@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"bufio"
 	"bytes"
+	"io"
 	"math"
 	"testing"
 
@@ -173,6 +175,61 @@ func FuzzRoundTripBatch(f *testing.F) {
 		for i := range reps {
 			if !reportsEqual(reps[i], got[i]) {
 				t.Fatalf("report %d mismatch: %+v vs %+v", i, reps[i], got[i])
+			}
+		}
+	})
+}
+
+// FuzzBatchDecodeParity: the pooled chunked decoder (readBatchInto, the
+// serving path) must agree with the legacy streaming decoder
+// (readBatchBody, the reference) on every input — same reports, same
+// accepted count, same accept/abort decision.
+func FuzzBatchDecodeParity(f *testing.F) {
+	var seed bytes.Buffer
+	WriteBatch(&seed, []est.Report{
+		{Dims: []uint32{0}, Values: []float64{0.5}},
+		{Values: []float64{1, -1}},
+		{Dims: []uint32{1, 3}, Values: []float64{0.25, -0.25}},
+	})
+	f.Add(seed.Bytes()[1:])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})       // hostile count
+	f.Add([]byte{0, 0, 0, 1, 0x07})             // batch embedding a non-report frame
+	f.Add([]byte{0, 0, 0, 2, 0x01, 0, 0, 0, 0}) // truncated second report
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want, wantErr := decodeBatch(data)
+
+		// Pooled decoder, twice: plain reader (streaming fallback path)
+		// and bufio reader (the serving path's zero-copy peek decode).
+		for _, peek := range []bool{false, true} {
+			var r io.Reader = bytes.NewReader(data)
+			if peek {
+				r = bufio.NewReaderSize(bytes.NewReader(data), 64)
+			}
+			var got []est.Report
+			sc := &decodeScratch{}
+			gotN, gotErr := readBatchInto(r, sc, func(reps []est.Report) (int, error) {
+				for _, rep := range reps {
+					// The scratch owns the report's arrays; keep a copy.
+					got = append(got, est.Report{
+						Dims:   append([]uint32(nil), rep.Dims...),
+						Values: append([]float64(nil), rep.Values...),
+					})
+				}
+				return len(reps), nil
+			})
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("peek=%v: decoders disagree on validity: legacy err %v, pooled err %v", peek, wantErr, gotErr)
+			}
+			if int(gotN) != len(got) {
+				t.Fatalf("peek=%v: pooled accepted %d but delivered %d reports", peek, gotN, len(got))
+			}
+			if len(got) != len(want) {
+				t.Fatalf("peek=%v: pooled decoded %d reports, legacy %d", peek, len(got), len(want))
+			}
+			for i := range want {
+				if !reportsEqual(want[i], got[i]) {
+					t.Fatalf("peek=%v: report %d mismatch: legacy %+v, pooled %+v", peek, i, want[i], got[i])
+				}
 			}
 		}
 	})

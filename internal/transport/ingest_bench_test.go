@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/est"
+	"github.com/hdr4me/hdr4me/internal/highdim"
+	"github.com/hdr4me/hdr4me/internal/ldp"
+)
+
+// BenchmarkIngest is the multi-connection ingest benchmark behind
+// BENCH_ingest.json: conns connections blast pre-encoded 256-report
+// BATCH frames at one loopback collector and drain the acks, so ns/op
+// and allocs/op are the collector-side cost per ingested report (b.N
+// counts reports; client framing is pre-paid, the client-side encode
+// path has its own benchmarks in BENCH_transport.json).
+//
+// The striped variants exercise the production path — zero-copy pooled
+// decode plus one stripe-lock acquisition per decoded chunk, each
+// connection pinned to its own stripe. The legacy variants flip
+// Server.LegacyIngest back to the PR 3 baseline — three allocations per
+// report to decode and one estimator-lock acquisition per report — so
+// one run A/Bs the two ingest paths (scripts/benchdiff.sh and the
+// README table consume the ratio).
+func BenchmarkIngest(b *testing.B) {
+	for _, legacy := range []bool{true, false} {
+		mode := "striped"
+		if legacy {
+			mode = "legacy"
+		}
+		for _, conns := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/conns=%d", mode, conns), func(b *testing.B) {
+				benchIngest(b, conns, legacy)
+			})
+		}
+	}
+}
+
+const ingestBatchSize = 1024
+
+// encodeIngestFrame pre-encodes one BATCH frame of n single-pair mean
+// reports (the classic m=1 LDP report shape).
+func encodeIngestFrame(b *testing.B, n int) []byte {
+	b.Helper()
+	rep := est.Report{Dims: []uint32{7}, Values: []float64{0.5}}
+	reps := make([]est.Report, n)
+	for i := range reps {
+		reps[i] = rep
+	}
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, reps); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func benchIngest(b *testing.B, conns int, legacy bool) {
+	p, err := highdim.NewProtocol(ldp.Laplace{}, 1, 32, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	agg := highdim.NewAggregator(p)
+	srv := NewServer(agg)
+	srv.LegacyIngest = legacy
+	srv.Logf = func(string, ...any) {}
+	bound, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+
+	frame := encodeIngestFrame(b, ingestBatchSize)
+
+	// Split b.N into whole batches per connection; conn 0 takes the
+	// remainder as one short batch so exactly b.N reports are ingested.
+	batches := make([]int, conns)
+	rem := b.N
+	for c := range batches {
+		share := b.N / conns / ingestBatchSize
+		batches[c] = share
+		rem -= share * ingestBatchSize
+	}
+	tail := encodeIngestFrame(b, rem) // rem < ingestBatchSize*conns + remainder; one frame is enough only if rem <= maxBatch
+	if rem > maxBatch {
+		b.Fatalf("remainder %d exceeds one frame", rem)
+	}
+
+	conns_ := make([]net.Conn, conns)
+	for c := range conns_ {
+		conn, err := net.Dial("tcp", bound.String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		conns_[c] = conn
+		b.Cleanup(func() { conn.Close() })
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	var accepted int64
+	var accMu sync.Mutex
+	for c, conn := range conns_ {
+		nb := batches[c]
+		withTail := c == 0 && rem > 0
+		wg.Add(1)
+		go func(conn net.Conn, nb int, withTail bool) {
+			defer wg.Done()
+			// Writer and ack-drainer run concurrently: the socket pipelines
+			// frames exactly as BufferedClient does.
+			total := nb
+			if withTail {
+				total++
+			}
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				// Coalesce several frames per socket write — the pipelining
+				// a buffering client (or kernel-side Nagle) produces anyway.
+				const coalesce = 8
+				super := bytes.Repeat(frame, coalesce)
+				for i := 0; i < nb; {
+					k := min(coalesce, nb-i)
+					if _, err := conn.Write(super[:k*len(frame)]); err != nil {
+						b.Errorf("write: %v", err)
+						return
+					}
+					i += k
+				}
+				if withTail {
+					if _, err := conn.Write(tail); err != nil {
+						b.Errorf("write tail: %v", err)
+					}
+				}
+			}()
+			acks := make([]byte, 5*total)
+			if _, err := io.ReadFull(conn, acks); err != nil {
+				b.Errorf("acks: %v", err)
+				<-done
+				return
+			}
+			<-done
+			var acc int64
+			for i := 0; i < total; i++ {
+				if acks[5*i] != ackOK {
+					b.Errorf("batch %d NACKed", i)
+					return
+				}
+				acc += int64(uint32(acks[5*i+1])<<24 | uint32(acks[5*i+2])<<16 | uint32(acks[5*i+3])<<8 | uint32(acks[5*i+4]))
+			}
+			accMu.Lock()
+			accepted += acc
+			accMu.Unlock()
+		}(conn, nb, withTail)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+	if accepted != int64(b.N) {
+		b.Fatalf("accepted %d of %d reports", accepted, b.N)
+	}
+}

@@ -44,6 +44,14 @@ type Server struct {
 	// Logf receives per-connection errors; defaults to log.Printf.
 	Logf func(format string, args ...any)
 
+	// LegacyIngest switches BATCH ingestion back to the pre-striping
+	// baseline: allocating per-report decode plus one estimator-lock
+	// acquisition per report. It exists solely so the ingest benchmark
+	// (scripts/bench.sh, BENCH_ingest.json) can A/B the lock-striped
+	// batch path against the old single-global-mutex path in one run.
+	// Leave it false in production.
+	LegacyIngest bool
+
 	reg *est.Registry
 
 	wg   sync.WaitGroup
@@ -200,6 +208,12 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // errNoQuery rejects every report of a batch routed to a missing query.
 var errNoQuery = errors.New("transport: no such query")
 
+// connReadBuf sizes each connection's read buffer: big enough that the
+// peek-based embedded-frame decoder almost never falls back to the
+// copying path, and that a full default-sized batch needs one socket
+// read instead of sixteen.
+const connReadBuf = 64 << 10
+
 // serveConn processes frames until the peer closes the connection. Both
 // directions are buffered; every reply is flushed before the next read so
 // a pipelining client (BufferedClient) sees acks promptly.
@@ -209,11 +223,34 @@ var errNoQuery = errors.New("transport: no such query")
 // frame that follows. A resolution failure (unknown name, no default) is
 // answered with the inner frame's rejection status after its body has
 // been consumed, so one bad route never desyncs the connection.
+//
+// Ingest hot path: the connection owns a decode scratch (report frames
+// decode with zero steady-state allocations) and one accumulation lane
+// per query it touches, so all of this connection's reports land in one
+// stripe — in arrival order, exactly as a serial collector would — while
+// other connections accumulate under their own stripe locks.
 func (s *Server) serveConn(conn net.Conn) error {
-	br := bufio.NewReader(conn)
+	readBuf := connReadBuf
+	if s.LegacyIngest {
+		readBuf = 4096 // the PR 3 baseline's default bufio size
+	}
+	br := bufio.NewReaderSize(conn, readBuf)
 	bw := bufio.NewWriter(conn)
+	sc := &decodeScratch{}
+	var lanes map[*est.Query]est.Lane
+	laneOf := func(q *est.Query) est.Lane {
+		if l, ok := lanes[q]; ok {
+			return l
+		}
+		if lanes == nil {
+			lanes = make(map[*est.Query]est.Lane, 1)
+		}
+		l := q.AcquireLane()
+		lanes[q] = l
+		return l
+	}
 	for {
-		ft, err := readFrameType(br)
+		ft, err := sc.readFrameType(br)
 		if err != nil {
 			return err
 		}
@@ -226,7 +263,7 @@ func (s *Server) serveConn(conn net.Conn) error {
 			}
 			q = s.reg.Get(name)
 			routed = true
-			if ft, err = readFrameType(br); err != nil {
+			if ft, err = sc.readFrameType(br); err != nil {
 				return err
 			}
 		} else {
@@ -256,28 +293,38 @@ func (s *Server) serveConn(conn net.Conn) error {
 				return err
 			}
 		case frameReport, frameVecReport:
+			sc.reset()
 			var rep est.Report
 			if ft == frameReport {
-				rep, err = readReportBody(br)
+				rep, err = readReportBodyInto(br, sc)
 			} else {
-				rep, err = readVecReportBody(br)
+				rep, err = readVecReportBodyInto(br, sc)
 			}
 			if err != nil {
 				return err
 			}
 			ack := byte(ackOK)
-			if q == nil || q.AddReport(rep) != nil {
+			if q == nil || laneOf(q).AddReport(rep) != nil {
 				ack = ackErr
 			}
 			if err := bw.WriteByte(ack); err != nil {
 				return err
 			}
 		case frameBatch:
-			sink := func(est.Report) error { return errNoQuery }
-			if q != nil {
-				sink = q.AddReport
+			var accepted uint32
+			if s.LegacyIngest {
+				sink := func(est.Report) error { return errNoQuery }
+				if q != nil {
+					sink = q.AddReport
+				}
+				accepted, err = readBatchBody(br, sink)
+			} else {
+				add := func([]est.Report) (int, error) { return 0, errNoQuery }
+				if q != nil {
+					add = laneOf(q).AddReports
+				}
+				accepted, err = readBatchInto(br, sc, add)
 			}
-			accepted, err := readBatchBody(br, sink)
 			if err != nil {
 				return err
 			}

@@ -63,10 +63,13 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
+	"slices"
+	"sync"
 
 	"github.com/hdr4me/hdr4me/internal/est"
 )
@@ -106,22 +109,58 @@ const maxBatch = 1 << 16
 // maxKindLen caps the estimator-kind string of a serialized snapshot.
 const maxKindLen = 64
 
-// WriteReport serializes one pair-shaped report frame (0x01) to w. Reports
-// whose dim and value lists differ in length must use WriteVecReport.
+// encPool recycles marshal buffers across WriteReport/WriteVecReport/
+// WriteBatch calls, so the steady-state encode path allocates nothing.
+var encPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// maxEncRetain caps the capacity of a buffer returned to the pool: a
+// one-off giant batch must not pin its marshal buffer forever.
+const maxEncRetain = 1 << 20
+
+func putEncBuf(bp *[]byte) {
+	if cap(*bp) > maxEncRetain {
+		return
+	}
+	*bp = (*bp)[:0]
+	encPool.Put(bp)
+}
+
+// appendReport marshals one pair-shaped report frame (0x01) onto buf.
+func appendReport(buf []byte, rep est.Report) []byte {
+	buf = append(buf, frameReport)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(rep.Dims)))
+	for i, d := range rep.Dims {
+		buf = binary.BigEndian.AppendUint32(buf, d)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(rep.Values[i]))
+	}
+	return buf
+}
+
+// appendVecReport marshals one vector report frame (0x05) onto buf.
+func appendVecReport(buf []byte, rep est.Report) []byte {
+	buf = append(buf, frameVecReport)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(rep.Dims)))
+	for _, d := range rep.Dims {
+		buf = binary.BigEndian.AppendUint32(buf, d)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(rep.Values)))
+	for _, v := range rep.Values {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// WriteReport serializes one pair-shaped report frame (0x01) to w through
+// a pooled marshal buffer. Reports whose dim and value lists differ in
+// length must use WriteVecReport.
 func WriteReport(w io.Writer, rep est.Report) error {
 	if len(rep.Dims) != len(rep.Values) {
 		return fmt.Errorf("transport: report dims/values length mismatch")
 	}
-	buf := make([]byte, 1+4+len(rep.Dims)*12)
-	buf[0] = frameReport
-	binary.BigEndian.PutUint32(buf[1:5], uint32(len(rep.Dims)))
-	off := 5
-	for i, d := range rep.Dims {
-		binary.BigEndian.PutUint32(buf[off:], d)
-		binary.BigEndian.PutUint64(buf[off+4:], math.Float64bits(rep.Values[i]))
-		off += 12
-	}
-	_, err := w.Write(buf)
+	bp := encPool.Get().(*[]byte)
+	*bp = appendReport((*bp)[:0], rep)
+	_, err := w.Write(*bp)
+	putEncBuf(bp)
 	return err
 }
 
@@ -157,24 +196,12 @@ func readReportBody(r io.Reader) (est.Report, error) {
 }
 
 // WriteVecReport serializes one vector report frame (0x05): dims and
-// values as independently sized lists.
+// values as independently sized lists, through a pooled marshal buffer.
 func WriteVecReport(w io.Writer, rep est.Report) error {
-	buf := make([]byte, 1+4+4*len(rep.Dims)+4+8*len(rep.Values))
-	buf[0] = frameVecReport
-	off := 1
-	binary.BigEndian.PutUint32(buf[off:], uint32(len(rep.Dims)))
-	off += 4
-	for _, d := range rep.Dims {
-		binary.BigEndian.PutUint32(buf[off:], d)
-		off += 4
-	}
-	binary.BigEndian.PutUint32(buf[off:], uint32(len(rep.Values)))
-	off += 4
-	for _, v := range rep.Values {
-		binary.BigEndian.PutUint64(buf[off:], math.Float64bits(v))
-		off += 8
-	}
-	_, err := w.Write(buf)
+	bp := encPool.Get().(*[]byte)
+	*bp = appendVecReport((*bp)[:0], rep)
+	_, err := w.Write(*bp)
+	putEncBuf(bp)
 	return err
 }
 
@@ -216,28 +243,27 @@ func readVecReportBody(r io.Reader) (est.Report, error) {
 // WriteBatch serializes one batch frame (0x06): a uint32 report count
 // followed by that many embedded report frames. Pair-shaped reports embed
 // as 0x01 frames, all others as 0x05, exactly as Client.Send would pick.
+// The whole frame is marshaled into one pooled buffer and written with a
+// single Write, so the steady-state batch encode path allocates nothing.
 func WriteBatch(w io.Writer, reps []est.Report) error {
 	if len(reps) > maxBatch {
 		return fmt.Errorf("transport: batch of %d reports exceeds limit %d", len(reps), maxBatch)
 	}
-	var hdr [5]byte
-	hdr[0] = frameBatch
-	binary.BigEndian.PutUint32(hdr[1:], uint32(len(reps)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
+	bp := encPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, frameBatch)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(reps)))
 	for _, rep := range reps {
-		var err error
 		if len(rep.Dims) == len(rep.Values) {
-			err = WriteReport(w, rep)
+			buf = appendReport(buf, rep)
 		} else {
-			err = WriteVecReport(w, rep)
-		}
-		if err != nil {
-			return err
+			buf = appendVecReport(buf, rep)
 		}
 	}
-	return nil
+	*bp = buf
+	_, err := w.Write(buf)
+	putEncBuf(bp)
+	return err
 }
 
 // readBatchBody streams the embedded reports of a batch frame to fn,
@@ -245,6 +271,12 @@ func WriteBatch(w io.Writer, reps []est.Report) error {
 // memory. fn's error marks that report rejected (counted, not fatal);
 // a malformed embedded frame aborts with an error. It returns how many
 // reports fn accepted.
+//
+// This is the PR 3 ingest baseline — it allocates three slices per
+// report and drives the estimator one report at a time. The serving path
+// uses readBatchInto (pooled scratch, chunked batch accumulation);
+// readBatchBody is kept for Server.LegacyIngest A/B benchmarking and as
+// the differential-fuzz reference decoder.
 func readBatchBody(r io.Reader, fn func(est.Report) error) (accepted uint32, err error) {
 	var cnt uint32
 	if err := binary.Read(r, binary.BigEndian, &cnt); err != nil {
@@ -273,6 +305,405 @@ func readBatchBody(r io.Reader, fn func(est.Report) error) (accepted uint32, err
 		if fn(rep) == nil {
 			accepted++
 		}
+	}
+	return accepted, nil
+}
+
+// Batch chunking bounds for the pooled decode path: one scratch fill and
+// one estimator AddReports (one stripe-lock acquisition) per chunk. The
+// caps bound how much of a hostile batch is ever resident, preserving
+// readBatchBody's never-hold-a-whole-batch property while still
+// amortizing the lock ~10³× .
+const (
+	batchChunkReports = 1024
+	batchChunkValues  = 1 << 16
+)
+
+// decodeScratch is a per-connection reusable decode arena: frame bytes,
+// dim/value backing arrays and the report headers sliced out of them.
+// Reports decoded into a scratch alias its arrays and are only valid
+// until the next reset — sinks must consume them synchronously (every
+// estimator copies values into its accumulator lanes, so handing scratch
+// reports to AddReports is safe). After warm-up the arrays reach their
+// high-water size and the decode loop allocates nothing.
+type decodeScratch struct {
+	n    [8]byte
+	b    []byte
+	dims []uint32
+	vals []float64
+	reps []est.Report
+}
+
+// Scratch retention caps — the decode-side analogue of maxEncRetain:
+// reset keeps arenas sized for the chunked batch loop but drops outliers
+// grown by one oversized (protocol-legal, up to maxPairs) report, so a
+// connection cannot pin tens of megabytes for its lifetime off a single
+// giant frame.
+const (
+	maxRetainBytes = 1 << 20 // raw frame arena
+	maxRetainLanes = 1 << 18 // dim/value arenas (entries)
+)
+
+func (sc *decodeScratch) reset() {
+	if cap(sc.b) > maxRetainBytes {
+		sc.b = nil
+	}
+	if cap(sc.dims) > maxRetainLanes {
+		sc.dims = nil
+	}
+	if cap(sc.vals) > maxRetainLanes {
+		sc.vals = nil
+	}
+	sc.dims = sc.dims[:0]
+	sc.vals = sc.vals[:0]
+	sc.reps = sc.reps[:0]
+}
+
+// readUint32 reads one big-endian uint32 without the reflection
+// allocation of binary.Read.
+func (sc *decodeScratch) readUint32(r io.Reader) (uint32, error) {
+	if _, err := io.ReadFull(r, sc.n[:4]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(sc.n[:4]), nil
+}
+
+// readFrameType reads the next frame type byte through the scratch
+// arena; the package-level readFrameType's stack buffer escapes into the
+// io.Reader and costs one allocation per embedded frame.
+func (sc *decodeScratch) readFrameType(r io.Reader) (byte, error) {
+	if _, err := io.ReadFull(r, sc.n[:1]); err != nil {
+		return 0, err
+	}
+	return sc.n[0], nil
+}
+
+// bytes returns an n-byte raw buffer, reusing the scratch's arena.
+func (sc *decodeScratch) bytes(n int) []byte {
+	if cap(sc.b) < n {
+		sc.b = make([]byte, n)
+	}
+	return sc.b[:n]
+}
+
+// growDims extends the dim arena by n and returns the new tail. A
+// reallocation leaves earlier reports aliasing the old array — still
+// valid, just no longer shared.
+func (sc *decodeScratch) growDims(n int) []uint32 {
+	off := len(sc.dims)
+	sc.dims = slices.Grow(sc.dims, n)[:off+n]
+	return sc.dims[off:]
+}
+
+func (sc *decodeScratch) growVals(n int) []float64 {
+	off := len(sc.vals)
+	sc.vals = slices.Grow(sc.vals, n)[:off+n]
+	return sc.vals[off:]
+}
+
+// decodePairs decodes cnt (dim, value) pairs from raw into the scratch
+// arena and returns the report viewing them.
+func (sc *decodeScratch) decodePairs(raw []byte, cnt int) est.Report {
+	dims, vals := sc.growDims(cnt), sc.growVals(cnt)
+	for i := 0; i < cnt; i++ {
+		p := raw[12*i : 12*i+12 : 12*i+12] // full-slice hints bounds-check elimination
+		dims[i] = binary.BigEndian.Uint32(p)
+		vals[i] = math.Float64frombits(binary.BigEndian.Uint64(p[4:]))
+	}
+	return est.Report{Dims: dims, Values: vals}
+}
+
+// readReportBodyInto decodes a pair-shaped report frame body into the
+// scratch arena — the allocation-free sibling of readReportBody.
+func readReportBodyInto(r io.Reader, sc *decodeScratch) (est.Report, error) {
+	cnt, err := sc.readUint32(r)
+	if err != nil {
+		return est.Report{}, err
+	}
+	return readReportPairs(r, sc, cnt)
+}
+
+// readReportPairs reads the cnt pairs of a 0x01 frame whose count field
+// is already consumed.
+func readReportPairs(r io.Reader, sc *decodeScratch, cnt uint32) (est.Report, error) {
+	if cnt > maxPairs {
+		return est.Report{}, fmt.Errorf("transport: report with %d pairs exceeds limit", cnt)
+	}
+	buf := sc.bytes(12 * int(cnt))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return est.Report{}, err
+	}
+	return sc.decodePairs(buf, int(cnt)), nil
+}
+
+// readVecReportBodyInto decodes a vector report frame body into the
+// scratch arena — the allocation-free sibling of readVecReportBody.
+func readVecReportBodyInto(r io.Reader, sc *decodeScratch) (est.Report, error) {
+	nd, err := sc.readUint32(r)
+	if err != nil {
+		return est.Report{}, err
+	}
+	return readVecReportRest(r, sc, nd)
+}
+
+// readVecReportRest reads a 0x05 frame whose dim-count field is already
+// consumed.
+func readVecReportRest(r io.Reader, sc *decodeScratch, nd uint32) (est.Report, error) {
+	if nd > maxPairs {
+		return est.Report{}, fmt.Errorf("transport: report with %d dims exceeds limit", nd)
+	}
+	dbuf := sc.bytes(4 * int(nd))
+	if _, err := io.ReadFull(r, dbuf); err != nil {
+		return est.Report{}, err
+	}
+	dims := sc.growDims(int(nd))
+	for i := range dims {
+		dims[i] = binary.BigEndian.Uint32(dbuf[4*i:])
+	}
+	nv, err := sc.readUint32(r)
+	if err != nil {
+		return est.Report{}, err
+	}
+	if nv > maxPairs {
+		return est.Report{}, fmt.Errorf("transport: report with %d values exceeds limit", nv)
+	}
+	vbuf := sc.bytes(8 * int(nv))
+	if _, err := io.ReadFull(r, vbuf); err != nil {
+		return est.Report{}, err
+	}
+	vals := sc.growVals(int(nv))
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.BigEndian.Uint64(vbuf[8*i:]))
+	}
+	return est.Report{Dims: dims, Values: vals}, nil
+}
+
+// parseEmbedded decodes one embedded report frame from the byte window w
+// without consuming anything: it returns the report plus how many bytes
+// it spans, n == 0 when the frame is incomplete in w (read more first),
+// or an error for an undecodable frame. Dim/value payloads are copied
+// into the scratch arenas, so the report stays valid after w is
+// discarded.
+func (sc *decodeScratch) parseEmbedded(w []byte) (rep est.Report, n int, err error) {
+	if len(w) < 5 {
+		return est.Report{}, 0, nil
+	}
+	switch w[0] {
+	case frameReport:
+		cnt := binary.BigEndian.Uint32(w[1:])
+		if cnt > maxPairs {
+			return est.Report{}, 0, fmt.Errorf("transport: report with %d pairs exceeds limit", cnt)
+		}
+		need := 5 + 12*int(cnt)
+		if len(w) < need {
+			return est.Report{}, 0, nil
+		}
+		return sc.decodePairs(w[5:need], int(cnt)), need, nil
+	case frameVecReport:
+		nd := binary.BigEndian.Uint32(w[1:])
+		if nd > maxPairs {
+			return est.Report{}, 0, fmt.Errorf("transport: report with %d dims exceeds limit", nd)
+		}
+		dimsEnd := 5 + 4*int(nd)
+		if len(w) < dimsEnd+4 {
+			return est.Report{}, 0, nil
+		}
+		nv := binary.BigEndian.Uint32(w[dimsEnd:])
+		if nv > maxPairs {
+			return est.Report{}, 0, fmt.Errorf("transport: report with %d values exceeds limit", nv)
+		}
+		need := dimsEnd + 4 + 8*int(nv)
+		if len(w) < need {
+			return est.Report{}, 0, nil
+		}
+		dims := sc.growDims(int(nd))
+		for i := range dims {
+			dims[i] = binary.BigEndian.Uint32(w[5+4*i:])
+		}
+		vals := sc.growVals(int(nv))
+		for i := range vals {
+			vals[i] = math.Float64frombits(binary.BigEndian.Uint64(w[dimsEnd+4+8*i:]))
+		}
+		return est.Report{Dims: dims, Values: vals}, need, nil
+	default:
+		return est.Report{}, 0, fmt.Errorf("transport: batch embeds frame type 0x%02x", w[0])
+	}
+}
+
+// decodeEmbeddedPeek decodes one embedded report frame straight out of
+// the bufio window — no per-field ReadFull calls, no copy into the byte
+// arena — falling back to the streaming readers only when a frame
+// overflows the buffer. readBatchBuffered uses it as the blocking path
+// when the buffered window holds no complete frame.
+func decodeEmbeddedPeek(br *bufio.Reader, sc *decodeScratch) (est.Report, error) {
+	hdr, err := br.Peek(5)
+	if err != nil {
+		return est.Report{}, err
+	}
+	switch hdr[0] {
+	case frameReport:
+		cnt := binary.BigEndian.Uint32(hdr[1:])
+		if cnt > maxPairs {
+			return est.Report{}, fmt.Errorf("transport: report with %d pairs exceeds limit", cnt)
+		}
+		if need := 5 + 12*int(cnt); need <= br.Size() {
+			raw, err := br.Peek(need)
+			if err != nil {
+				return est.Report{}, err
+			}
+			rep := sc.decodePairs(raw[5:], int(cnt))
+			br.Discard(need)
+			return rep, nil
+		}
+		br.Discard(5)
+		return readReportPairs(br, sc, cnt)
+	case frameVecReport:
+		nd := binary.BigEndian.Uint32(hdr[1:])
+		if nd > maxPairs {
+			return est.Report{}, fmt.Errorf("transport: report with %d dims exceeds limit", nd)
+		}
+		dimsEnd := 5 + 4*int(nd)
+		if dimsEnd+4 <= br.Size() {
+			raw, err := br.Peek(dimsEnd + 4)
+			if err != nil {
+				return est.Report{}, err
+			}
+			nv := binary.BigEndian.Uint32(raw[dimsEnd:])
+			if nv > maxPairs {
+				return est.Report{}, fmt.Errorf("transport: report with %d values exceeds limit", nv)
+			}
+			if need := dimsEnd + 4 + 8*int(nv); need <= br.Size() {
+				if raw, err = br.Peek(need); err != nil {
+					return est.Report{}, err
+				}
+				dims := sc.growDims(int(nd))
+				for i := range dims {
+					dims[i] = binary.BigEndian.Uint32(raw[5+4*i:])
+				}
+				vals := sc.growVals(int(nv))
+				for i := range vals {
+					vals[i] = math.Float64frombits(binary.BigEndian.Uint64(raw[dimsEnd+4+8*i:]))
+				}
+				br.Discard(need)
+				return est.Report{Dims: dims, Values: vals}, nil
+			}
+		}
+		br.Discard(5)
+		return readVecReportRest(br, sc, nd)
+	default:
+		return est.Report{}, fmt.Errorf("transport: batch embeds frame type 0x%02x", hdr[0])
+	}
+}
+
+// readBatchInto decodes the embedded reports of a batch frame into sc in
+// bounded chunks and hands each chunk to add — for BatchAdder estimators
+// that is one stripe-lock acquisition per chunk instead of one per
+// report. Reports the sink rejects are skipped, never fatal: accepted
+// keeps counting the rest of the chunk and of the batch, exactly as the
+// per-report path did. A wire-level decode failure first ingests the
+// cleanly decoded prefix (matching readBatchBody, which accumulated as
+// it went), then aborts the connection with the error.
+func readBatchInto(r io.Reader, sc *decodeScratch, add func([]est.Report) (int, error)) (accepted uint32, err error) {
+	cnt, err := sc.readUint32(r)
+	if err != nil {
+		return 0, err
+	}
+	if cnt > maxBatch {
+		return 0, fmt.Errorf("transport: batch of %d reports exceeds limit %d", cnt, maxBatch)
+	}
+	if br, ok := r.(*bufio.Reader); ok {
+		// The serving path: zero-copy window decode over the connection's
+		// read buffer.
+		return readBatchBuffered(br, sc, cnt, add)
+	}
+	for done := uint32(0); done < cnt; {
+		sc.reset()
+		for done < cnt && len(sc.reps) < batchChunkReports && len(sc.vals) < batchChunkValues {
+			var rep est.Report
+			var ferr error
+			var ft byte
+			if ft, ferr = sc.readFrameType(r); ferr == nil {
+				switch ft {
+				case frameReport:
+					rep, ferr = readReportBodyInto(r, sc)
+				case frameVecReport:
+					rep, ferr = readVecReportBodyInto(r, sc)
+				default:
+					ferr = fmt.Errorf("transport: batch embeds frame type 0x%02x", ft)
+				}
+			}
+			if ferr != nil {
+				n, _ := add(sc.reps)
+				return accepted + uint32(n), ferr
+			}
+			sc.reps = append(sc.reps, rep)
+			done++
+		}
+		n, _ := add(sc.reps)
+		accepted += uint32(n)
+	}
+	return accepted, nil
+}
+
+// readBatchBuffered is readBatchInto's fast path over a buffered
+// connection: each pass peeks the whole buffered window, parses every
+// complete embedded frame out of it in one tight loop, and consumes them
+// with a single Discard — bufio bookkeeping is paid per window, not per
+// report. Frames that straddle the window edge (or exceed the buffer)
+// take the blocking per-frame path.
+func readBatchBuffered(br *bufio.Reader, sc *decodeScratch, cnt uint32, add func([]est.Report) (int, error)) (accepted uint32, err error) {
+	for done := uint32(0); done < cnt; {
+		sc.reset()
+		for done < cnt && len(sc.reps) < batchChunkReports && len(sc.vals) < batchChunkValues {
+			w, _ := br.Peek(br.Buffered())
+			consumed := 0
+			room := batchChunkReports - len(sc.reps)
+			if left := int(cnt - done); left < room {
+				room = left
+			}
+			for room > 0 && len(sc.vals) < batchChunkValues {
+				// Inline fast path for the dominant wire shape: a pair
+				// report complete in the window. Everything else (vec
+				// reports, oversized counts, partial frames) takes
+				// parseEmbedded.
+				if len(w)-consumed >= 5 && w[consumed] == frameReport {
+					if pairs := int(binary.BigEndian.Uint32(w[consumed+1:])); pairs <= maxPairs && consumed+5+12*pairs <= len(w) {
+						sc.reps = append(sc.reps, sc.decodePairs(w[consumed+5:consumed+5+12*pairs], pairs))
+						consumed += 5 + 12*pairs
+						room--
+						done++
+						continue
+					}
+				}
+				rep, n, perr := sc.parseEmbedded(w[consumed:])
+				if perr != nil {
+					br.Discard(consumed)
+					n2, _ := add(sc.reps)
+					return accepted + uint32(n2), perr
+				}
+				if n == 0 {
+					break
+				}
+				consumed += n
+				sc.reps = append(sc.reps, rep)
+				room--
+				done++
+			}
+			br.Discard(consumed)
+			if consumed > 0 {
+				continue
+			}
+			// No complete frame buffered: block for exactly one.
+			rep, ferr := decodeEmbeddedPeek(br, sc)
+			if ferr != nil {
+				n2, _ := add(sc.reps)
+				return accepted + uint32(n2), ferr
+			}
+			sc.reps = append(sc.reps, rep)
+			done++
+		}
+		n, _ := add(sc.reps)
+		accepted += uint32(n)
 	}
 	return accepted, nil
 }

@@ -1,0 +1,84 @@
+#!/usr/bin/env sh
+# Compares a fresh ingest benchmark run against the committed baseline
+# and warns — loudly, but non-blockingly — when reports/s regresses more
+# than 20% on any benchmark. Also warns when the striped/legacy ratio at
+# 16 connections drops below 4×, the PR's headline guarantee.
+#
+#   sh scripts/benchdiff.sh [baseline.json] [current.json]
+#
+# baseline defaults to the committed BENCH_ingest.json (via git show, so
+# it works after `make bench` overwrote the working-tree copy); current
+# defaults to ./BENCH_ingest.json. Exit status is always 0: benchmark
+# noise on shared CI runners must not block merges, the ::warning::
+# annotation is the signal.
+set -eu
+
+CURRENT="${2:-BENCH_ingest.json}"
+BASELINE="${1:-}"
+
+tmp=""
+if [ -z "$BASELINE" ]; then
+    tmp="$(mktemp)"
+    if git show HEAD:BENCH_ingest.json > "$tmp" 2>/dev/null; then
+        BASELINE="$tmp"
+    else
+        echo "benchdiff: no committed BENCH_ingest.json baseline; skipping"
+        rm -f "$tmp"
+        exit 0
+    fi
+fi
+trap '[ -n "$tmp" ] && rm -f "$tmp"' EXIT
+
+if [ ! -f "$CURRENT" ]; then
+    echo "benchdiff: $CURRENT not found (run make bench first); skipping"
+    exit 0
+fi
+
+# extract FILE — prints "name reports_per_s" pairs, normalizing the
+# trailing -N GOMAXPROCS suffix so runs from different machines compare.
+extract() {
+    awk -F'"' '/"name":/ {
+        name = $4
+        sub(/-[0-9]+$/, "", name)
+        if (match($0, /"reports_per_s": [0-9.eE+]+/)) {
+            rps = substr($0, RSTART + 17, RLENGTH - 17)
+            print name, rps
+        }
+    }' "$1"
+}
+
+extract "$BASELINE" > /tmp/benchdiff_base.$$
+extract "$CURRENT" > /tmp/benchdiff_cur.$$
+
+warned=0
+while read -r name base; do
+    cur="$(awk -v n="$name" '$1 == n { print $2 }' /tmp/benchdiff_cur.$$)"
+    [ -z "$cur" ] && continue
+    regressed="$(awk -v b="$base" -v c="$cur" 'BEGIN { print (c < 0.8 * b) ? 1 : 0 }')"
+    if [ "$regressed" = "1" ]; then
+        echo "::warning::ingest benchmark $name regressed: $cur reports/s vs baseline $base (>20% drop)"
+        warned=1
+    fi
+done < /tmp/benchdiff_base.$$
+
+# Headline ratio check: striped vs legacy at 16 connections.
+ratio="$(awk '
+    $1 ~ /striped\/conns=16$/ { s = $2 }
+    $1 ~ /legacy\/conns=16$/  { l = $2 }
+    END { if (s > 0 && l > 0) printf "%.2f", s / l }
+' /tmp/benchdiff_cur.$$)"
+if [ -n "$ratio" ]; then
+    below="$(awk -v r="$ratio" 'BEGIN { print (r < 4.0) ? 1 : 0 }')"
+    if [ "$below" = "1" ]; then
+        echo "::warning::striped/legacy ingest ratio at 16 conns is ${ratio}x (< 4x target)"
+        warned=1
+    else
+        echo "benchdiff: striped/legacy ingest ratio at 16 conns: ${ratio}x"
+    fi
+fi
+
+rm -f /tmp/benchdiff_base.$$ /tmp/benchdiff_cur.$$
+if [ "$warned" = "0" ]; then
+    echo "benchdiff: no ingest throughput regressions vs baseline"
+fi
+exit 0

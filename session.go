@@ -168,11 +168,22 @@ type Session struct {
 	est     Estimator
 	workers int
 
+	// lanes are stripe-bound ingest handles into the estimator's
+	// lock-striped accumulator; Observe rotates over them so concurrent
+	// observers rarely contend on one stripe lock. Nil for estimators
+	// without striped accumulation (custom injections).
+	lanes []est.Lane
+
 	mu    sync.Mutex
 	rng   *RNG
 	obs   uint64 // Observe substream counter
 	epoch uint64 // Run substream counter
 }
+
+// sessionLanes is how many accumulation stripes a session spreads its
+// Observe traffic over (half the family default of est.DefaultStripeCount,
+// leaving stripes free for wire connections sharing the estimator).
+const sessionLanes = 8
 
 // New builds a Session from functional options. The estimator family is
 // selected by the options: WithCards → frequency, WithWholeTuple →
@@ -203,6 +214,17 @@ func New(opts ...Option) (*Session, error) {
 		return nil, err
 	}
 	s.est = e
+	// Striped ingest for Observe: only when the estimator both produces
+	// detached reports (so perturbation runs outside any lock) and offers
+	// stripe lanes. All three built-in families do.
+	if _, ok := e.(est.Reporter); ok {
+		if _, ok := e.(est.LaneProvider); ok {
+			s.lanes = make([]est.Lane, sessionLanes)
+			for i := range s.lanes {
+				s.lanes[i] = est.AcquireLane(e)
+			}
+		}
+	}
 	return s, nil
 }
 
@@ -285,12 +307,25 @@ func (s *Session) Kind() string { return s.est.Kind() }
 // Observe perturbs one raw tuple user-side with the session's randomness
 // and accumulates the resulting report. Safe for concurrent use: each call
 // derives its own deterministic substream under the lock and perturbs
-// outside it, so concurrent observers do not serialize on the mechanism.
+// outside it, so concurrent observers do not serialize on the mechanism —
+// and for the built-in families accumulation rotates deterministically
+// over stripe lanes of the lock-striped estimator, so concurrent
+// observers rarely contend on the accumulation lock either. The rotation
+// is a pure function of the observation counter, so a fixed seed still
+// yields a fixed estimate.
 func (s *Session) Observe(t Tuple) error {
 	s.mu.Lock()
 	rng := s.rng.Child(obsStream).Child(s.obs)
+	idx := s.obs
 	s.obs++
 	s.mu.Unlock()
+	if s.lanes != nil {
+		rep, err := s.est.(est.Reporter).MakeReport(t, rng)
+		if err != nil {
+			return err
+		}
+		return s.lanes[idx%uint64(len(s.lanes))].AddReport(rep)
+	}
 	return s.est.Observe(t, rng)
 }
 
@@ -321,6 +356,15 @@ const (
 // AddReport accumulates one already-perturbed report (streaming ingestion
 // from the wire). Safe for concurrent use.
 func (s *Session) AddReport(rep Report) error { return s.est.AddReport(rep) }
+
+// AddReports accumulates a batch of already-perturbed reports through the
+// estimator's batched ingest path: for the built-in families the whole
+// batch lands under one stripe-lock acquisition (est.BatchAdder) instead
+// of one per report. Malformed reports are skipped, not fatal — accepted
+// counts the rest, and err carries the first rejection for diagnostics.
+func (s *Session) AddReports(reps []Report) (accepted int, err error) {
+	return est.AddReports(s.est, reps)
+}
 
 // Estimate returns the running naive estimate.
 func (s *Session) Estimate() []float64 { return s.est.Estimate() }

@@ -1,0 +1,79 @@
+package hdr4me
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSessionAddReportsMatchesSerial: the batched ingest surface must
+// agree with per-report ingestion — exact counts, estimates within the
+// documented cross-stripe fold tolerance — including under concurrency.
+func TestSessionAddReportsMatchesSerial(t *testing.T) {
+	mk := func() *Session {
+		s, err := New(
+			WithMechanism(Piecewise()),
+			WithBudget(1),
+			WithDims(8, 2),
+			WithSeed(3),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	perturber := mk()
+	reps := make([]Report, 1200)
+	row := make([]float64, 8)
+	for i := range reps {
+		for j := range row {
+			row[j] = float64((i+j)%5)/4 - 0.5
+		}
+		rep, err := perturber.Report(Tuple{Values: row})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = rep
+	}
+
+	serial := mk()
+	for _, rep := range reps {
+		if err := serial.AddReport(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batched := mk()
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			const chunk = 75
+			for off := w * chunk; off < len(reps); off += workers * chunk {
+				end := min(off+chunk, len(reps))
+				if acc, err := batched.AddReports(reps[off:end]); err != nil || acc != end-off {
+					t.Errorf("worker %d: accepted %d of %d, err %v", w, acc, end-off, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	sc, bc := serial.Counts(), batched.Counts()
+	se, be := serial.Estimate(), batched.Estimate()
+	for j := range sc {
+		if bc[j] != sc[j] {
+			t.Fatalf("dim %d: batched count %d != serial %d", j, bc[j], sc[j])
+		}
+		if d := be[j] - se[j]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("dim %d: batched estimate %v != serial %v", j, be[j], se[j])
+		}
+	}
+
+	// Malformed reports are skipped, not fatal.
+	bad := []Report{reps[0], {Dims: []uint32{99}, Values: []float64{1}}, reps[1]}
+	if acc, err := mk().AddReports(bad); acc != 2 || err == nil {
+		t.Fatalf("AddReports(bad) = %d, %v; want 2 accepted and the rejection error", acc, err)
+	}
+}
