@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same targets.
 
-.PHONY: build test race bench benchdiff
+.PHONY: build test race bench benchdiff cover fmt-check e2e
 
 build:
 	go build ./...
@@ -24,3 +24,20 @@ bench:
 # (non-blocking: exit status is always 0).
 benchdiff:
 	sh scripts/benchdiff.sh
+
+# cover runs the race-enabled test suite with a coverage profile and
+# prints the per-function summary (CI uploads coverage.out as an
+# artifact).
+cover:
+	go test -race -coverprofile=coverage.out -covermode=atomic ./...
+	go tool cover -func=coverage.out
+
+# fmt-check fails (listing the offenders) when any file needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# e2e runs the crash-recovery end-to-end: kill -9 a checkpointing
+# collector, restart it, and assert the restored estimates are
+# bitwise-equal (scripts/crash_recovery_e2e.sh).
+e2e:
+	sh scripts/crash_recovery_e2e.sh

@@ -67,6 +67,21 @@ func (a *Accountant) Release(spec est.QuerySpec) {
 	}
 }
 
+// chargeSunk re-applies privacy spend that no longer maps to a live
+// query — the sunk cost of queries deleted before a checkpoint — when a
+// collector restores its state. The charge is unconditional and may even
+// sit above the configured total (e.g. the operator lowered the ceiling
+// across a restart): the data was already collected, so the ledger must
+// keep the spend either way.
+func (a *Accountant) chargeSunk(eps float64) {
+	if !(eps > 0) {
+		return
+	}
+	a.mu.Lock()
+	a.spent += eps
+	a.mu.Unlock()
+}
+
 // Total returns the configured per-user budget ceiling.
 func (a *Accountant) Total() float64 { return a.total }
 

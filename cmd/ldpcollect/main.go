@@ -31,10 +31,26 @@
 //
 //	ldpcollect -users 0 -pprof localhost:6060
 //	go tool pprof http://localhost:6060/debug/pprof/mutex
+//
+// Durability: with -state-dir the collector checkpoints its full state —
+// every query's spec, lifecycle and folded snapshot, plus the privacy
+// accountant's ledger — to dir/checkpoint.ckpt, atomically, every
+// -checkpoint-interval, on demand via the CHECKPOINT (0x0B) wire frame,
+// and on shutdown after a graceful drain (stop accepting, let in-flight
+// connections finish, checkpoint, exit). On startup the checkpoint is
+// restored through the ordinary registration path, so a kill -9 loses
+// only the reports accepted after the last checkpoint:
+//
+//	ldpcollect -users 0 -state-dir /var/lib/ldpcollect -total-eps 2.0 \
+//	  -query temps,kind=mean,mech=piecewise,eps=0.8,d=16
+//
+// A checkpoint file that fails its CRC is refused with a clear error and
+// the collector starts fresh — never a silent partial restore.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -46,9 +62,15 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	hdr4me "github.com/hdr4me/hdr4me"
 )
+
+// drainTimeout bounds the graceful-shutdown drain: connections that have
+// not finished their exchanges and disconnected by then are force-closed
+// (the final checkpoint still captures everything acknowledged).
+const drainTimeout = 5 * time.Second
 
 // querySpecs collects repeatable -query flags.
 type querySpecs []hdr4me.QuerySpec
@@ -86,6 +108,11 @@ func main() {
 		"serve net/http/pprof on this side listener (e.g. localhost:6060; empty = off) "+
 			"to observe ingest contention and allocation in a live collector")
 	totalEps := flag.Float64("total-eps", 0, "total per-user privacy budget across all queries (0 = unaccounted)")
+	stateDir := flag.String("state-dir", "",
+		"directory for durable collector state: restore on startup, checkpoint periodically, "+
+			"on CHECKPOINT wire frames, and on shutdown (empty = in-memory only)")
+	ckptEvery := flag.Duration("checkpoint-interval", time.Minute,
+		"how often to checkpoint collector state to -state-dir (0 = only on demand and on shutdown)")
 	var queries querySpecs
 	flag.Var(&queries, "query",
 		"open a named query (repeatable): name,kind=mean|wholetuple|freq,mech=...,eps=...,d=...[,m=...][,cards=AxBxC]")
@@ -111,6 +138,9 @@ func main() {
 		log.Fatalf("ldpcollect: -merge-into supports single-query mode only (the MERGE frame would " +
 			"need one -query name to route to; push per-query snapshots with the client API instead)")
 	}
+	if *ckptEvery < 0 {
+		log.Fatalf("ldpcollect: -checkpoint-interval must be >= 0, have %v", *ckptEvery)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -131,7 +161,7 @@ func main() {
 	}
 
 	if len(queries) > 0 {
-		multiQuery(ctx, queries, *addr, *users, *batch, *totalEps, *seed)
+		multiQuery(ctx, queries, *addr, *users, *batch, *totalEps, *stateDir, *ckptEvery, *seed)
 		return
 	}
 
@@ -146,18 +176,46 @@ func main() {
 	// Collector side: one Session holds the estimator and its HDR4ME
 	// configuration; the TCP server serves it — reports in, naive and
 	// enhanced estimates out.
-	sess, err := hdr4me.New(
+	opts := []hdr4me.Option{
 		hdr4me.WithMechanism(mech),
 		hdr4me.WithBudget(*eps),
 		hdr4me.WithDims(*d, *m),
 		hdr4me.WithEnhance(hdr4me.DefaultEnhanceConfig(hdr4me.RegL1)),
 		hdr4me.WithSeed(*seed),
-	)
+	}
+	if *stateDir != "" {
+		opts = append(opts, hdr4me.WithStateDir(*stateDir))
+		if *ckptEvery > 0 {
+			opts = append(opts, hdr4me.WithCheckpointInterval(*ckptEvery))
+		}
+	}
+	sess, err := hdr4me.New(opts...)
 	if err != nil {
 		log.Fatalf("ldpcollect: %v", err)
 	}
+	var save func() error
+	if *stateDir != "" {
+		defer sess.Close()
+		save = sess.SaveCheckpoint
+		// Restore before the server comes up, so the merged fold
+		// reproduces the saved estimate bitwise under quiesced traffic.
+		// A checkpoint that fails its CRC is refused loudly and the
+		// collector starts fresh — never a silent partial restore. Any
+		// other refusal (e.g. the flags no longer match the saved spec)
+		// is fatal: continuing would soon overwrite a still-valid
+		// checkpoint with a fresh, near-empty one.
+		switch restored, rerr := sess.RestoreCheckpoint(); {
+		case errors.Is(rerr, hdr4me.ErrCorruptCheckpoint):
+			log.Printf("ldpcollect: refusing checkpoint: %v (starting fresh)", rerr)
+		case rerr != nil:
+			log.Fatalf("ldpcollect: restore collector state: %v", rerr)
+		case restored:
+			fmt.Printf("restored collector state from %s\n", *stateDir)
+		}
+	}
 	srv := hdr4me.NewEstimatorServer(sess.Estimator())
-	bound, err := srv.ListenContext(ctx, *addr)
+	srv.OnCheckpoint = save // nil without -state-dir: CHECKPOINT frames NACK
+	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("ldpcollect: listen: %v", err)
 	}
@@ -169,6 +227,7 @@ func main() {
 	if *users == 0 {
 		fmt.Println("serve-only: accepting reports, queries and shard merges (Ctrl-C to stop)")
 		<-ctx.Done()
+		drainAndCheckpoint(srv, save)
 		var total int64
 		for _, c := range sess.Counts() {
 			total += c
@@ -272,11 +331,43 @@ func main() {
 		}
 		fmt.Printf("shard snapshot folded into parent collector at %s (wire frame 0x08)\n", *mergeInto)
 	}
+	if save != nil {
+		if err := save(); err != nil {
+			log.Printf("ldpcollect: final checkpoint: %v", err)
+		} else {
+			fmt.Printf("collector state checkpointed to %s\n", *stateDir)
+		}
+	}
+}
+
+// drainAndCheckpoint is the graceful-shutdown tail: stop accepting, let
+// in-flight connections finish their exchanges (bounded by
+// drainTimeout; stragglers are force-closed), then write one final
+// checkpoint so everything acknowledged before the drain survives the
+// restart. save is nil when the collector runs without -state-dir.
+func drainAndCheckpoint(srv *hdr4me.CollectorServer, save func() error) {
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("ldpcollect: drain: %v (remaining connections force-closed)", err)
+	}
+	if save == nil {
+		return
+	}
+	if err := save(); err != nil {
+		log.Printf("ldpcollect: final checkpoint: %v", err)
+	} else {
+		fmt.Println("final checkpoint saved")
+	}
 }
 
 // multiQuery hosts every -query spec on one registry behind one port and,
-// when users > 0, runs one routed collection round per query.
-func multiQuery(ctx context.Context, queries querySpecs, addr string, users, batch int, totalEps float64, seed uint64) {
+// when users > 0, runs one routed collection round per query. With a
+// state directory it first restores the previous checkpoint — every
+// saved query replays through the ordinary Open path, so restored
+// state passes the same Accountant gating as live registrations — and
+// keeps the state durable (interval, CHECKPOINT frames, shutdown drain).
+func multiQuery(ctx context.Context, queries querySpecs, addr string, users, batch int, totalEps float64, stateDir string, ckptEvery time.Duration, seed uint64) {
 	var acct *hdr4me.Accountant
 	if totalEps > 0 {
 		var err error
@@ -285,19 +376,65 @@ func multiQuery(ctx context.Context, queries querySpecs, addr string, users, bat
 		}
 	}
 	reg := hdr4me.NewQueryRegistry(acct)
+	if stateDir != "" {
+		switch n, err := hdr4me.RestoreCollectorState(stateDir, reg, acct); {
+		case errors.Is(err, hdr4me.ErrCorruptCheckpoint):
+			// Refused outright: corrupt state must not half-restore.
+			log.Printf("ldpcollect: refusing checkpoint: %v (starting fresh)", err)
+		case err != nil:
+			log.Fatalf("ldpcollect: restore collector state: %v", err)
+		case n > 0:
+			fmt.Printf("restored %d queries from %s\n", n, stateDir)
+		}
+	}
 	for _, spec := range queries {
+		if restored := reg.Get(spec.Name); restored != nil {
+			// The restored query wins over the flag — but only when they
+			// agree. A silent mismatch would have this process's client
+			// rounds perturb under the flag's parameters while the
+			// restored estimator debiases under the saved ones.
+			if err := hdr4me.CompatibleSpecs(spec, restored.Spec()); err != nil {
+				log.Fatalf("ldpcollect: -query %s conflicts with the query restored from the checkpoint: %v "+
+					"(match the flags to the saved state, or delete the checkpoint)", spec.Name, err)
+			}
+			fmt.Printf("query %q already restored from checkpoint; -query flag matches\n", spec.Name)
+			continue
+		}
 		if _, err := reg.Open(spec); err != nil {
 			log.Fatalf("ldpcollect: open query: %v", err)
 		}
 		fmt.Printf("query %q open (kind=%s, ε=%g)\n", spec.Name, spec.Kind, spec.Eps)
 	}
 	srv := hdr4me.NewRegistryServer(reg)
-	bound, err := srv.ListenContext(ctx, addr)
+	var save func() error
+	// stopCkpt joins the periodic checkpointer: the final post-drain save
+	// must never race an in-flight periodic rename, or the checkpoint
+	// could end up holding stale pre-drain state.
+	stopCkpt := func() {}
+	if stateDir != "" {
+		// saveMu serializes overlapping saves (periodic ticker, CHECKPOINT
+		// frames, final) so the file always holds the newest capture.
+		var saveMu sync.Mutex
+		save = func() error {
+			saveMu.Lock()
+			defer saveMu.Unlock()
+			return hdr4me.SaveCollectorState(stateDir, reg, acct)
+		}
+		srv.OnCheckpoint = save
+		if ckptEvery > 0 {
+			// Safe to start now: the restore already ran above.
+			stopCkpt = hdr4me.StartCheckpointer(ckptEvery, save, func(err error) {
+				log.Printf("ldpcollect: periodic checkpoint: %v", err)
+			})
+			defer stopCkpt()
+		}
+	}
+	bound, err := srv.Listen(addr)
 	if err != nil {
 		log.Fatalf("ldpcollect: listen: %v", err)
 	}
 	defer srv.Close()
-	fmt.Printf("multi-query collector listening on %s (%d queries", bound, len(queries))
+	fmt.Printf("multi-query collector listening on %s (%d queries", bound, reg.Len())
 	if acct != nil {
 		fmt.Printf(", per-user spend %g of %g", acct.Spent(), acct.Total())
 	}
@@ -306,6 +443,8 @@ func multiQuery(ctx context.Context, queries querySpecs, addr string, users, bat
 	if users == 0 {
 		fmt.Println("serve-only: accepting routed reports, OPENQUERY registrations and estimates (Ctrl-C to stop)")
 		<-ctx.Done()
+		stopCkpt()
+		drainAndCheckpoint(srv, save)
 		return
 	}
 
@@ -320,6 +459,14 @@ func multiQuery(ctx context.Context, queries querySpecs, addr string, users, bat
 		}(spec)
 	}
 	wg.Wait()
+	if save != nil {
+		stopCkpt()
+		if err := save(); err != nil {
+			log.Printf("ldpcollect: final checkpoint: %v", err)
+		} else {
+			fmt.Printf("collector state checkpointed to %s\n", stateDir)
+		}
+	}
 }
 
 // runQueryRound simulates one query's user population: a spec-built

@@ -47,6 +47,19 @@
 // sides: NewFromSpec builds a Session whose Report perturbs on the user's
 // device while the collector's spec-built estimator aggregates.
 //
+// Collector state is durable: WithStateDir + Session.SaveCheckpoint /
+// RestoreCheckpoint (and, for multi-query collectors,
+// SaveCollectorState / RestoreCollectorState wired to the server's
+// OnCheckpoint hook) persist every query's spec, lifecycle and folded
+// snapshot plus the Accountant ledger into a versioned, CRC-guarded
+// checkpoint file, written atomically on a WithCheckpointInterval
+// cadence, on demand via the CHECKPOINT wire frame, and on graceful
+// shutdown. Restores replay specs through the ordinary admission path —
+// the same budget gating as live registrations — and reproduce the
+// checkpointed estimates bitwise; reports accepted after the last
+// checkpoint are lost by design. See the README's "Durability &
+// restarts" section.
+//
 // The pre-Session facade (Simulate, SimulateAllocated, SimulateDuchiMD,
 // SimulateFreq) remains available as deprecated wrappers over the same
 // internals; see README.md for the migration table and EXPERIMENTS.md for

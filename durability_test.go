@@ -1,0 +1,398 @@
+package hdr4me
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hdr4me/hdr4me/internal/persist"
+)
+
+// meanSessionOpts is the shared configuration of the session round-trip
+// tests: a small mean-family pipeline plus durability in dir.
+func meanSessionOpts(dir string) []Option {
+	return []Option{
+		WithMechanism(Piecewise()),
+		WithBudget(0.8),
+		WithDims(6, 3),
+		WithSeed(7),
+		WithStateDir(dir),
+	}
+}
+
+func TestSessionCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src, err := New(meanSessionOpts(dir)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, 6)
+	for i := 0; i < 200; i++ {
+		for j := range row {
+			row[j] = float64((i+j)%11)/5 - 1
+		}
+		if err := src.Observe(Tuple{Values: row}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.SaveCheckpoint(); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+
+	dst, err := New(meanSessionOpts(dir)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := dst.RestoreCheckpoint()
+	if err != nil {
+		t.Fatalf("RestoreCheckpoint: %v", err)
+	}
+	if !restored {
+		t.Fatal("RestoreCheckpoint found no checkpoint")
+	}
+	if !reflect.DeepEqual(dst.Estimate(), src.Estimate()) {
+		t.Fatal("restored estimate is not bitwise-equal to the checkpointed one")
+	}
+	if !reflect.DeepEqual(dst.Counts(), src.Counts()) {
+		t.Fatal("restored counts differ")
+	}
+
+	// A restore on a fresh directory reports "nothing to restore".
+	fresh, err := New(meanSessionOpts(t.TempDir())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored, err := fresh.RestoreCheckpoint(); err != nil || restored {
+		t.Fatalf("RestoreCheckpoint on empty dir = (%v, %v), want (false, nil)", restored, err)
+	}
+}
+
+func TestSessionRestoreRefusesMismatchedSpec(t *testing.T) {
+	dir := t.TempDir()
+	src, err := New(meanSessionOpts(dir)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Observe(Tuple{Values: make([]float64, 6)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SaveCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same shape, different budget: folding this data in would debias
+	// under the wrong ε, so the restore must refuse.
+	other, err := New(
+		WithMechanism(Piecewise()), WithBudget(1.6), WithDims(6, 3), WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.RestoreCheckpoint(); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("restore under a different budget: err = %v, want a spec mismatch", err)
+	}
+	if c := other.Counts(); c[0] != 0 {
+		t.Fatalf("refused restore still touched the session: counts %v", c)
+	}
+}
+
+func TestSessionRestoreRefusesCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	src, err := New(meanSessionOpts(dir)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Observe(Tuple{Values: make([]float64, 6)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SaveCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, persist.FileName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := New(meanSessionOpts(dir)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.RestoreCheckpoint(); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("restore of corrupted file: err = %v, want ErrCorruptCheckpoint", err)
+	}
+	if c := dst.Counts(); c[0] != 0 {
+		t.Fatalf("refused restore still touched the session: counts %v", c)
+	}
+}
+
+func TestDurabilityRefusesSpeclessSessions(t *testing.T) {
+	// A per-dimension allocation cannot be expressed in a QuerySpec, so a
+	// checkpoint record would drop it — and a later restore could fold
+	// data perturbed under different per-dimension budgets. Refuse at
+	// construction time.
+	alloc, err := OptimalMSEAllocation(0.8, []float64{3, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(WithMechanism(Piecewise()), WithBudget(0.8), WithDims(2, 2),
+		WithAllocation(alloc), WithStateDir(t.TempDir()))
+	if err == nil || !strings.Contains(err.Error(), "cannot be checkpointed") {
+		t.Fatalf("alloc session with a state dir: err = %v, want a checkpoint refusal", err)
+	}
+}
+
+func TestSessionCheckpointInterval(t *testing.T) {
+	if _, err := New(WithMechanism(Piecewise()), WithBudget(0.8), WithDims(2, 2),
+		WithCheckpointInterval(time.Second)); err == nil {
+		t.Fatal("WithCheckpointInterval without WithStateDir must refuse")
+	}
+
+	dir := t.TempDir()
+	sess, err := New(
+		WithMechanism(Piecewise()), WithBudget(0.8), WithDims(2, 2), WithSeed(3),
+		WithStateDir(dir), WithCheckpointInterval(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Observe(Tuple{Values: []float64{0.5, -0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, persist.FileName)); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic checkpointer never wrote a checkpoint")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The final checkpoint restores into a fresh session.
+	dst, err := New(WithMechanism(Piecewise()), WithBudget(0.8), WithDims(2, 2), WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored, err := dst.RestoreCheckpoint(); err != nil || !restored {
+		t.Fatalf("restore after Close = (%v, %v), want (true, nil)", restored, err)
+	}
+	if !reflect.DeepEqual(dst.Counts(), sess.Counts()) {
+		t.Fatal("restored counts differ from the closed session's")
+	}
+}
+
+func TestPeriodicCheckpointerHoldsOffUntilRestore(t *testing.T) {
+	dir := t.TempDir()
+	src, err := New(meanSessionOpts(dir)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Observe(Tuple{Values: make([]float64, 6)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SaveCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new session with an aggressive interval must not overwrite the
+	// restorable checkpoint before RestoreCheckpoint has run.
+	s2, err := New(append(meanSessionOpts(dir), WithCheckpointInterval(time.Millisecond))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // many ticks elapse
+	state, err := persist.Load(dir)
+	if err != nil {
+		t.Fatalf("checkpoint unreadable while restore pending: %v", err)
+	}
+	if state.Queries[0].Snap.Counts[0] == 0 {
+		t.Fatal("periodic checkpointer overwrote a restorable checkpoint before RestoreCheckpoint")
+	}
+	if restored, err := s2.RestoreCheckpoint(); err != nil || !restored {
+		t.Fatalf("RestoreCheckpoint = (%v, %v)", restored, err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s2.Counts(), src.Counts()) {
+		t.Fatal("restored counts differ after hold-off")
+	}
+}
+
+// collectorSpecs is the three-family query set of the collector-state
+// tests; ε sums to 1.9 of a 2.0 total.
+func collectorSpecs() []QuerySpec {
+	return []QuerySpec{
+		{Name: "mq", Kind: KindMean, Mech: "piecewise", Eps: 0.8, D: 4},
+		{Name: "wq", Kind: KindWholeTuple, Eps: 0.6, D: 3},
+		{Name: "fq", Kind: KindFreq, Mech: "squarewave", Eps: 0.5, Cards: []int{3, 4}, M: 2},
+	}
+}
+
+func TestCollectorStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	acct, err := NewAccountant(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewQueryRegistry(acct)
+	for _, spec := range collectorSpecs() {
+		q, err := reg.Open(spec)
+		if err != nil {
+			t.Fatalf("Open %q: %v", spec.Name, err)
+		}
+		// Feed each family through its own spec-built perturber, exactly
+		// as remote devices would.
+		sess, err := NewFromSpec(spec, WithSeed(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			var tup Tuple
+			if spec.Kind == KindFreq {
+				tup.Cats = []int{i % 3, i % 4}
+			} else {
+				tup.Values = make([]float64, spec.D)
+				for j := range tup.Values {
+					tup.Values[j] = float64((i+j)%9)/4 - 1
+				}
+			}
+			rep, err := sess.Report(tup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := q.AddReport(rep); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := reg.Seal("wq"); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCollectorState(dir, reg, acct); err != nil {
+		t.Fatalf("SaveCollectorState: %v", err)
+	}
+
+	acct2, err := NewAccountant(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2 := NewQueryRegistry(acct2)
+	n, err := RestoreCollectorState(dir, reg2, acct2)
+	if err != nil {
+		t.Fatalf("RestoreCollectorState: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("restored %d queries, want 3", n)
+	}
+	if math.Abs(acct2.Spent()-acct.Spent()) > 1e-12 {
+		t.Fatalf("restored accountant spent %g, want %g", acct2.Spent(), acct.Spent())
+	}
+	for _, spec := range collectorSpecs() {
+		src, dst := reg.Get(spec.Name), reg2.Get(spec.Name)
+		if dst == nil {
+			t.Fatalf("query %q not restored", spec.Name)
+		}
+		if !reflect.DeepEqual(dst.Estimator().Estimate(), src.Estimator().Estimate()) {
+			t.Errorf("query %q: restored estimate not bitwise-equal", spec.Name)
+		}
+		if !reflect.DeepEqual(dst.Estimator().Counts(), src.Estimator().Counts()) {
+			t.Errorf("query %q: restored counts differ", spec.Name)
+		}
+		if dst.State() != src.State() {
+			t.Errorf("query %q: restored state %v, want %v", spec.Name, dst.State(), src.State())
+		}
+	}
+	// The restored ledger gates exactly as the live one: 1.9 spent of
+	// 2.0, so ε=0.5 must be refused and ε=0.1 admitted.
+	if _, err := reg2.Open(QuerySpec{Name: "big", Kind: KindMean, Mech: "laplace", Eps: 0.5, D: 1}); err == nil {
+		t.Fatal("restored accountant admitted an over-budget query")
+	}
+	if _, err := reg2.Open(QuerySpec{Name: "small", Kind: KindMean, Mech: "laplace", Eps: 0.1, D: 1}); err != nil {
+		t.Fatalf("restored accountant refused an in-budget query: %v", err)
+	}
+}
+
+func TestCollectorStateRestoresSunkSpend(t *testing.T) {
+	dir := t.TempDir()
+	acct, err := NewAccountant(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewQueryRegistry(acct)
+	for _, spec := range collectorSpecs() {
+		if _, err := reg.Open(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deleting frees the name but not the budget: the 0.8 stays sunk.
+	if err := reg.Delete("mq"); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCollectorState(dir, reg, acct); err != nil {
+		t.Fatal(err)
+	}
+
+	acct2, err := NewAccountant(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2 := NewQueryRegistry(acct2)
+	if n, err := RestoreCollectorState(dir, reg2, acct2); err != nil || n != 2 {
+		t.Fatalf("restore = (%d, %v), want (2, nil)", n, err)
+	}
+	if math.Abs(acct2.Spent()-1.9) > 1e-9 {
+		t.Fatalf("restored spend %g, want 1.9 (1.1 live + 0.8 sunk)", acct2.Spent())
+	}
+	// The deleted query's name is free, but its sunk ε still counts: a
+	// 0.8 re-registration must be refused (only 0.1 remains).
+	if _, err := reg2.Open(QuerySpec{Name: "mq", Kind: KindMean, Mech: "piecewise", Eps: 0.8, D: 4}); err == nil {
+		t.Fatal("sunk spend was not restored: deleted query's ε was refunded across the restart")
+	}
+}
+
+func TestRestoreRefusesDroppingLedger(t *testing.T) {
+	dir := t.TempDir()
+	acct, err := NewAccountant(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewQueryRegistry(acct)
+	if _, err := reg.Open(collectorSpecs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCollectorState(dir, reg, acct); err != nil {
+		t.Fatal(err)
+	}
+	// Restoring into an unaccounted collector would silently erase the
+	// budget enforcement the checkpointed deployment had: refuse.
+	reg2 := NewQueryRegistry(nil)
+	_, err = RestoreCollectorState(dir, reg2, nil)
+	if err == nil || !strings.Contains(err.Error(), "ledger") {
+		t.Fatalf("ledger-dropping restore: err = %v, want a refusal naming the ledger", err)
+	}
+	if reg2.Len() != 0 {
+		t.Fatalf("refused restore still registered %d queries", reg2.Len())
+	}
+}
+
+func TestRestoreCollectorStateOnEmptyDir(t *testing.T) {
+	reg := NewQueryRegistry(nil)
+	if n, err := RestoreCollectorState(t.TempDir(), reg, nil); err != nil || n != 0 {
+		t.Fatalf("restore on empty dir = (%d, %v), want (0, nil)", n, err)
+	}
+}

@@ -249,6 +249,22 @@ func (r *Registry) Delete(name string) error {
 	return nil
 }
 
+// All returns every live query sorted by name — one consistent view of
+// the registry taken under a single lock, so a caller walking the result
+// (a checkpointer, a status page) never sees a name resolved by Names
+// vanish before its Get. The *Query handles stay live-updating: a query
+// deleted after All returns reports StateDeleted through its handle.
+func (r *Registry) All() []*Query {
+	r.mu.RLock()
+	qs := make([]*Query, 0, len(r.queries))
+	for _, q := range r.queries {
+		qs = append(qs, q)
+	}
+	r.mu.RUnlock()
+	sort.Slice(qs, func(i, j int) bool { return qs[i].spec.Name < qs[j].spec.Name })
+	return qs
+}
+
 // Names returns the live query names, sorted.
 func (r *Registry) Names() []string {
 	r.mu.RLock()

@@ -112,11 +112,11 @@ func TestRegistryOpenGetNames(t *testing.T) {
 func TestRegistryOpenValidates(t *testing.T) {
 	r := NewRegistry(stubFactory(false), nil)
 	bad := []QuerySpec{
-		{},                                  // no name
-		{Name: "x", Kind: "weird", Eps: 1},  // unknown kind
-		{Name: "x", Kind: KindMean, Eps: 0}, // no budget
-		{Name: "x", Kind: KindMean, Eps: 1}, // d = 0
-		{Name: "x", Kind: KindFreq, Eps: 1}, // no cards
+		{},                                            // no name
+		{Name: "x", Kind: "weird", Eps: 1},            // unknown kind
+		{Name: "x", Kind: KindMean, Eps: 0},           // no budget
+		{Name: "x", Kind: KindMean, Eps: 1},           // d = 0
+		{Name: "x", Kind: KindFreq, Eps: 1},           // no cards
 		{Name: "x", Eps: 1, D: 3, Cards: []int{2, 2}}, // d disagrees with cards
 	}
 	for i, spec := range bad {

@@ -1,0 +1,258 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"github.com/hdr4me/hdr4me/internal/transport"
+)
+
+// Checkpoint file layout (big endian):
+//
+//	[8]byte  magic "HDR4CKPT"
+//	uint32   format version (currently 1)
+//	uint64   payload length
+//	payload  (see below)
+//	uint32   CRC-32C (Castagnoli) of the payload
+//
+// Payload:
+//
+//	byte     accountant present (0/1); when 1:
+//	float64    total ε, float64 spent ε
+//	uint32   query count; per query:
+//	  QuerySpec   (the OPENQUERY wire codec, transport.EncodeQuerySpec)
+//	  byte        lifecycle (0 = open, 1 = sealed)
+//	  Snapshot    (the SNAPSHOT wire codec, transport.EncodeSnapshot)
+//
+// The CRC guards the whole payload: a torn write, a bad disk or a
+// hand-edited file is refused outright (ErrCorrupt) rather than half
+// restored. Unknown versions are refused the same way, so a format bump
+// can never be silently misparsed.
+const (
+	magic   = "HDR4CKPT"
+	version = 1
+
+	// FileName is the checkpoint's name inside a state directory.
+	FileName = "checkpoint.ckpt"
+
+	// maxQueries bounds the query count a checkpoint may claim, so a
+	// corrupt count field cannot force an absurd allocation before the
+	// CRC is even checked.
+	maxQueries = 1 << 16
+
+	// maxPayload bounds the payload length field for the same reason.
+	maxPayload = 1 << 30
+)
+
+// ErrCorrupt marks a checkpoint file that exists but cannot be trusted:
+// bad magic, unknown version, truncation, or a CRC mismatch. Callers
+// must treat it as "no usable checkpoint" and start fresh — never as a
+// partial restore.
+var ErrCorrupt = errors.New("persist: corrupt checkpoint")
+
+// castagnoli is the CRC-32C table (the polynomial with hardware support
+// on both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode serializes state to w in the versioned, CRC-guarded layout.
+func Encode(w io.Writer, state State) error {
+	var payload bytes.Buffer
+	if err := encodePayload(&payload, state); err != nil {
+		return err
+	}
+	hdr := make([]byte, len(magic)+4+8)
+	copy(hdr, magic)
+	binary.BigEndian.PutUint32(hdr[len(magic):], version)
+	binary.BigEndian.PutUint64(hdr[len(magic)+4:], uint64(payload.Len()))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(payload.Bytes(), castagnoli))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+func encodePayload(w *bytes.Buffer, state State) error {
+	if state.Accountant != nil {
+		w.WriteByte(1)
+		var b [16]byte
+		binary.BigEndian.PutUint64(b[:8], math.Float64bits(state.Accountant.Total))
+		binary.BigEndian.PutUint64(b[8:], math.Float64bits(state.Accountant.Spent))
+		w.Write(b[:])
+	} else {
+		w.WriteByte(0)
+	}
+	if len(state.Queries) > maxQueries {
+		return fmt.Errorf("persist: %d queries exceed the checkpoint limit %d", len(state.Queries), maxQueries)
+	}
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(state.Queries)))
+	w.Write(n[:])
+	for _, q := range state.Queries {
+		if err := transport.EncodeQuerySpec(w, q.Spec); err != nil {
+			return err
+		}
+		var sealed byte
+		if q.Sealed {
+			sealed = 1
+		}
+		w.WriteByte(sealed)
+		if err := transport.EncodeSnapshot(w, q.Snap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode parses a checkpoint written by Encode. Every trust failure —
+// bad magic, unknown version, truncation, CRC mismatch, hostile length
+// fields — comes back wrapping ErrCorrupt.
+func Decode(r io.Reader) (State, error) {
+	var state State
+	hdr := make([]byte, len(magic)+4+8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return state, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return state, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:len(magic)])
+	}
+	if v := binary.BigEndian.Uint32(hdr[len(magic):]); v != version {
+		return state, fmt.Errorf("%w: unsupported format version %d (want %d)", ErrCorrupt, v, version)
+	}
+	plen := binary.BigEndian.Uint64(hdr[len(magic)+4:])
+	if plen > maxPayload {
+		return state, fmt.Errorf("%w: payload length %d exceeds limit", ErrCorrupt, plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return state, fmt.Errorf("%w: short payload: %v", ErrCorrupt, err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return state, fmt.Errorf("%w: missing checksum: %v", ErrCorrupt, err)
+	}
+	want := binary.BigEndian.Uint32(crc[:])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return state, fmt.Errorf("%w: CRC mismatch (file says %08x, payload hashes to %08x)", ErrCorrupt, want, got)
+	}
+	if err := decodePayload(bytes.NewReader(payload), &state); err != nil {
+		return State{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return state, nil
+}
+
+func decodePayload(r *bytes.Reader, state *State) error {
+	acct, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if acct > 1 {
+		return fmt.Errorf("accountant flag %d is not 0/1", acct)
+	}
+	if acct == 1 {
+		var b [16]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return err
+		}
+		state.Accountant = &AccountantState{
+			Total: math.Float64frombits(binary.BigEndian.Uint64(b[:8])),
+			Spent: math.Float64frombits(binary.BigEndian.Uint64(b[8:])),
+		}
+	}
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return err
+	}
+	cnt := binary.BigEndian.Uint32(n[:])
+	if cnt > maxQueries {
+		return fmt.Errorf("%d queries exceed the checkpoint limit %d", cnt, maxQueries)
+	}
+	for i := uint32(0); i < cnt; i++ {
+		var q QueryRecord
+		if q.Spec, err = transport.DecodeQuerySpec(r); err != nil {
+			return err
+		}
+		sealed, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		if sealed > 1 {
+			return fmt.Errorf("query %q: lifecycle byte %d is not 0/1", q.Spec.Name, sealed)
+		}
+		q.Sealed = sealed == 1
+		if q.Snap, err = transport.DecodeSnapshot(r); err != nil {
+			return err
+		}
+		state.Queries = append(state.Queries, q)
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("%d trailing bytes after last query", r.Len())
+	}
+	return nil
+}
+
+// Save writes state atomically into dir/FileName: the bytes land in a
+// temp file in the same directory, are fsynced, and replace the previous
+// checkpoint with a single rename — a crash mid-write leaves the old
+// checkpoint intact, never a torn file. The directory is created if
+// missing.
+func Save(dir string, state State) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, FileName+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := Encode(tmp, state); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	final := filepath.Join(dir, FileName)
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return err
+	}
+	// fsync the directory so the rename itself survives a power loss.
+	// Platforms whose directory handles reject Sync (it is optional in
+	// POSIX) still got the atomic rename, so ignore that error.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads dir/FileName. A missing file returns fs.ErrNotExist
+// (errors.Is(err, os.ErrNotExist)) — the fresh-start signal — while an
+// unreadable or untrustworthy file returns an error wrapping ErrCorrupt.
+func Load(dir string) (State, error) {
+	f, err := os.Open(filepath.Join(dir, FileName))
+	if err != nil {
+		return State{}, err
+	}
+	defer f.Close()
+	state, err := Decode(f)
+	if err != nil {
+		return State{}, fmt.Errorf("%s: %w", f.Name(), err)
+	}
+	return state, nil
+}

@@ -1,0 +1,295 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/est"
+	"github.com/hdr4me/hdr4me/internal/mathx"
+)
+
+// fakeEst is a minimal additive estimator: AddReport lands Values[i] on
+// Sums[Dims[i]], Merge adds a peer snapshot. Enough to prove restore
+// reproduces state without dragging in a real family.
+type fakeEst struct {
+	kind   string
+	sums   []float64
+	counts []int64
+}
+
+func newFake(kind string, d int) *fakeEst {
+	return &fakeEst{kind: kind, sums: make([]float64, d), counts: make([]int64, d)}
+}
+
+func (f *fakeEst) Kind() string { return f.kind }
+func (f *fakeEst) Dims() int    { return len(f.sums) }
+func (f *fakeEst) Observe(t est.Tuple, rng *mathx.RNG) error {
+	return fmt.Errorf("fake: no observe")
+}
+func (f *fakeEst) AddReport(rep est.Report) error {
+	for i, d := range rep.Dims {
+		if int(d) >= len(f.sums) {
+			return fmt.Errorf("fake: dim %d out of range", d)
+		}
+		f.sums[d] += rep.Values[i]
+		f.counts[d]++
+	}
+	return nil
+}
+func (f *fakeEst) Estimate() []float64 { return append([]float64(nil), f.sums...) }
+func (f *fakeEst) Counts() []int64     { return append([]int64(nil), f.counts...) }
+func (f *fakeEst) Snapshot() est.Snapshot {
+	return est.Snapshot{Kind: f.kind, Dims: len(f.sums),
+		Sums: append([]float64(nil), f.sums...), Counts: append([]int64(nil), f.counts...)}
+}
+func (f *fakeEst) Merge(s est.Snapshot) error {
+	if err := est.CheckMerge(f, s, len(f.sums), len(f.counts)); err != nil {
+		return err
+	}
+	for j := range f.sums {
+		f.sums[j] += s.Sums[j]
+		f.counts[j] += s.Counts[j]
+	}
+	return nil
+}
+
+// fakeAdmission charges ε against a ceiling, recording every admit.
+type fakeAdmission struct {
+	total, spent float64
+	admitted     []string
+}
+
+func (a *fakeAdmission) Admit(spec est.QuerySpec) error {
+	if a.spent+spec.Eps > a.total {
+		return fmt.Errorf("fake: %q over budget", spec.Name)
+	}
+	a.spent += spec.Eps
+	a.admitted = append(a.admitted, spec.Name)
+	return nil
+}
+func (a *fakeAdmission) Release(spec est.QuerySpec) { a.spent -= spec.Eps }
+
+func fakeFactory(spec est.QuerySpec) (est.Estimator, error) {
+	d := spec.D
+	if spec.Kind == est.KindFreq {
+		d = 0
+		for _, c := range spec.Cards {
+			d += c
+		}
+	}
+	return newFake(spec.Kind, d), nil
+}
+
+// sampleState builds a representative checkpoint: accountant ledger with
+// sunk spend, three families, one sealed query.
+func sampleState() State {
+	return State{
+		Accountant: &AccountantState{Total: 2.0, Spent: 1.9},
+		Queries: []QueryRecord{
+			{
+				Spec: est.QuerySpec{Name: "fq", Kind: est.KindFreq, Mech: "squarewave", Eps: 0.5, D: 2, M: 2, Cards: []int{3, 4}},
+				Snap: est.Snapshot{Kind: est.KindFreq, Dims: 7, Cards: []int{3, 4},
+					Sums: []float64{1, 2, 3, 4, 5, 6, 7}, Counts: []int64{4, 4}},
+			},
+			{
+				Spec:   est.QuerySpec{Name: "mq", Kind: est.KindMean, Mech: "piecewise", Eps: 0.8, D: 3, M: 3},
+				Sealed: true,
+				Snap: est.Snapshot{Kind: est.KindMean, Dims: 3,
+					Sums: []float64{0.25, -1.5, 3.125}, Counts: []int64{10, 11, 12}},
+			},
+			{
+				Spec: est.QuerySpec{Name: "wq", Kind: est.KindWholeTuple, Eps: 0.6, D: 2, M: 2},
+				Snap: est.Snapshot{Kind: est.KindWholeTuple, Dims: 2,
+					Sums: []float64{7.5, -2.25}, Counts: []int64{20}},
+			},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for name, state := range map[string]State{
+		"full":          sampleState(),
+		"empty":         {},
+		"no-accountant": {Queries: sampleState().Queries[:1]},
+		"no-queries":    {Accountant: &AccountantState{Total: 1, Spent: 0.25}},
+	} {
+		var buf bytes.Buffer
+		if err := Encode(&buf, state); err != nil {
+			t.Fatalf("%s: Encode: %v", name, err)
+		}
+		got, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", name, err)
+		}
+		// Wire vectors decode empty-but-non-nil; normalize via a second
+		// encode so the comparison is canonical-form vs canonical-form.
+		var buf2 bytes.Buffer
+		if err := Encode(&buf2, got); err != nil {
+			t.Fatalf("%s: re-Encode: %v", name, err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("%s: encoding not stable across a round trip", name)
+		}
+		if state.Accountant != nil && *got.Accountant != *state.Accountant {
+			t.Fatalf("%s: accountant %+v, want %+v", name, got.Accountant, state.Accountant)
+		}
+		if len(got.Queries) != len(state.Queries) {
+			t.Fatalf("%s: %d queries, want %d", name, len(got.Queries), len(state.Queries))
+		}
+		for i, q := range got.Queries {
+			want := state.Queries[i]
+			if q.Spec.Name != want.Spec.Name || q.Sealed != want.Sealed ||
+				!reflect.DeepEqual(q.Snap.Sums, want.Snap.Sums) ||
+				!reflect.DeepEqual(q.Snap.Counts, want.Snap.Counts) {
+				t.Fatalf("%s: query %d = %+v, want %+v", name, i, q, want)
+			}
+		}
+	}
+}
+
+func TestDecodeRefusesCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, sampleState()); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	good := buf.Bytes()
+	if _, err := Decode(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine checkpoint refused: %v", err)
+	}
+
+	cases := map[string]func([]byte) []byte{
+		"magic":     func(b []byte) []byte { b[0] ^= 0xFF; return b },
+		"version":   func(b []byte) []byte { b[len(magic)+3] ^= 0xFF; return b },
+		"length":    func(b []byte) []byte { b[len(magic)+4] ^= 0xFF; return b },
+		"payload":   func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b },
+		"crc":       func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b },
+		"truncated": func(b []byte) []byte { return b[:len(b)-5] },
+		"empty":     func(b []byte) []byte { return nil },
+	}
+	for name, mutate := range cases {
+		b := mutate(append([]byte(nil), good...))
+		if _, err := Decode(bytes.NewReader(b)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s corruption: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state") // Save must create it
+	if _, err := Load(dir); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Load on missing dir: err = %v, want fs.ErrNotExist", err)
+	}
+	state := sampleState()
+	if err := Save(dir, state); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(got.Queries) != 3 || *got.Accountant != *state.Accountant {
+		t.Fatalf("Load = %+v, want %+v", got, state)
+	}
+
+	// Overwrite atomically: a second Save replaces, leaves no temp files.
+	state.Queries = state.Queries[:1]
+	if err := Save(dir, state); err != nil {
+		t.Fatalf("re-Save: %v", err)
+	}
+	if got, err = Load(dir); err != nil || len(got.Queries) != 1 {
+		t.Fatalf("Load after re-Save: %+v, %v", got, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != FileName {
+		t.Fatalf("state dir holds %v, want only %s", entries, FileName)
+	}
+
+	// A corrupted file on disk is refused through Load too.
+	path := filepath.Join(dir, FileName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load of corrupted file: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCaptureRestoreThroughAdmission(t *testing.T) {
+	src := est.NewRegistry(fakeFactory, nil)
+	specs := []est.QuerySpec{
+		{Name: "mq", Kind: est.KindMean, Mech: "piecewise", Eps: 0.8, D: 3},
+		{Name: "fq", Kind: est.KindFreq, Mech: "squarewave", Eps: 0.5, Cards: []int{2, 3}},
+	}
+	for _, spec := range specs {
+		q, err := src.Open(spec)
+		if err != nil {
+			t.Fatalf("Open %q: %v", spec.Name, err)
+		}
+		if err := q.AddReport(est.Report{Dims: []uint32{0, 1}, Values: []float64{0.5, -0.25}}); err != nil {
+			t.Fatalf("AddReport %q: %v", spec.Name, err)
+		}
+	}
+	if err := src.Seal("fq"); err != nil {
+		t.Fatal(err)
+	}
+
+	records := Capture(src)
+	if len(records) != 2 {
+		t.Fatalf("Capture: %d records, want 2", len(records))
+	}
+	if records[0].Spec.Name != "fq" || !records[0].Sealed || records[1].Spec.Name != "mq" || records[1].Sealed {
+		t.Fatalf("Capture records wrong: %+v", records)
+	}
+
+	adm := &fakeAdmission{total: 2.0}
+	dst := est.NewRegistry(fakeFactory, adm)
+	if err := Restore(dst, records); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	// Restored registrations went through the admission gate.
+	if len(adm.admitted) != 2 || math.Abs(adm.spent-1.3) > 1e-12 {
+		t.Fatalf("admission saw %v (spent %g), want both queries (1.3)", adm.admitted, adm.spent)
+	}
+	for _, name := range []string{"mq", "fq"} {
+		sq, dq := src.Get(name), dst.Get(name)
+		if dq == nil {
+			t.Fatalf("query %q not restored", name)
+		}
+		if !reflect.DeepEqual(dq.Estimator().Estimate(), sq.Estimator().Estimate()) {
+			t.Errorf("query %q: restored estimate %v, want %v", name, dq.Estimator().Estimate(), sq.Estimator().Estimate())
+		}
+		if !reflect.DeepEqual(dq.Estimator().Counts(), sq.Estimator().Counts()) {
+			t.Errorf("query %q: restored counts differ", name)
+		}
+		if dq.State() != sq.State() {
+			t.Errorf("query %q: restored state %v, want %v", name, dq.State(), sq.State())
+		}
+	}
+	// The restored sealed query still refuses reports.
+	if err := dst.Get("fq").AddReport(est.Report{Dims: []uint32{0}, Values: []float64{1}}); err == nil {
+		t.Error("restored sealed query accepted a report")
+	}
+
+	// Restore into a registry whose admission refuses: error names the query.
+	tight := est.NewRegistry(fakeFactory, &fakeAdmission{total: 0.9})
+	err := Restore(tight, records)
+	if err == nil || !strings.Contains(err.Error(), "mq") {
+		t.Fatalf("Restore over budget: err = %v, want a refusal naming the over-budget query", err)
+	}
+}

@@ -64,6 +64,24 @@ func (c *Client) readAck(reject string) error {
 	return nil
 }
 
+// readReasonedAck reads the status byte of an exchange whose rejection
+// carries a reason string (OPENQUERY, CHECKPOINT): nil on ackOK, the
+// collector's reason wrapped under context otherwise. Caller holds c.mu.
+func (c *Client) readReasonedAck(context string) error {
+	var ack [1]byte
+	if _, err := io.ReadFull(c.br, ack[:]); err != nil {
+		return err
+	}
+	if ack[0] == ackOK {
+		return nil
+	}
+	msg, err := readString(c.br, maxErrLen)
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("transport: %s: %s", context, msg)
+}
+
 // Send submits one report and waits for the acknowledgement.
 func (c *Client) Send(rep est.Report) error {
 	c.mu.Lock()
@@ -190,6 +208,21 @@ func (c *Client) PushSnapshot(s est.Snapshot) error {
 		return err
 	}
 	return c.readAck("collector rejected snapshot merge")
+}
+
+// Checkpoint asks the collector to persist its full state to disk now
+// (the CHECKPOINT frame). The collector replies only after its
+// checkpoint hook returns, so a nil error means the state — every query
+// this client has had acknowledged, across all connections — is durably
+// on disk. Collectors without a checkpoint sink, and failed writes, come
+// back as an error carrying the collector's reason.
+func (c *Client) Checkpoint() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.writeRequestLocked(frameCheckpoint); err != nil {
+		return err
+	}
+	return c.readReasonedAck("collector rejected checkpoint")
 }
 
 // writeRequestLocked writes a payload-free request frame and flushes; the

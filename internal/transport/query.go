@@ -3,7 +3,6 @@ package transport
 import (
 	"context"
 	"fmt"
-	"io"
 	"net"
 	"time"
 
@@ -109,16 +108,8 @@ func (c *Client) Open(spec est.QuerySpec) (*Query, error) {
 	if err := c.bw.Flush(); err != nil {
 		return nil, err
 	}
-	var ack [1]byte
-	if _, err := io.ReadFull(c.br, ack[:]); err != nil {
+	if err := c.readReasonedAck(fmt.Sprintf("collector rejected query %q", spec.Name)); err != nil {
 		return nil, err
-	}
-	if ack[0] != ackOK {
-		msg, err := readString(c.br, maxErrLen)
-		if err != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("transport: collector rejected query %q: %s", spec.Name, msg)
 	}
 	return &Query{c: c, name: spec.Name}, nil
 }

@@ -44,6 +44,13 @@ type Server struct {
 	// Logf receives per-connection errors; defaults to log.Printf.
 	Logf func(format string, args ...any)
 
+	// OnCheckpoint, when non-nil, serves the CHECKPOINT (0x0B) wire
+	// frame: the owner wires it to its durable-state writer (see
+	// internal/persist), so an operator — or the crash-recovery e2e —
+	// can force the collector state to disk on demand. A nil hook NACKs
+	// the frame; a hook error travels back as the NACK's error string.
+	OnCheckpoint func() error
+
 	// LegacyIngest switches BATCH ingestion back to the pre-striping
 	// baseline: allocating per-report decode plus one estimator-lock
 	// acquisition per report. It exists solely so the ingest benchmark
@@ -208,6 +215,18 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // errNoQuery rejects every report of a batch routed to a missing query.
 var errNoQuery = errors.New("transport: no such query")
 
+// writeNack writes a rejection status followed by its truncated reason
+// string — the reply shape OPENQUERY and CHECKPOINT rejections share.
+func writeNack(bw *bufio.Writer, reason string) error {
+	if err := bw.WriteByte(ackErr); err != nil {
+		return err
+	}
+	if len(reason) > maxErrLen {
+		reason = reason[:maxErrLen]
+	}
+	return writeString(bw, reason, maxErrLen)
+}
+
 // connReadBuf sizes each connection's read buffer: big enough that the
 // peek-based embedded-frame decoder almost never falls back to the
 // copying path, and that a full default-sized batch needs one socket
@@ -279,14 +298,24 @@ func (s *Server) serveConn(conn net.Conn) error {
 				return err
 			}
 			if _, oerr := s.reg.Open(spec); oerr != nil {
-				if err := bw.WriteByte(ackErr); err != nil {
+				if err := writeNack(bw, oerr.Error()); err != nil {
 					return err
 				}
-				msg := oerr.Error()
-				if len(msg) > maxErrLen {
-					msg = msg[:maxErrLen]
-				}
-				if err := writeString(bw, msg, maxErrLen); err != nil {
+			} else if err := bw.WriteByte(ackOK); err != nil {
+				return err
+			}
+		case frameCheckpoint:
+			if routed {
+				return fmt.Errorf("transport: CHECKPOINT cannot be routed (a checkpoint spans every query)")
+			}
+			var cerr error
+			if s.OnCheckpoint == nil {
+				cerr = fmt.Errorf("collector has no checkpoint sink (no -state-dir)")
+			} else {
+				cerr = s.OnCheckpoint()
+			}
+			if cerr != nil {
+				if err := writeNack(bw, cerr.Error()); err != nil {
 					return err
 				}
 			} else if err := bw.WriteByte(ackOK); err != nil {
@@ -453,6 +482,53 @@ func (s *Server) shutdown() error {
 // serving goroutines to drain. Closing before Listen, or twice, is safe.
 func (s *Server) Close() error {
 	err := s.shutdown()
+	s.wg.Wait()
+	return err
+}
+
+// drainPoll is how often Drain re-checks the open-connection count while
+// waiting for clients to disconnect.
+const drainPoll = 10 * time.Millisecond
+
+// Drain is the graceful half of Close: it stops accepting new
+// connections immediately, then waits for the open ones to finish their
+// in-flight exchanges and disconnect on their own — every reply is
+// flushed before the next read, so a connection is always between whole
+// exchanges when it goes away. When ctx expires first, the remaining
+// connections are force-closed and ctx's error is returned; either way
+// the serving goroutines have fully drained when Drain returns, so the
+// caller can take a final checkpoint knowing no report will land after
+// it. Like Close, Drain finishes the server for good — draining before
+// Listen leaves it unable to serve, and draining after Close is a
+// no-op.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil // a later Close must not double-close
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	var err error
+loop:
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		closed := s.closed
+		s.mu.Unlock()
+		if n == 0 || closed {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break loop
+		case <-s.stop:
+			break loop
+		case <-time.After(drainPoll):
+		}
+	}
+	s.shutdown()
 	s.wg.Wait()
 	return err
 }

@@ -31,6 +31,10 @@
 //	     standalone exchange: it prefixes exactly one frame of types
 //	     0x01–0x08, and that frame's exchange executes against the named
 //	     query instead of the default one
+//	0x0B CHECKPOINT (no payload) — the server invokes its checkpoint hook
+//	     (durably persisting the full collector state, see internal/persist)
+//	     and replies a status byte; on 0xFF a length-prefixed error string
+//	     follows. Not routable: a checkpoint spans every query.
 //
 // A report frame (0x01 or 0x05) is acknowledged with a single 0x00 byte
 // (ok) or 0xFF (rejected). Frames are small, so no additional length prefix
@@ -76,16 +80,17 @@ import (
 
 // Frame type bytes.
 const (
-	frameReport    = 0x01
-	frameEstimate  = 0x02
-	frameCounts    = 0x03
-	frameEnhanced  = 0x04
-	frameVecReport = 0x05
-	frameBatch     = 0x06
-	frameSnapshot  = 0x07
-	frameMerge     = 0x08
-	frameOpenQuery = 0x09
-	frameSelect    = 0x0A
+	frameReport     = 0x01
+	frameEstimate   = 0x02
+	frameCounts     = 0x03
+	frameEnhanced   = 0x04
+	frameVecReport  = 0x05
+	frameBatch      = 0x06
+	frameSnapshot   = 0x07
+	frameMerge      = 0x08
+	frameOpenQuery  = 0x09
+	frameSelect     = 0x0A
+	frameCheckpoint = 0x0B
 
 	ackOK  = 0x00
 	ackErr = 0xFF
@@ -791,6 +796,25 @@ func readSnapshotBody(r io.Reader) (est.Snapshot, error) {
 	}
 	return s, nil
 }
+
+// EncodeSnapshot serializes an est.Snapshot in the canonical wire layout
+// (the SNAPSHOT/MERGE frame body, without a frame type byte). It is the
+// codec the persist package embeds in checkpoint files, so on-disk and
+// on-wire snapshots are byte-identical and stay in sync by construction.
+func EncodeSnapshot(w io.Writer, s est.Snapshot) error { return writeSnapshotBody(w, s) }
+
+// DecodeSnapshot deserializes an est.Snapshot written by EncodeSnapshot,
+// rejecting hostile length fields exactly as the wire reader does.
+func DecodeSnapshot(r io.Reader) (est.Snapshot, error) { return readSnapshotBody(r) }
+
+// EncodeQuerySpec serializes an est.QuerySpec in the canonical wire
+// layout (the OPENQUERY frame body, without the frame type byte) — the
+// spec codec checkpoint files embed.
+func EncodeQuerySpec(w io.Writer, spec est.QuerySpec) error { return writeQuerySpecBody(w, spec) }
+
+// DecodeQuerySpec deserializes an est.QuerySpec written by
+// EncodeQuerySpec, rejecting hostile length fields.
+func DecodeQuerySpec(r io.Reader) (est.QuerySpec, error) { return readQuerySpecBody(r) }
 
 // WriteMerge serializes one merge frame (0x08): a serialized snapshot the
 // receiving collector folds into its estimator.

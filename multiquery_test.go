@@ -264,16 +264,16 @@ func TestParseQuerySpec(t *testing.T) {
 		t.Fatalf("parsed %+v", spec)
 	}
 	for _, bad := range []string{
-		"",                          // empty
-		"kind=mean,eps=1,d=2",       // no name (first token is a pair)
-		"x,nonsense",                // not k=v
-		"x,flavor=spicy,eps=1,d=2",  // unknown key
-		"x,eps=abc,d=2",             // bad float
-		"x,eps=1,d=2,cards=3xtwo",   // bad card
-		"x,kind=mean,eps=1",         // d missing
-		"x,kind=freq,mech=a,eps=1",  // cards missing
-		"x,kind=mean,eps=-1,d=2",    // negative budget
-		"x,kind=weird,eps=1,d=2",    // unknown kind
+		"",                         // empty
+		"kind=mean,eps=1,d=2",      // no name (first token is a pair)
+		"x,nonsense",               // not k=v
+		"x,flavor=spicy,eps=1,d=2", // unknown key
+		"x,eps=abc,d=2",            // bad float
+		"x,eps=1,d=2,cards=3xtwo",  // bad card
+		"x,kind=mean,eps=1",        // d missing
+		"x,kind=freq,mech=a,eps=1", // cards missing
+		"x,kind=mean,eps=-1,d=2",   // negative budget
+		"x,kind=weird,eps=1,d=2",   // unknown kind
 	} {
 		if _, err := ParseQuerySpec(bad); err == nil {
 			t.Errorf("ParseQuerySpec(%q) succeeded, want error", bad)

@@ -1,0 +1,117 @@
+#!/usr/bin/env sh
+# Crash-recovery end-to-end: proves the durable-state pipeline
+# (internal/persist + the CHECKPOINT wire frame + ldpcollect -state-dir)
+# survives a kill -9.
+#
+#   1. launch ldpcollect (serve-only, 3 queries: one per estimator
+#      family, ε summing to 1.9 of a 2.0 per-user total) with -state-dir
+#   2. stream deterministic reports, pull one snapshot per query, force
+#      a CHECKPOINT frame, then SIGKILL the collector
+#   3. restart with identical flags and assert every restored snapshot
+#      is bitwise-equal to its pre-kill pull and that the restored
+#      Accountant still rejects an over-budget OPENQUERY
+#   4. stop gracefully (SIGTERM drain writes a final checkpoint), flip
+#      one payload byte, restart, and assert the corrupted file is
+#      refused with a clear error and the collector starts fresh
+#
+# The wire-level assertions live in scripts/crashcheck (go run-able Go,
+# because bitwise snapshot comparison and OPENQUERY probing need the
+# client library). Run from the repository root: sh scripts/crash_recovery_e2e.sh
+set -eu
+
+WORK="$(mktemp -d)"
+STATE="$WORK/state"
+SNAPS="$WORK/snaps"
+mkdir -p "$SNAPS"
+PID=""
+
+cleanup() {
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "crash_recovery_e2e: FAIL: $*" >&2
+    exit 1
+}
+
+echo "== building ldpcollect + crashcheck"
+go build -o "$WORK/ldpcollect" ./cmd/ldpcollect
+go build -o "$WORK/crashcheck" ./scripts/crashcheck
+
+# start LOGFILE — launches the collector (serve-only, on-demand
+# checkpoints so the test controls exactly when state hits disk) and
+# sets PID. The three -query specs must match crashcheck's e2eSpecs.
+start() {
+    "$WORK/ldpcollect" -users 0 -addr 127.0.0.1:0 \
+        -state-dir "$STATE" -checkpoint-interval 0 -total-eps 2.0 \
+        -query mq,kind=mean,mech=piecewise,eps=0.8,d=8 \
+        -query wq,kind=wholetuple,eps=0.6,d=4 \
+        -query fq,kind=freq,mech=squarewave,eps=0.5,cards=3x4,m=2 \
+        > "$1" 2>&1 &
+    PID=$!
+}
+
+# wait_addr LOGFILE — polls for the listen line and prints the address.
+wait_addr() {
+    i=0
+    while [ "$i" -lt 100 ]; do
+        addr="$(sed -n 's/.*collector listening on \([^ ]*\) .*/\1/p' "$1" | head -n 1)"
+        if [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        if ! kill -0 "$PID" 2>/dev/null; then
+            cat "$1" >&2
+            fail "collector exited before listening (log $1)"
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    cat "$1" >&2
+    fail "collector never started listening (log $1)"
+}
+
+echo "== phase 1: launch, stream, checkpoint"
+start "$WORK/log1"
+ADDR="$(wait_addr "$WORK/log1")"
+echo "   collector up at $ADDR"
+"$WORK/crashcheck" -mode seed -addr "$ADDR" -dir "$SNAPS"
+
+echo "== phase 2: kill -9"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+echo "== phase 3: restart, verify bitwise restore + budget gating"
+start "$WORK/log2"
+ADDR="$(wait_addr "$WORK/log2")"
+grep -q "restored 3 queries from" "$WORK/log2" \
+    || { cat "$WORK/log2" >&2; fail "restart did not report restoring 3 queries"; }
+"$WORK/crashcheck" -mode verify -addr "$ADDR" -dir "$SNAPS"
+
+echo "== phase 4: graceful SIGTERM drain writes a final checkpoint"
+kill -TERM "$PID"
+if ! wait "$PID"; then
+    cat "$WORK/log2" >&2
+    fail "collector did not exit cleanly on SIGTERM"
+fi
+PID=""
+grep -q "final checkpoint saved" "$WORK/log2" \
+    || { cat "$WORK/log2" >&2; fail "SIGTERM drain did not write a final checkpoint"; }
+
+echo "== phase 5: corrupted checkpoint is refused, collector starts fresh"
+"$WORK/crashcheck" -mode corrupt -file "$STATE/checkpoint.ckpt"
+start "$WORK/log3"
+ADDR="$(wait_addr "$WORK/log3")"
+grep -q "refusing checkpoint" "$WORK/log3" \
+    || { cat "$WORK/log3" >&2; fail "corrupted checkpoint was not refused with a clear error"; }
+grep -q "restored" "$WORK/log3" \
+    && { cat "$WORK/log3" >&2; fail "corrupted checkpoint was (partially) restored"; }
+"$WORK/crashcheck" -mode fresh -addr "$ADDR"
+kill -TERM "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+echo "crash_recovery_e2e: PASS"

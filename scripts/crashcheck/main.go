@@ -1,0 +1,224 @@
+// Command crashcheck is the wire-level driver of the crash-recovery e2e
+// (scripts/crash_recovery_e2e.sh). It talks to a running ldpcollect
+// started with -state-dir and the three e2e queries (one per estimator
+// family), and exits non-zero when an assertion fails:
+//
+//	crashcheck -mode seed -addr HOST:PORT -dir DIR
+//	    stream deterministic reports into all three queries, pull one
+//	    snapshot per query, save the snapshots (wire encoding) under
+//	    DIR, then force a CHECKPOINT (0x0B) so the state is on disk.
+//	crashcheck -mode verify -addr HOST:PORT -dir DIR
+//	    after a kill -9 + restart: pull each query's snapshot again and
+//	    require it bitwise-equal to the saved one, then require the
+//	    restored Accountant to reject an over-budget OPENQUERY.
+//	crashcheck -mode fresh -addr HOST:PORT
+//	    after a refused (corrupted) checkpoint: require every query to
+//	    have zero accumulated reports — fresh start, no partial restore.
+//	crashcheck -mode corrupt -file PATH
+//	    flip one payload byte of the checkpoint file so its CRC fails.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	hdr4me "github.com/hdr4me/hdr4me"
+	"github.com/hdr4me/hdr4me/internal/transport"
+)
+
+// e2eUsers is how many reports seed streams into each query.
+const e2eUsers = 500
+
+// e2eSpecs are the three queries of the e2e — one per estimator family.
+// They must match the -query flags in scripts/crash_recovery_e2e.sh, and
+// their ε must sum to 1.9 so the 2.0 total leaves room for nothing
+// larger than 0.1 (the over-budget probe below asks for 0.5).
+func e2eSpecs() []hdr4me.QuerySpec {
+	return []hdr4me.QuerySpec{
+		{Name: "mq", Kind: hdr4me.KindMean, Mech: "piecewise", Eps: 0.8, D: 8},
+		{Name: "wq", Kind: hdr4me.KindWholeTuple, Eps: 0.6, D: 4},
+		{Name: "fq", Kind: hdr4me.KindFreq, Mech: "squarewave", Eps: 0.5, Cards: []int{3, 4}, M: 2},
+	}
+}
+
+func main() {
+	mode := flag.String("mode", "", "seed | verify | fresh | corrupt")
+	addr := flag.String("addr", "", "collector address (seed/verify/fresh)")
+	dir := flag.String("dir", "", "directory for saved pre-kill snapshots (seed/verify)")
+	file := flag.String("file", "", "checkpoint file to corrupt (corrupt)")
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "seed":
+		err = seed(*addr, *dir)
+	case "verify":
+		err = verify(*addr, *dir)
+	case "fresh":
+		err = fresh(*addr)
+	case "corrupt":
+		err = corrupt(*file)
+	default:
+		err = fmt.Errorf("unknown -mode %q", *mode)
+	}
+	if err != nil {
+		log.Fatalf("crashcheck %s: %v", *mode, err)
+	}
+	fmt.Printf("crashcheck %s: ok\n", *mode)
+}
+
+// tupleFor builds user i's deterministic raw tuple for spec.
+func tupleFor(spec hdr4me.QuerySpec, i int) hdr4me.Tuple {
+	if spec.Kind == hdr4me.KindFreq {
+		cats := make([]int, len(spec.Cards))
+		for j, c := range spec.Cards {
+			cats[j] = (i + j) % c
+		}
+		return hdr4me.Tuple{Cats: cats}
+	}
+	vals := make([]float64, spec.D)
+	for j := range vals {
+		vals[j] = float64((i+j)%21)/10 - 1 // deterministic values in [−1, 1]
+	}
+	return hdr4me.Tuple{Values: vals}
+}
+
+// seed streams e2eUsers deterministic reports into each query over
+// routed BATCH frames, saves one snapshot per query, and checkpoints.
+func seed(addr, dir string) error {
+	cl, err := hdr4me.DialCollector(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	for _, spec := range e2eSpecs() {
+		sess, err := hdr4me.NewFromSpec(spec, hdr4me.WithSeed(42))
+		if err != nil {
+			return fmt.Errorf("query %q: %w", spec.Name, err)
+		}
+		reps := make([]hdr4me.Report, 0, e2eUsers)
+		for i := 0; i < e2eUsers; i++ {
+			rep, err := sess.Report(tupleFor(spec, i))
+			if err != nil {
+				return fmt.Errorf("query %q: %w", spec.Name, err)
+			}
+			reps = append(reps, rep)
+		}
+		accepted, err := cl.Query(spec.Name).SendBatch(reps)
+		if err != nil {
+			return fmt.Errorf("query %q: %w", spec.Name, err)
+		}
+		if accepted != len(reps) {
+			return fmt.Errorf("query %q: collector accepted %d of %d reports", spec.Name, accepted, len(reps))
+		}
+	}
+	// Traffic is quiesced (every batch acknowledged): the snapshots we
+	// pull now and the checkpoint the collector writes next fold the
+	// same state, so the post-restart pull must reproduce these bytes.
+	for _, spec := range e2eSpecs() {
+		if err := pullTo(cl, spec.Name, filepath.Join(dir, spec.Name+".snap")); err != nil {
+			return err
+		}
+	}
+	if err := cl.Checkpoint(); err != nil {
+		return fmt.Errorf("CHECKPOINT frame: %w", err)
+	}
+	return nil
+}
+
+// pullTo fetches the named query's snapshot and writes its wire encoding
+// to path.
+func pullTo(cl *hdr4me.CollectorClient, name, path string) error {
+	snap, err := cl.Query(name).PullSnapshot()
+	if err != nil {
+		return fmt.Errorf("query %q: pull snapshot: %w", name, err)
+	}
+	var buf bytes.Buffer
+	if err := transport.EncodeSnapshot(&buf, snap); err != nil {
+		return fmt.Errorf("query %q: encode snapshot: %w", name, err)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// verify compares each restored query's snapshot bitwise against the
+// pre-kill bytes, then probes the restored Accountant with an
+// over-budget OPENQUERY.
+func verify(addr, dir string) error {
+	cl, err := hdr4me.DialCollector(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	for _, spec := range e2eSpecs() {
+		want, err := os.ReadFile(filepath.Join(dir, spec.Name+".snap"))
+		if err != nil {
+			return err
+		}
+		snap, err := cl.Query(spec.Name).PullSnapshot()
+		if err != nil {
+			return fmt.Errorf("query %q: pull snapshot: %w", spec.Name, err)
+		}
+		var got bytes.Buffer
+		if err := transport.EncodeSnapshot(&got, snap); err != nil {
+			return fmt.Errorf("query %q: encode snapshot: %w", spec.Name, err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			return fmt.Errorf("query %q: restored snapshot differs from pre-kill snapshot (%d vs %d bytes)",
+				spec.Name, got.Len(), len(want))
+		}
+		fmt.Printf("query %q: restored snapshot bitwise-equal to pre-kill pull (%d bytes)\n", spec.Name, got.Len())
+	}
+	// The three queries spend 1.9 of the 2.0 total; a restored ledger
+	// must reject this 0.5 exactly as the pre-crash collector would.
+	_, err = cl.Open(hdr4me.QuerySpec{Name: "overbudget", Kind: hdr4me.KindMean, Mech: "laplace", Eps: 0.5, D: 2})
+	if err == nil {
+		return fmt.Errorf("restored accountant accepted an over-budget OPENQUERY (ε ledger was not restored)")
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		return fmt.Errorf("over-budget OPENQUERY failed for the wrong reason: %v", err)
+	}
+	fmt.Printf("over-budget OPENQUERY rejected by restored accountant: %v\n", err)
+	return nil
+}
+
+// fresh asserts the collector rebuilt every query empty — the corrupted
+// checkpoint was refused whole, not partially restored.
+func fresh(addr string) error {
+	cl, err := hdr4me.DialCollector(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	for _, spec := range e2eSpecs() {
+		counts, err := cl.Query(spec.Name).Counts()
+		if err != nil {
+			return fmt.Errorf("query %q: counts: %w", spec.Name, err)
+		}
+		for j, c := range counts {
+			if c != 0 {
+				return fmt.Errorf("query %q: dimension %d has %d reports after a refused checkpoint (partial restore?)",
+					spec.Name, j, c)
+			}
+		}
+	}
+	return nil
+}
+
+// corrupt flips one byte in the middle of the checkpoint payload, so the
+// CRC check must refuse the file.
+func corrupt(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(b) < 24 {
+		return fmt.Errorf("%s: too short (%d bytes) to be a checkpoint", path, len(b))
+	}
+	b[len(b)/2] ^= 0xFF
+	return os.WriteFile(path, b, 0o644)
+}

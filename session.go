@@ -3,7 +3,11 @@ package hdr4me
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/hdr4me/hdr4me/internal/analysis"
 	"github.com/hdr4me/hdr4me/internal/est"
@@ -55,6 +59,8 @@ type sessionConfig struct {
 	enhance    *EnhanceConfig
 	seed       uint64
 	custom     Estimator
+	stateDir   string
+	ckptEvery  time.Duration
 }
 
 // WithMechanism selects the one-dimensional LDP mechanism (mean and
@@ -178,6 +184,20 @@ type Session struct {
 	rng   *RNG
 	obs   uint64 // Observe substream counter
 	epoch uint64 // Run substream counter
+
+	// Background checkpointer state (WithCheckpointInterval). ckptMu
+	// serializes checkpoint writes (periodic, on-demand, final) and the
+	// restore: each save folds then renames under the lock, so the
+	// checkpoint file always holds the newest fold — a slow earlier
+	// write can never rename over a later one. restorePending holds the
+	// periodic writer off while a previous run's checkpoint exists that
+	// the caller has not yet restored (or refused): an early tick must
+	// never overwrite restorable state with a near-empty fold.
+	ckptMu         sync.Mutex
+	stopCkpt       func()
+	restorePending atomic.Bool
+	closeOnce      sync.Once
+	closeErr       error
 }
 
 // sessionLanes is how many accumulation stripes a session spreads its
@@ -225,7 +245,63 @@ func New(opts ...Option) (*Session, error) {
 			}
 		}
 	}
+	if cfg.stateDir != "" {
+		// Fail fast: durability needs a serializable spec (no custom
+		// estimators, no per-dimension allocations) — see checkpointSpec.
+		if _, err := s.checkpointSpec(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ckptEvery > 0 {
+		if cfg.stateDir == "" {
+			return nil, fmt.Errorf("hdr4me: WithCheckpointInterval requires WithStateDir")
+		}
+		// A checkpoint from a previous run must be restored (or refused)
+		// before the periodic writer may touch the file — otherwise a
+		// short interval could overwrite restorable state with this
+		// fresh session's near-empty fold before the caller gets to
+		// RestoreCheckpoint.
+		if _, err := os.Stat(filepath.Join(cfg.stateDir, persistFileName)); err == nil {
+			s.restorePending.Store(true)
+		}
+		// Periodic saves hold off while a previous run's checkpoint
+		// awaits its RestoreCheckpoint decision; the last save error
+		// (periodic or final) surfaces through Close.
+		s.stopCkpt = StartCheckpointer(cfg.ckptEvery, func() error {
+			if s.restorePending.Load() {
+				return nil
+			}
+			return s.SaveCheckpoint()
+		}, func(err error) {
+			s.mu.Lock()
+			s.closeErr = err
+			s.mu.Unlock()
+		})
+	}
 	return s, nil
+}
+
+// Close stops the background checkpointer started by
+// WithCheckpointInterval, writes one final checkpoint, and returns the
+// last checkpoint error (periodic or final). Sessions without a
+// checkpoint interval have no background work: Close is a nil no-op.
+// Close is idempotent; the session itself stays usable (only the
+// periodic persistence stops).
+func (s *Session) Close() error {
+	if s.stopCkpt == nil {
+		return nil
+	}
+	s.closeOnce.Do(func() {
+		s.stopCkpt()
+		if err := s.SaveCheckpoint(); err != nil {
+			s.mu.Lock()
+			s.closeErr = err
+			s.mu.Unlock()
+		}
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeErr
 }
 
 // newEstimator constructs one estimator instance for the session's family
