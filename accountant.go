@@ -24,10 +24,43 @@ const budgetSlack = 1e-9
 //
 // An Accountant implements the registry's admission interface; plug it in
 // with NewQueryRegistry. Safe for concurrent use.
+//
+// # Per-epoch renewal
+//
+// EnableRenewal(h) switches the ledger to the continual-collection
+// model: the privacy guarantee is scoped to any window of h consecutive
+// epochs instead of the process lifetime. A live query with budget ε
+// then costs each user ε per epoch it collects in, so its worst-case
+// spend inside any h-epoch window is h·ε — that product is what the
+// ledger holds against the total while the query is live. When the
+// query is deleted (est.Retirer wired through the registry), the charge
+// is not dropped at once: windows ending k epochs after the deletion
+// still contain h−k of its epochs, so the charge decays by ε on every
+// Renew until it is fully recovered after h epochs. Admission therefore
+// enforces, at every instant,
+//
+//	sunk + h·Σ_live ε_q + Σ_retired ε_q·left_q ≤ total
+//
+// which bounds each user's spend within ANY h consecutive epochs by the
+// total (user-level sequential composition across the horizon).
 type Accountant struct {
 	mu    sync.Mutex
 	total float64
-	spent float64
+	spent float64 // sunk spend: one-shot charges + restored sunk cost
+
+	// Renewal ledger (horizon == 0 means renewal is disabled and the
+	// fields stay zero; spent then carries every charge).
+	horizon int
+	epoch   uint64       // epochs renewed so far
+	rate    float64      // Σ ε of live renewed queries (charged h·rate)
+	tail    []tailCharge // retired queries' decaying charges
+}
+
+// tailCharge is a retired renewed query's remaining window exposure:
+// eps·left of budget still held, decaying by eps per Renew.
+type tailCharge struct {
+	eps  float64
+	left int
 }
 
 // NewAccountant returns an accountant enforcing the given total per-user
@@ -47,6 +80,17 @@ func (a *Accountant) Admit(spec est.QuerySpec) error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.horizon > 0 {
+		// Renewed admission: the query costs ε per epoch, h·ε within
+		// any horizon window.
+		charge := float64(a.horizon) * spec.Eps
+		if next := a.committedLocked() + charge; next > a.total+budgetSlack {
+			return fmt.Errorf("hdr4me: query %q (ε=%g/epoch, %g over the %d-epoch horizon) would push the per-user window spend to %g, over the budget of %g",
+				spec.Name, spec.Eps, charge, a.horizon, next, a.total)
+		}
+		a.rate += spec.Eps
+		return nil
+	}
 	if a.spent+spec.Eps > a.total+budgetSlack {
 		return fmt.Errorf("hdr4me: query %q (ε=%g) would push the per-user spend to %g, over the budget of %g",
 			spec.Name, spec.Eps, a.spent+spec.Eps, a.total)
@@ -61,10 +105,94 @@ func (a *Accountant) Admit(spec est.QuerySpec) error {
 func (a *Accountant) Release(spec est.QuerySpec) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.horizon > 0 {
+		a.rate -= spec.Eps
+		if a.rate < 0 {
+			a.rate = 0
+		}
+		return
+	}
 	a.spent -= spec.Eps
 	if a.spent < 0 {
 		a.spent = 0
 	}
+}
+
+// Retire implements est.Retirer: a live renewed query was deleted, so
+// its recurring per-epoch charge stops growing and starts expiring —
+// the remaining h·ε window exposure decays by ε on each Renew. Without
+// renewal Retire is a no-op: the spend stays sunk, exactly as Delete
+// documents.
+func (a *Accountant) Retire(spec est.QuerySpec) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.horizon == 0 || !(spec.Eps > 0) {
+		return
+	}
+	a.rate -= spec.Eps
+	if a.rate < 0 {
+		a.rate = 0
+	}
+	a.tail = append(a.tail, tailCharge{eps: spec.Eps, left: a.horizon})
+}
+
+// EnableRenewal switches the ledger to per-epoch renewal over a horizon
+// of h epochs (see the type comment for the math). It must be called
+// before any query is admitted.
+func (a *Accountant) EnableRenewal(h int) error {
+	if h < 1 {
+		return fmt.Errorf("hdr4me: renewal horizon %d < 1 epoch", h)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.spent != 0 || a.rate != 0 {
+		return fmt.Errorf("hdr4me: cannot enable renewal on a ledger with existing spend")
+	}
+	a.horizon = h
+	return nil
+}
+
+// Horizon returns the renewal horizon in epochs (0: renewal disabled).
+func (a *Accountant) Horizon() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.horizon
+}
+
+// Epoch returns how many epochs the ledger has renewed through.
+func (a *Accountant) Epoch() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epoch
+}
+
+// Renew advances the ledger one epoch: every retired query's remaining
+// window exposure decays by its ε, and charges that have fully expired
+// release their budget. Live queries keep their h·ε hold — their next
+// epoch costs what their expiring oldest epoch recovers. Call it once
+// per collector epoch, from the same clock that rotates the rings.
+func (a *Accountant) Renew() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.epoch++
+	kept := a.tail[:0]
+	for _, tc := range a.tail {
+		if tc.left--; tc.left > 0 {
+			kept = append(kept, tc)
+		}
+	}
+	a.tail = kept
+}
+
+// committedLocked is the ledger's current hold: sunk spend plus the
+// horizon-scaled rate of live renewed queries plus the decaying tail of
+// retired ones. Caller holds a.mu.
+func (a *Accountant) committedLocked() float64 {
+	c := a.spent + float64(a.horizon)*a.rate
+	for _, tc := range a.tail {
+		c += tc.eps * float64(tc.left)
+	}
+	return c
 }
 
 // chargeSunk re-applies privacy spend that no longer maps to a live
@@ -85,18 +213,39 @@ func (a *Accountant) chargeSunk(eps float64) {
 // Total returns the configured per-user budget ceiling.
 func (a *Accountant) Total() float64 { return a.total }
 
-// Spent returns the cumulative per-user ε charged so far.
+// Spent returns the per-user ε the ledger currently holds: the full
+// cumulative spend without renewal, the sunk + window-scoped hold with.
 func (a *Accountant) Spent() float64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.spent
+	return a.committedLocked()
 }
 
 // Remaining returns the per-user budget still available.
 func (a *Accountant) Remaining() float64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.total - a.spent
+	return a.total - a.committedLocked()
 }
 
-var _ est.Admission = (*Accountant)(nil)
+// renewalState snapshots the renewal ledger for checkpointing: the
+// epoch counter and the retired tail. The live rate is NOT included —
+// it is reconstructed by re-admitting the checkpointed queries.
+func (a *Accountant) renewalState() (epoch uint64, tail []tailCharge) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epoch, append([]tailCharge(nil), a.tail...)
+}
+
+// restoreRenewal reinstates a checkpointed renewal ledger.
+func (a *Accountant) restoreRenewal(epoch uint64, tail []tailCharge) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.epoch = epoch
+	a.tail = append([]tailCharge(nil), tail...)
+}
+
+var (
+	_ est.Admission = (*Accountant)(nil)
+	_ est.Retirer   = (*Accountant)(nil)
+)

@@ -46,6 +46,17 @@
 //
 // A checkpoint file that fails its CRC is refused with a clear error and
 // the collector starts fresh — never a silent partial restore.
+//
+// Continual collection: any of -epoch, -window, -horizon or -lateness
+// switches the collector to epoch mode — the live estimate rotates into a
+// ring of frozen per-epoch snapshots (every -epoch interval, on ROTATE
+// wire frames, and once on shutdown drain), sliding-window and decayed
+// estimates are served over the WINDOW/DECAY frames, and with -horizon
+// the per-user budget (-total-eps) renews as epochs expire:
+//
+//	ldpcollect -users 0 -state-dir /var/lib/ldpcollect -total-eps 2.0 \
+//	  -epoch 1m -window 8 -horizon 4 \
+//	  -query temps,kind=mean,mech=piecewise,eps=0.4,d=16
 package main
 
 import (
@@ -113,6 +124,14 @@ func main() {
 			"on CHECKPOINT wire frames, and on shutdown (empty = in-memory only)")
 	ckptEvery := flag.Duration("checkpoint-interval", time.Minute,
 		"how often to checkpoint collector state to -state-dir (0 = only on demand and on shutdown)")
+	epochDur := flag.Duration("epoch", 0,
+		"rotate continual-collection epochs this often (0 = rotate only on ROTATE wire frames and shutdown)")
+	window := flag.Int("window", 0,
+		"retain at least this many frozen epochs for sliding-window estimates (enables continual collection)")
+	horizon := flag.Int("horizon", 0,
+		"renew the per-user budget over windows of this many epochs (multi-query mode with -total-eps only)")
+	latenessName := flag.String("lateness", "",
+		"late-report policy for continual collection: bucket|reject|current (default bucket)")
 	var queries querySpecs
 	flag.Var(&queries, "query",
 		"open a named query (repeatable): name,kind=mean|wholetuple|freq,mech=...,eps=...,d=...[,m=...][,cards=AxBxC]")
@@ -141,6 +160,26 @@ func main() {
 	if *ckptEvery < 0 {
 		log.Fatalf("ldpcollect: -checkpoint-interval must be >= 0, have %v", *ckptEvery)
 	}
+	if *epochDur < 0 || *window < 0 || *horizon < 0 {
+		log.Fatalf("ldpcollect: -epoch, -window and -horizon must be >= 0")
+	}
+	ec := continualFlags{dur: *epochDur, window: *window, horizon: *horizon, lateness: hdr4me.LateBucket}
+	if *latenessName != "" {
+		var err error
+		if ec.lateness, err = hdr4me.ParseLatenessPolicy(*latenessName); err != nil {
+			log.Fatalf("ldpcollect: %v", err)
+		}
+	}
+	ec.enabled = *epochDur > 0 || *window > 0 || *horizon > 0 || *latenessName != ""
+	if ec.enabled {
+		if *horizon > 0 && len(queries) == 0 {
+			log.Fatalf("ldpcollect: -horizon renews a shared budget: it needs multi-query mode (-query) with -total-eps")
+		}
+		if *mergeInto != "" {
+			log.Fatalf("ldpcollect: -merge-into with continual collection is invalid: a shard snapshot " +
+				"covers only the live epoch, so the fold would silently drop the frozen ring")
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -161,7 +200,7 @@ func main() {
 	}
 
 	if len(queries) > 0 {
-		multiQuery(ctx, queries, *addr, *users, *batch, *totalEps, *stateDir, *ckptEvery, *seed)
+		multiQuery(ctx, queries, *addr, *users, *batch, *totalEps, *stateDir, *ckptEvery, *seed, ec)
 		return
 	}
 
@@ -189,6 +228,17 @@ func main() {
 			opts = append(opts, hdr4me.WithCheckpointInterval(*ckptEvery))
 		}
 	}
+	if ec.enabled {
+		// The session runs its own wall-clock rotation ticker; explicit
+		// ROTATE wire frames work with or without one.
+		if ec.dur > 0 {
+			opts = append(opts, hdr4me.WithEpochDuration(ec.dur))
+		}
+		if ec.window > 0 {
+			opts = append(opts, hdr4me.WithWindow(ec.window))
+		}
+		opts = append(opts, hdr4me.WithLateness(ec.lateness))
+	}
 	sess, err := hdr4me.New(opts...)
 	if err != nil {
 		log.Fatalf("ldpcollect: %v", err)
@@ -213,7 +263,9 @@ func main() {
 			fmt.Printf("restored collector state from %s\n", *stateDir)
 		}
 	}
-	srv := hdr4me.NewEstimatorServer(sess.Estimator())
+	// ServingEstimator is the epoch ring for a continual session (so the
+	// EPOCH/WINDOW/DECAY/ROTATE frames route), the bare estimator otherwise.
+	srv := hdr4me.NewEstimatorServer(sess.ServingEstimator())
 	srv.OnCheckpoint = save // nil without -state-dir: CHECKPOINT frames NACK
 	bound, err := srv.Listen(*addr)
 	if err != nil {
@@ -221,13 +273,26 @@ func main() {
 	}
 	defer srv.Close()
 	fmt.Printf("collector listening on %s (%s, ε=%g, d=%d, m=%d)\n", bound, mech.Name(), *eps, *d, *m)
+	if ec.enabled {
+		fmt.Printf("continual collection: epoch interval %v, window %d, lateness %v\n", ec.dur, ec.window, ec.lateness)
+	}
+	var rotate func()
+	if ec.enabled {
+		rotate = func() {
+			if _, err := sess.Rotate(); err != nil {
+				log.Printf("ldpcollect: final rotation: %v", err)
+			} else {
+				fmt.Println("final epoch rotated")
+			}
+		}
+	}
 
 	// Parent mode: no local users, just serve queries and fold in shard
 	// snapshots arriving over MERGE frames until interrupted.
 	if *users == 0 {
 		fmt.Println("serve-only: accepting reports, queries and shard merges (Ctrl-C to stop)")
 		<-ctx.Done()
-		drainAndCheckpoint(srv, save)
+		drainAndCheckpoint(srv, rotate, save)
 		var total int64
 		for _, c := range sess.Counts() {
 			total += c
@@ -340,16 +405,31 @@ func main() {
 	}
 }
 
+// continualFlags bundles the continual-collection flags; enabled is true
+// when any of them was set.
+type continualFlags struct {
+	enabled  bool
+	dur      time.Duration
+	window   int
+	horizon  int
+	lateness hdr4me.LatenessPolicy
+}
+
 // drainAndCheckpoint is the graceful-shutdown tail: stop accepting, let
 // in-flight connections finish their exchanges (bounded by
-// drainTimeout; stragglers are force-closed), then write one final
-// checkpoint so everything acknowledged before the drain survives the
-// restart. save is nil when the collector runs without -state-dir.
-func drainAndCheckpoint(srv *hdr4me.CollectorServer, save func() error) {
+// drainTimeout; stragglers are force-closed), rotate the final epoch
+// (continual collectors only — after the drain, so every acknowledged
+// report lands in a frozen epoch), then write one final checkpoint so
+// everything acknowledged before the drain survives the restart. rotate
+// is nil for one-shot collectors; save is nil without -state-dir.
+func drainAndCheckpoint(srv *hdr4me.CollectorServer, rotate func(), save func() error) {
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Drain(dctx); err != nil {
 		log.Printf("ldpcollect: drain: %v (remaining connections force-closed)", err)
+	}
+	if rotate != nil {
+		rotate()
 	}
 	if save == nil {
 		return
@@ -367,7 +447,7 @@ func drainAndCheckpoint(srv *hdr4me.CollectorServer, save func() error) {
 // saved query replays through the ordinary Open path, so restored
 // state passes the same Accountant gating as live registrations — and
 // keeps the state durable (interval, CHECKPOINT frames, shutdown drain).
-func multiQuery(ctx context.Context, queries querySpecs, addr string, users, batch int, totalEps float64, stateDir string, ckptEvery time.Duration, seed uint64) {
+func multiQuery(ctx context.Context, queries querySpecs, addr string, users, batch int, totalEps float64, stateDir string, ckptEvery time.Duration, seed uint64, ec continualFlags) {
 	var acct *hdr4me.Accountant
 	if totalEps > 0 {
 		var err error
@@ -375,7 +455,27 @@ func multiQuery(ctx context.Context, queries querySpecs, addr string, users, bat
 			log.Fatalf("ldpcollect: %v", err)
 		}
 	}
-	reg := hdr4me.NewQueryRegistry(acct)
+	var reg *hdr4me.Registry
+	if ec.enabled {
+		if ec.horizon > 0 && acct == nil {
+			log.Fatalf("ldpcollect: -horizon needs -total-eps: renewal is an accounting of the shared budget")
+		}
+		var err error
+		// -window maps to retention: a w-epoch WINDOW frame needs the last
+		// w epochs still in the ring.
+		reg, err = hdr4me.NewEpochQueryRegistry(acct, hdr4me.EpochConfig{
+			Retain:   ec.window,
+			Lateness: ec.lateness,
+			Horizon:  ec.horizon,
+		})
+		if err != nil {
+			log.Fatalf("ldpcollect: %v", err)
+		}
+		fmt.Printf("continual collection: epoch interval %v, window %d, horizon %d, lateness %v\n",
+			ec.dur, ec.window, ec.horizon, ec.lateness)
+	} else {
+		reg = hdr4me.NewQueryRegistry(acct)
+	}
 	if stateDir != "" {
 		switch n, err := hdr4me.RestoreCollectorState(stateDir, reg, acct); {
 		case errors.Is(err, hdr4me.ErrCorruptCheckpoint):
@@ -429,6 +529,23 @@ func multiQuery(ctx context.Context, queries querySpecs, addr string, users, bat
 			defer stopCkpt()
 		}
 	}
+	// The collector-level epoch ticker rotates every query and renews the
+	// budget ledger in one step, so epoch ids stay aligned across queries.
+	stopRotate := func() {}
+	if ec.enabled && ec.dur > 0 {
+		stopRotate = hdr4me.StartCheckpointer(ec.dur, func() error {
+			hdr4me.RotateCollector(reg, acct)
+			return nil
+		}, nil)
+		defer stopRotate()
+	}
+	var rotate func()
+	if ec.enabled {
+		rotate = func() {
+			hdr4me.RotateCollector(reg, acct)
+			fmt.Println("final epoch rotated")
+		}
+	}
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		log.Fatalf("ldpcollect: listen: %v", err)
@@ -444,7 +561,8 @@ func multiQuery(ctx context.Context, queries querySpecs, addr string, users, bat
 		fmt.Println("serve-only: accepting routed reports, OPENQUERY registrations and estimates (Ctrl-C to stop)")
 		<-ctx.Done()
 		stopCkpt()
-		drainAndCheckpoint(srv, save)
+		stopRotate()
+		drainAndCheckpoint(srv, rotate, save)
 		return
 	}
 
@@ -459,6 +577,10 @@ func multiQuery(ctx context.Context, queries querySpecs, addr string, users, bat
 		}(spec)
 	}
 	wg.Wait()
+	stopRotate()
+	if rotate != nil {
+		rotate()
+	}
 	if save != nil {
 		stopCkpt()
 		if err := save(); err != nil {

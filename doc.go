@@ -60,6 +60,25 @@
 // checkpoint are lost by design. See the README's "Durability &
 // restarts" section.
 //
+// Collection is continual, not just one-shot: any epoch option
+// (WithEpochDuration, WithEpochEvery, WithWindow, WithDecay,
+// WithLateness, WithEpochRetain) wraps the session's estimator in an
+// epoch ring — the live epoch accumulates as before and rotation
+// (wall-clock, report-count, explicit Rotate, or the ROTATE wire frame)
+// freezes it into a bounded ring of per-epoch snapshots. On top of the
+// ring, WindowEstimate answers over the last W epochs exactly as a
+// one-shot collection fed only those epochs' reports would, and
+// DecayedEstimate forgets old traffic smoothly (epoch k behind the live
+// one weighted gamma^k). Late reports tagged with a frozen epoch (the
+// EPOCH wire frame, Session-side AddLate) follow a LatenessPolicy. For
+// multi-query collectors, NewEpochQueryRegistry builds every query as a
+// ring and RotateCollector advances them in lockstep; with an
+// EpochConfig.Horizon the Accountant switches to per-epoch budget
+// renewal — each query holds horizon×ε and a deleted query's charge
+// decays away one epoch at a time, bounding any user's spend within any
+// window of horizon consecutive epochs. Rings checkpoint and restore
+// with everything else. See the README's "Continual collection" section.
+//
 // The pre-Session facade (Simulate, SimulateAllocated, SimulateDuchiMD,
 // SimulateFreq) remains available as deprecated wrappers over the same
 // internals; see README.md for the migration table and EXPERIMENTS.md for

@@ -97,11 +97,12 @@ func (s *Session) SaveCheckpoint() error {
 	// and final saves overlap.
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
-	state := persist.State{Queries: []persist.QueryRecord{{
-		Spec: spec,
-		Snap: s.Snapshot(),
-	}}}
-	return persist.Save(s.cfg.stateDir, state)
+	rec := persist.QueryRecord{Spec: spec, Snap: s.Snapshot()}
+	if s.ring != nil {
+		cur, entries := s.ring.State()
+		rec.Epochs = &persist.EpochState{Cur: cur, Entries: entries}
+	}
+	return persist.Save(s.cfg.stateDir, persist.State{Queries: []persist.QueryRecord{rec}})
 }
 
 // RestoreCheckpoint folds the state directory's checkpoint back into the
@@ -149,6 +150,15 @@ func (s *Session) RestoreCheckpoint() (restored bool, err error) {
 	}
 	if err := s.Merge(rec.Snap); err != nil {
 		return false, fmt.Errorf("hdr4me: checkpoint in %s: %w", s.cfg.stateDir, err)
+	}
+	if rec.Epochs != nil {
+		if s.ring == nil {
+			return false, fmt.Errorf("hdr4me: checkpoint in %s holds %d frozen epochs but this session is not continual (epoch options missing?)",
+				s.cfg.stateDir, len(rec.Epochs.Entries))
+		}
+		if err := s.ring.SetState(rec.Epochs.Cur, rec.Epochs.Entries); err != nil {
+			return false, fmt.Errorf("hdr4me: checkpoint in %s: %w", s.cfg.stateDir, err)
+		}
 	}
 	return true, nil
 }
@@ -229,7 +239,16 @@ func StartCheckpointer(interval time.Duration, save func() error, onErr func(err
 func SaveCollectorState(dir string, reg *Registry, acct *Accountant) error {
 	state := persist.State{Queries: persist.Capture(reg)}
 	if acct != nil {
-		state.Accountant = &persist.AccountantState{Total: acct.Total(), Spent: acct.Spent()}
+		ast := &persist.AccountantState{Total: acct.Total(), Spent: acct.Spent()}
+		if h := acct.Horizon(); h > 0 {
+			ep, tail := acct.renewalState()
+			rs := &persist.RenewalState{Horizon: h, Epoch: ep, Tail: make([]persist.TailCharge, len(tail))}
+			for i, tc := range tail {
+				rs.Tail[i] = persist.TailCharge{Eps: tc.eps, Left: tc.left}
+			}
+			ast.Renewal = rs
+		}
+		state.Accountant = ast
 	}
 	return persist.Save(dir, state)
 }
@@ -263,15 +282,38 @@ func RestoreCollectorState(dir string, reg *Registry, acct *Accountant) (restore
 			"but this collector has no accountant; configure the budget (e.g. -total-eps) or delete the "+
 			"checkpoint to discard the ledger", dir, state.Accountant.Spent, state.Accountant.Total)
 	}
+	if acct != nil && state.Accountant != nil {
+		if ren := state.Accountant.Renewal; ren != nil {
+			// Reinstate the renewal ledger BEFORE the replay: restored
+			// registrations must be gated — and charged — under the same
+			// horizon the pre-crash collector ran.
+			switch h := acct.Horizon(); {
+			case h == 0:
+				if err := acct.EnableRenewal(ren.Horizon); err != nil {
+					return 0, err
+				}
+			case h != ren.Horizon:
+				return 0, fmt.Errorf("hdr4me: checkpoint in %s renews over a %d-epoch horizon but this collector is configured for %d",
+					dir, ren.Horizon, h)
+			}
+			tail := make([]tailCharge, len(ren.Tail))
+			for i, tc := range ren.Tail {
+				tail[i] = tailCharge{eps: tc.Eps, left: tc.Left}
+			}
+			acct.restoreRenewal(ren.Epoch, tail)
+		}
+	}
 	if err := persist.Restore(reg, state.Queries); err != nil {
 		return 0, err
 	}
 	if acct != nil && state.Accountant != nil {
-		var live float64
-		for _, q := range state.Queries {
-			live += q.Spec.Eps
-		}
-		if sunk := state.Accountant.Spent - live; sunk > budgetSlack {
+		// Whatever the replay did not re-charge — the sunk spend of
+		// queries deleted before the checkpoint — is re-applied, so the
+		// restored ledger holds exactly what the saved one did. The delta
+		// form works for both ledger modes: acct started empty, so its
+		// current hold is precisely the replayed (and tail-restored) part
+		// of the saved spend.
+		if sunk := state.Accountant.Spent - acct.Spent(); sunk > budgetSlack {
 			acct.chargeSunk(sunk)
 		}
 	}

@@ -165,6 +165,35 @@ type Reporter interface {
 	MakeReport(t Tuple, rng *mathx.RNG) (Report, error)
 }
 
+// Rotator is implemented by estimators whose accumulation can be drained
+// into a frozen snapshot atomically — the primitive the epoch subsystem
+// rotates on. Rotate is Snapshot plus a reset under the same lock hold:
+// reports accumulated before the call land in the returned snapshot,
+// reports after start the next epoch from zero. All three built-in
+// families implement Rotator through Stripes.DrainFold.
+type Rotator interface {
+	Rotate() Snapshot
+}
+
+// SnapshotEstimator is implemented by estimators that can compute their
+// estimate from an arbitrary same-shape snapshot instead of their own
+// live accumulation — the read path windowed (multi-epoch) estimates
+// fold through.
+type SnapshotEstimator interface {
+	EstimateFrom(s Snapshot) ([]float64, error)
+}
+
+// WeightedEstimator is implemented by estimators whose estimate can be
+// computed from real-valued (weighted) sums and counts. Exponentially
+// decayed epoch folds produce non-integer effective counts, so the int64
+// Counts of a Snapshot cannot carry them; every built-in family's
+// estimate is a pure per-entry function of sum/count ratios, so the
+// weighted variant is exact for weight 1 and well-defined for any
+// positive weights.
+type WeightedEstimator interface {
+	EstimateWeighted(sums, counts []float64) ([]float64, error)
+}
+
 // Enhancer is implemented by estimators that support the HDR4ME §V
 // re-calibration of their naive estimate. The enhancement configuration is
 // bound at construction time (see the Session options and the freq and

@@ -30,6 +30,15 @@ type Admission interface {
 	Release(spec QuerySpec)
 }
 
+// Retirer is an optional Admission extension for budget policies with
+// per-epoch renewal: Retire tells the policy a live query stopped
+// collecting (it was deleted), so its recurring per-epoch charge can
+// start expiring. Policies without renewal simply don't implement it —
+// the sunk-cost semantics of Delete stay unchanged.
+type Retirer interface {
+	Retire(spec QuerySpec)
+}
+
 // QueryState is the lifecycle position of a registered query.
 type QueryState int32
 
@@ -62,11 +71,19 @@ func (s QueryState) String() string {
 type Query struct {
 	spec  QuerySpec
 	est   Estimator
+	gen   uint64
 	state atomic.Int32
 }
 
 // Spec returns a copy of the query's spec.
 func (q *Query) Spec() QuerySpec { return q.spec.clone() }
+
+// Gen returns the query's registry generation: a registry-unique id
+// assigned at registration, never reused. A name freed by Delete and
+// re-opened yields a query with a different generation, so routed
+// clients pinning a generation can detect that "the query named X" they
+// bound to is not the one now live under that name.
+func (q *Query) Gen() uint64 { return q.gen }
 
 // Name returns the query name.
 func (q *Query) Name() string { return q.spec.Name }
@@ -141,6 +158,7 @@ type Registry struct {
 
 	mu      sync.RWMutex
 	queries map[string]*Query
+	gens    uint64 // last generation handed out; 0 is never a live generation
 }
 
 // NewRegistry returns an empty registry. factory builds estimators for
@@ -204,7 +222,8 @@ func (r *Registry) admit(spec QuerySpec, e Estimator) (*Query, error) {
 			return nil, err
 		}
 	}
-	q := &Query{spec: spec.clone(), est: e}
+	r.gens++
+	q := &Query{spec: spec.clone(), est: e, gen: r.gens}
 	r.queries[spec.Name] = q
 	return q, nil
 }
@@ -246,6 +265,11 @@ func (r *Registry) Delete(name string) error {
 		return fmt.Errorf("est: no query %q", name)
 	}
 	q.state.Store(int32(StateDeleted))
+	// Budget policies with per-epoch renewal stop the query's recurring
+	// charge; everything already spent stays sunk either way.
+	if ret, ok := r.adm.(Retirer); ok {
+		ret.Retire(q.spec)
+	}
 	return nil
 }
 

@@ -109,6 +109,38 @@ func (s *Stripes) Fold() (sums []float64, counts []int64) {
 	return sums, counts
 }
 
+// DrainFold atomically folds the accumulated state into a fresh copy and
+// zeroes every lane — the epoch-rotation primitive. It is Fold followed
+// by a reset under the same all-locks hold, so reports accumulated
+// before the drain land in the returned vectors and reports accumulated
+// after land in the (now empty) live lanes: nothing is lost or counted
+// twice, and the ingest hot path never learns a rotation happened.
+// Drained lanes keep their allocations, so rotation costs the caller two
+// result slices and nothing on the ingest side.
+func (s *Stripes) DrainFold() (sums []float64, counts []int64) {
+	s.lockAll()
+	defer s.unlockAll()
+	sums = make([]float64, s.nsums)
+	counts = make([]int64, s.ncounts)
+	s.foldInto(sums, counts)
+	zero := func(st *stripe) {
+		if st.sums == nil {
+			return
+		}
+		for j := range st.sums {
+			st.sums[j] = mathx.KahanSum{}
+		}
+		for j := range st.counts {
+			st.counts[j] = 0
+		}
+	}
+	zero(&s.base)
+	for i := range s.lanes {
+		zero(&s.lanes[i])
+	}
+	return sums, counts
+}
+
 // FoldCounts folds only the count lanes — the Counts() fast path, which
 // skips materializing the (possibly much wider) sum vector.
 func (s *Stripes) FoldCounts() []int64 {

@@ -205,6 +205,27 @@ func (f *Flat) EstimateFrom(s est.Snapshot) ([]float64, error) {
 	return out, nil
 }
 
+// EstimateWeighted implements est.WeightedEstimator: the same naive
+// frequency mapping as EstimateFrom computed from real-valued sums and
+// per-dimension counts, so decayed epoch folds share the math.
+func (f *Flat) EstimateWeighted(sums, counts []float64) ([]float64, error) {
+	if len(sums) != f.total || len(counts) != len(f.Aggregator.P.Cards) {
+		return nil, fmt.Errorf("freq: weighted fold shape %d/%d, want %d/%d sums/counts",
+			len(sums), len(counts), f.total, len(f.Aggregator.P.Cards))
+	}
+	out := make([]float64, f.total)
+	for j, card := range f.Aggregator.P.Cards {
+		if counts[j] == 0 {
+			continue
+		}
+		for k := 0; k < card; k++ {
+			i := f.offsets[j] + k
+			out[i] = (sums[i]/counts[j] + 1) / 2
+		}
+	}
+	return out, nil
+}
+
 // Enhanced implements est.Enhancer: the flattened HDR4ME re-calibrated
 // frequencies under the bound configuration.
 func (f *Flat) Enhanced() ([]float64, error) {
@@ -247,6 +268,19 @@ func (f *Flat) Snapshot() est.Snapshot {
 	}
 }
 
+// Rotate implements est.Rotator: it drains every stripe into a frozen
+// epoch snapshot, leaving the live lanes empty for the next epoch.
+func (f *Flat) Rotate() est.Snapshot {
+	sums, counts := f.acc.DrainFold()
+	return est.Snapshot{
+		Kind:   KindFreq,
+		Dims:   f.total,
+		Cards:  append([]int(nil), f.Aggregator.P.Cards...),
+		Sums:   sums,
+		Counts: counts,
+	}
+}
+
 // Merge implements est.Estimator: peer snapshots fold into the merge lane.
 func (f *Flat) Merge(s est.Snapshot) error {
 	a := f.Aggregator
@@ -278,4 +312,8 @@ var (
 	_ est.Reporter     = (*Flat)(nil)
 	_ est.BatchAdder   = (*Flat)(nil)
 	_ est.LaneProvider = (*Flat)(nil)
+
+	_ est.Rotator           = (*Flat)(nil)
+	_ est.SnapshotEstimator = (*Flat)(nil)
+	_ est.WeightedEstimator = (*Flat)(nil)
 )

@@ -60,6 +60,14 @@ func (a *Aggregator) Snapshot() est.Snapshot {
 	return est.Snapshot{Kind: KindMean, Dims: a.P.D, Sums: sums, Counts: counts}
 }
 
+// Rotate implements est.Rotator: it drains every accumulation stripe
+// (plus the merge lane) into a frozen epoch snapshot, leaving the live
+// lanes empty for the next epoch.
+func (a *Aggregator) Rotate() est.Snapshot {
+	sums, counts := a.acc.DrainFold()
+	return est.Snapshot{Kind: KindMean, Dims: a.P.D, Sums: sums, Counts: counts}
+}
+
 // Merge implements est.Estimator: it folds a peer collector's snapshot
 // into the merge lane, never perturbing a report stripe.
 func (a *Aggregator) Merge(s est.Snapshot) error {
@@ -236,6 +244,30 @@ func (a *MDAggregator) Snapshot() est.Snapshot {
 	return est.Snapshot{Kind: KindWholeTuple, Dims: a.M.D, Sums: sums, Counts: counts}
 }
 
+// EstimateWeighted implements est.WeightedEstimator: the per-dimension
+// average from real-valued sums and a single real-valued count.
+func (a *MDAggregator) EstimateWeighted(sums, counts []float64) ([]float64, error) {
+	if len(sums) != a.M.D || len(counts) != 1 {
+		return nil, fmt.Errorf("highdim: weighted fold shape %d/%d, want %d/1 sums/counts",
+			len(sums), len(counts), a.M.D)
+	}
+	out := make([]float64, a.M.D)
+	if counts[0] == 0 {
+		return out, nil
+	}
+	for j := range out {
+		out[j] = sums[j] / counts[0]
+	}
+	return out, nil
+}
+
+// Rotate implements est.Rotator: it drains every stripe into a frozen
+// epoch snapshot, leaving the live lanes empty for the next epoch.
+func (a *MDAggregator) Rotate() est.Snapshot {
+	sums, counts := a.acc.DrainFold()
+	return est.Snapshot{Kind: KindWholeTuple, Dims: a.M.D, Sums: sums, Counts: counts}
+}
+
 // Merge implements est.Estimator: peer snapshots fold into the merge lane.
 func (a *MDAggregator) Merge(s est.Snapshot) error {
 	if err := est.CheckMerge(a, s, a.M.D, 1); err != nil {
@@ -259,4 +291,11 @@ var (
 	_ est.BatchAdder   = (*MDAggregator)(nil)
 	_ est.LaneProvider = (*Aggregator)(nil)
 	_ est.LaneProvider = (*MDAggregator)(nil)
+
+	_ est.Rotator           = (*Aggregator)(nil)
+	_ est.Rotator           = (*MDAggregator)(nil)
+	_ est.SnapshotEstimator = (*Aggregator)(nil)
+	_ est.SnapshotEstimator = (*MDAggregator)(nil)
+	_ est.WeightedEstimator = (*Aggregator)(nil)
+	_ est.WeightedEstimator = (*MDAggregator)(nil)
 )

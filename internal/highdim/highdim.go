@@ -276,6 +276,30 @@ func (a *Aggregator) EstimateFrom(s est.Snapshot) ([]float64, error) {
 	return out, nil
 }
 
+// EstimateWeighted implements est.WeightedEstimator: the same calibrated
+// aggregation as EstimateFrom computed from real-valued sums and counts,
+// so decayed epoch folds (whose effective counts are non-integer) share
+// the single source of the calibration math.
+func (a *Aggregator) EstimateWeighted(sums, counts []float64) ([]float64, error) {
+	if len(sums) != a.P.D || len(counts) != a.P.D {
+		return nil, fmt.Errorf("highdim: weighted fold shape %d/%d, want %d/%d sums/counts",
+			len(sums), len(counts), a.P.D, a.P.D)
+	}
+	out := make([]float64, a.P.D)
+	unbounded := !a.P.Mech.Bounded()
+	for j := range out {
+		if counts[j] == 0 {
+			continue
+		}
+		var delta float64
+		if unbounded {
+			delta = a.P.Mech.Bias(0, a.EpsFor(j))
+		}
+		out[j] = sums[j]/counts[j] - delta
+	}
+	return out, nil
+}
+
 // Simulate runs one full collection round over ds without materializing
 // per-user reports: workers stream rows, perturb, and accumulate locally,
 // then merge. The result is identical in distribution to feeding every

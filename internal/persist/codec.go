@@ -11,25 +11,32 @@ import (
 	"os"
 	"path/filepath"
 
+	"github.com/hdr4me/hdr4me/internal/epoch"
 	"github.com/hdr4me/hdr4me/internal/transport"
 )
 
 // Checkpoint file layout (big endian):
 //
 //	[8]byte  magic "HDR4CKPT"
-//	uint32   format version (currently 1)
+//	uint32   format version (currently 2; version-1 files still decode)
 //	uint64   payload length
 //	payload  (see below)
 //	uint32   CRC-32C (Castagnoli) of the payload
 //
-// Payload:
+// Payload (version 2; version 1 omits the two ≥v2 sections):
 //
 //	byte     accountant present (0/1); when 1:
 //	float64    total ε, float64 spent ε
+//	byte       (≥v2) renewal present (0/1); when 1:
+//	  uint32     horizon (epochs), uint64 epoch counter
+//	  uint32     tail count; per entry: float64 ε, uint32 epochs left
 //	uint32   query count; per query:
 //	  QuerySpec   (the OPENQUERY wire codec, transport.EncodeQuerySpec)
 //	  byte        lifecycle (0 = open, 1 = sealed)
 //	  Snapshot    (the SNAPSHOT wire codec, transport.EncodeSnapshot)
+//	  byte        (≥v2) epoch ring present (0/1); when 1:
+//	    uint64      live epoch id
+//	    uint32      frozen epoch count; per epoch: uint64 id, Snapshot
 //
 // The CRC guards the whole payload: a torn write, a bad disk or a
 // hand-edited file is refused outright (ErrCorrupt) rather than half
@@ -37,7 +44,7 @@ import (
 // can never be silently misparsed.
 const (
 	magic   = "HDR4CKPT"
-	version = 1
+	version = 2
 
 	// FileName is the checkpoint's name inside a state directory.
 	FileName = "checkpoint.ckpt"
@@ -46,6 +53,12 @@ const (
 	// corrupt count field cannot force an absurd allocation before the
 	// CRC is even checked.
 	maxQueries = 1 << 16
+
+	// maxEpochs bounds the frozen epochs one query may claim, and
+	// maxTail the retired-charge entries — the same anti-absurdity
+	// guards as maxQueries.
+	maxEpochs = 1 << 12
+	maxTail   = 1 << 16
 
 	// maxPayload bounds the payload length field for the same reason.
 	maxPayload = 1 << 30
@@ -90,6 +103,25 @@ func encodePayload(w *bytes.Buffer, state State) error {
 		binary.BigEndian.PutUint64(b[:8], math.Float64bits(state.Accountant.Total))
 		binary.BigEndian.PutUint64(b[8:], math.Float64bits(state.Accountant.Spent))
 		w.Write(b[:])
+		if ren := state.Accountant.Renewal; ren != nil {
+			if len(ren.Tail) > maxTail {
+				return fmt.Errorf("persist: %d retired charges exceed the checkpoint limit %d", len(ren.Tail), maxTail)
+			}
+			w.WriteByte(1)
+			var rb [16]byte
+			binary.BigEndian.PutUint32(rb[:4], uint32(ren.Horizon))
+			binary.BigEndian.PutUint64(rb[4:12], ren.Epoch)
+			binary.BigEndian.PutUint32(rb[12:], uint32(len(ren.Tail)))
+			w.Write(rb[:])
+			for _, tc := range ren.Tail {
+				var tb [12]byte
+				binary.BigEndian.PutUint64(tb[:8], math.Float64bits(tc.Eps))
+				binary.BigEndian.PutUint32(tb[8:], uint32(tc.Left))
+				w.Write(tb[:])
+			}
+		} else {
+			w.WriteByte(0)
+		}
 	} else {
 		w.WriteByte(0)
 	}
@@ -111,6 +143,27 @@ func encodePayload(w *bytes.Buffer, state State) error {
 		if err := transport.EncodeSnapshot(w, q.Snap); err != nil {
 			return err
 		}
+		if ep := q.Epochs; ep != nil {
+			if len(ep.Entries) > maxEpochs {
+				return fmt.Errorf("persist: query %q: %d frozen epochs exceed the checkpoint limit %d",
+					q.Spec.Name, len(ep.Entries), maxEpochs)
+			}
+			w.WriteByte(1)
+			var eb [12]byte
+			binary.BigEndian.PutUint64(eb[:8], ep.Cur)
+			binary.BigEndian.PutUint32(eb[8:], uint32(len(ep.Entries)))
+			w.Write(eb[:])
+			for _, e := range ep.Entries {
+				var id [8]byte
+				binary.BigEndian.PutUint64(id[:], e.ID)
+				w.Write(id[:])
+				if err := transport.EncodeSnapshot(w, e.Snap); err != nil {
+					return err
+				}
+			}
+		} else {
+			w.WriteByte(0)
+		}
 	}
 	return nil
 }
@@ -127,8 +180,9 @@ func Decode(r io.Reader) (State, error) {
 	if string(hdr[:len(magic)]) != magic {
 		return state, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:len(magic)])
 	}
-	if v := binary.BigEndian.Uint32(hdr[len(magic):]); v != version {
-		return state, fmt.Errorf("%w: unsupported format version %d (want %d)", ErrCorrupt, v, version)
+	v := binary.BigEndian.Uint32(hdr[len(magic):])
+	if v < 1 || v > version {
+		return state, fmt.Errorf("%w: unsupported format version %d (want 1..%d)", ErrCorrupt, v, version)
 	}
 	plen := binary.BigEndian.Uint64(hdr[len(magic)+4:])
 	if plen > maxPayload {
@@ -146,13 +200,13 @@ func Decode(r io.Reader) (State, error) {
 	if got := crc32.Checksum(payload, castagnoli); got != want {
 		return state, fmt.Errorf("%w: CRC mismatch (file says %08x, payload hashes to %08x)", ErrCorrupt, want, got)
 	}
-	if err := decodePayload(bytes.NewReader(payload), &state); err != nil {
+	if err := decodePayload(bytes.NewReader(payload), &state, v); err != nil {
 		return State{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return state, nil
 }
 
-func decodePayload(r *bytes.Reader, state *State) error {
+func decodePayload(r *bytes.Reader, state *State, v uint32) error {
 	acct, err := r.ReadByte()
 	if err != nil {
 		return err
@@ -168,6 +222,40 @@ func decodePayload(r *bytes.Reader, state *State) error {
 		state.Accountant = &AccountantState{
 			Total: math.Float64frombits(binary.BigEndian.Uint64(b[:8])),
 			Spent: math.Float64frombits(binary.BigEndian.Uint64(b[8:])),
+		}
+		if v >= 2 {
+			ren, err := r.ReadByte()
+			if err != nil {
+				return err
+			}
+			if ren > 1 {
+				return fmt.Errorf("renewal flag %d is not 0/1", ren)
+			}
+			if ren == 1 {
+				var rb [16]byte
+				if _, err := io.ReadFull(r, rb[:]); err != nil {
+					return err
+				}
+				rs := &RenewalState{
+					Horizon: int(binary.BigEndian.Uint32(rb[:4])),
+					Epoch:   binary.BigEndian.Uint64(rb[4:12]),
+				}
+				cnt := binary.BigEndian.Uint32(rb[12:])
+				if cnt > maxTail {
+					return fmt.Errorf("%d retired charges exceed the checkpoint limit %d", cnt, maxTail)
+				}
+				for i := uint32(0); i < cnt; i++ {
+					var tb [12]byte
+					if _, err := io.ReadFull(r, tb[:]); err != nil {
+						return err
+					}
+					rs.Tail = append(rs.Tail, TailCharge{
+						Eps:  math.Float64frombits(binary.BigEndian.Uint64(tb[:8])),
+						Left: int(binary.BigEndian.Uint32(tb[8:])),
+					})
+				}
+				state.Accountant.Renewal = rs
+			}
 		}
 	}
 	var n [4]byte
@@ -193,6 +281,38 @@ func decodePayload(r *bytes.Reader, state *State) error {
 		q.Sealed = sealed == 1
 		if q.Snap, err = transport.DecodeSnapshot(r); err != nil {
 			return err
+		}
+		if v >= 2 {
+			hasEpochs, err := r.ReadByte()
+			if err != nil {
+				return err
+			}
+			if hasEpochs > 1 {
+				return fmt.Errorf("query %q: epoch flag %d is not 0/1", q.Spec.Name, hasEpochs)
+			}
+			if hasEpochs == 1 {
+				var eb [12]byte
+				if _, err := io.ReadFull(r, eb[:]); err != nil {
+					return err
+				}
+				ep := &EpochState{Cur: binary.BigEndian.Uint64(eb[:8])}
+				ecnt := binary.BigEndian.Uint32(eb[8:])
+				if ecnt > maxEpochs {
+					return fmt.Errorf("query %q: %d frozen epochs exceed the checkpoint limit %d", q.Spec.Name, ecnt, maxEpochs)
+				}
+				for j := uint32(0); j < ecnt; j++ {
+					var id [8]byte
+					if _, err := io.ReadFull(r, id[:]); err != nil {
+						return err
+					}
+					snap, err := transport.DecodeSnapshot(r)
+					if err != nil {
+						return err
+					}
+					ep.Entries = append(ep.Entries, epoch.Entry{ID: binary.BigEndian.Uint64(id[:]), Snap: snap})
+				}
+				q.Epochs = ep
+			}
 		}
 		state.Queries = append(state.Queries, q)
 	}

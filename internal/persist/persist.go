@@ -25,6 +25,7 @@ package persist
 import (
 	"fmt"
 
+	"github.com/hdr4me/hdr4me/internal/epoch"
 	"github.com/hdr4me/hdr4me/internal/est"
 )
 
@@ -34,6 +35,37 @@ import (
 type AccountantState struct {
 	Total float64
 	Spent float64
+	// Renewal is the per-epoch renewal ledger; nil when renewal is off.
+	Renewal *RenewalState
+}
+
+// RenewalState is the continual-collection half of the ledger: the
+// epoch counter and the decaying charges of retired renewed queries.
+// The live rate is not stored — restore reconstructs it by re-admitting
+// the checkpointed queries through the ordinary Open path.
+type RenewalState struct {
+	Horizon int
+	Epoch   uint64
+	Tail    []TailCharge
+}
+
+// TailCharge is one retired renewed query's remaining window exposure:
+// Eps·Left of budget still held, decaying by Eps per epoch.
+type TailCharge struct {
+	Eps  float64
+	Left int
+}
+
+// EpochState is a query's frozen epoch ring at checkpoint time. The
+// live epoch's accumulation is NOT here — it is the QueryRecord's Snap,
+// captured through the ordinary estimator path.
+type EpochState struct {
+	// Cur is the live epoch id.
+	Cur uint64
+	// Entries are the retained frozen epochs, oldest first, with
+	// contiguous ids ending at Cur−1. Epochs compacted away before the
+	// checkpoint are gone for good — retention bounds the file size.
+	Entries []epoch.Entry
 }
 
 // QueryRecord is one registered query's durable form.
@@ -45,8 +77,11 @@ type QueryRecord struct {
 	// checkpointed; their name is free, only their budget charge — part
 	// of the accountant's Spent — survives).
 	Sealed bool
-	// Snap is the estimator's folded accumulated state.
+	// Snap is the estimator's folded accumulated state (for an epoch
+	// ring: the live epoch only).
 	Snap est.Snapshot
+	// Epochs is the query's frozen epoch ring; nil for one-shot queries.
+	Epochs *EpochState
 }
 
 // State is a complete collector checkpoint.
@@ -68,11 +103,16 @@ func Capture(reg *est.Registry) []QueryRecord {
 		if q.State() == est.StateDeleted {
 			continue // deleted between All and here: gone, not durable
 		}
-		records = append(records, QueryRecord{
+		rec := QueryRecord{
 			Spec:   q.Spec(),
 			Sealed: q.State() == est.StateSealed,
 			Snap:   q.Estimator().Snapshot(),
-		})
+		}
+		if ring, ok := q.Estimator().(*epoch.Ring); ok {
+			cur, entries := ring.State()
+			rec.Epochs = &EpochState{Cur: cur, Entries: entries}
+		}
+		records = append(records, rec)
 	}
 	return records
 }
@@ -96,6 +136,16 @@ func Restore(reg *est.Registry, records []QueryRecord) error {
 		}
 		if err := q.Merge(rec.Snap); err != nil {
 			return fmt.Errorf("persist: restore query %q: %w", rec.Spec.Name, err)
+		}
+		if rec.Epochs != nil {
+			ring, ok := q.Estimator().(*epoch.Ring)
+			if !ok {
+				return fmt.Errorf("persist: restore query %q: checkpoint has %d frozen epochs but the registry built a one-shot estimator (epoch mode off?)",
+					rec.Spec.Name, len(rec.Epochs.Entries))
+			}
+			if err := ring.SetState(rec.Epochs.Cur, rec.Epochs.Entries); err != nil {
+				return fmt.Errorf("persist: restore query %q: %w", rec.Spec.Name, err)
+			}
 		}
 		if rec.Sealed {
 			if err := reg.Seal(rec.Spec.Name); err != nil {

@@ -2,8 +2,10 @@ package persist
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io/fs"
 	"math"
 	"os"
@@ -12,8 +14,10 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/hdr4me/hdr4me/internal/epoch"
 	"github.com/hdr4me/hdr4me/internal/est"
 	"github.com/hdr4me/hdr4me/internal/mathx"
+	"github.com/hdr4me/hdr4me/internal/transport"
 )
 
 // fakeEst is a minimal additive estimator: AddReport lands Values[i] on
@@ -291,5 +295,114 @@ func TestCaptureRestoreThroughAdmission(t *testing.T) {
 	err := Restore(tight, records)
 	if err == nil || !strings.Contains(err.Error(), "mq") {
 		t.Fatalf("Restore over budget: err = %v, want a refusal naming the over-budget query", err)
+	}
+}
+
+// continualState is sampleState plus everything format version 2 added:
+// a renewal ledger on the accountant and a frozen epoch ring on one
+// query.
+func continualState() State {
+	state := sampleState()
+	state.Accountant.Renewal = &RenewalState{
+		Horizon: 4,
+		Epoch:   9,
+		Tail:    []TailCharge{{Eps: 0.3, Left: 2}, {Eps: 0.1, Left: 4}},
+	}
+	state.Queries[1].Epochs = &EpochState{
+		Cur: 3,
+		Entries: []epoch.Entry{
+			{ID: 1, Snap: est.Snapshot{Kind: est.KindMean, Dims: 3,
+				Sums: []float64{0.5, 0.25, -0.75}, Counts: []int64{3, 3, 3}}},
+			{ID: 2, Snap: est.Snapshot{Kind: est.KindMean, Dims: 3,
+				Sums: []float64{1.5, -2.25, 0.125}, Counts: []int64{5, 5, 5}}},
+		},
+	}
+	return state
+}
+
+func TestEncodeDecodeContinualRoundTrip(t *testing.T) {
+	state := continualState()
+	var buf bytes.Buffer
+	if err := Encode(&buf, state); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got.Accountant.Renewal, state.Accountant.Renewal) {
+		t.Fatalf("renewal ledger %+v, want %+v", got.Accountant.Renewal, state.Accountant.Renewal)
+	}
+	if got.Queries[0].Epochs != nil || got.Queries[2].Epochs != nil {
+		t.Fatal("one-shot queries grew epoch state across the round trip")
+	}
+	ep := got.Queries[1].Epochs
+	if ep == nil {
+		t.Fatal("epoch ring lost across the round trip")
+	}
+	if ep.Cur != 3 || len(ep.Entries) != 2 {
+		t.Fatalf("epoch ring = %+v, want cur 3 with 2 frozen epochs", ep)
+	}
+	for i, e := range ep.Entries {
+		want := state.Queries[1].Epochs.Entries[i]
+		if e.ID != want.ID || !reflect.DeepEqual(e.Snap.Sums, want.Snap.Sums) ||
+			!reflect.DeepEqual(e.Snap.Counts, want.Snap.Counts) {
+			t.Fatalf("frozen epoch %d = %+v, want %+v", i, e, want)
+		}
+	}
+}
+
+// TestDecodeVersion1 pins backward compatibility: a checkpoint written
+// by the pre-epoch format (version 1 — no renewal flag, no per-query
+// epoch flag) still decodes.
+func TestDecodeVersion1(t *testing.T) {
+	state := sampleState()
+	var payload bytes.Buffer
+	payload.WriteByte(1)
+	var ab [16]byte
+	binary.BigEndian.PutUint64(ab[:8], math.Float64bits(state.Accountant.Total))
+	binary.BigEndian.PutUint64(ab[8:], math.Float64bits(state.Accountant.Spent))
+	payload.Write(ab[:])
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(state.Queries)))
+	payload.Write(n[:])
+	for _, q := range state.Queries {
+		if err := transport.EncodeQuerySpec(&payload, q.Spec); err != nil {
+			t.Fatal(err)
+		}
+		var sealed byte
+		if q.Sealed {
+			sealed = 1
+		}
+		payload.WriteByte(sealed)
+		if err := transport.EncodeSnapshot(&payload, q.Snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var file bytes.Buffer
+	hdr := make([]byte, len(magic)+4+8)
+	copy(hdr, magic)
+	binary.BigEndian.PutUint32(hdr[len(magic):], 1)
+	binary.BigEndian.PutUint64(hdr[len(magic)+4:], uint64(payload.Len()))
+	file.Write(hdr)
+	file.Write(payload.Bytes())
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(payload.Bytes(), castagnoli))
+	file.Write(crc[:])
+
+	got, err := Decode(bytes.NewReader(file.Bytes()))
+	if err != nil {
+		t.Fatalf("version-1 checkpoint refused: %v", err)
+	}
+	if *got.Accountant != (AccountantState{Total: 2.0, Spent: 1.9}) {
+		t.Fatalf("accountant %+v", got.Accountant)
+	}
+	if len(got.Queries) != 3 {
+		t.Fatalf("%d queries, want 3", len(got.Queries))
+	}
+	for i, q := range got.Queries {
+		if q.Epochs != nil {
+			t.Fatalf("query %d grew epoch state out of a v1 file", i)
+		}
 	}
 }

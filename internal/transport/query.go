@@ -88,6 +88,21 @@ func (c *Client) PushSnapshotContext(ctx context.Context, s est.Snapshot) error 
 type Query struct {
 	c    *Client
 	name string
+	// gen pins the handle to one registration generation (QueryAt): when
+	// pinned, every route header is a SELECTGEN instead of a SELECT, so a
+	// handle outlived by its query (deleted, name reopened) gets rejections
+	// instead of the successor query's data.
+	gen    uint64
+	pinned bool
+}
+
+// routeLocked writes this handle's route header — SELECT, or SELECTGEN
+// when generation-pinned. Caller holds c.mu.
+func (q *Query) routeLocked() error {
+	if q.pinned {
+		return writeSelectGen(q.c.bw, q.name, q.gen)
+	}
+	return writeSelect(q.c.bw, q.name)
 }
 
 // Query returns a handle on the named query. No wire exchange happens
@@ -122,7 +137,7 @@ func (q *Query) Send(rep est.Report) error {
 	c := q.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeSelect(c.bw, q.name); err != nil {
+	if err := q.routeLocked(); err != nil {
 		return err
 	}
 	if err := c.writeReport(rep); err != nil {
@@ -140,7 +155,10 @@ func (q *Query) SendBatch(reps []est.Report) (accepted int, err error) {
 	c := q.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n, err := c.sendBatchLocked(q.name, reps)
+	if err := q.routeLocked(); err != nil {
+		return 0, err
+	}
+	n, err := c.sendBatchLocked("", reps)
 	if err != nil {
 		return 0, err
 	}
@@ -187,7 +205,7 @@ func (q *Query) PushSnapshot(s est.Snapshot) error {
 	c := q.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeSelect(c.bw, q.name); err != nil {
+	if err := q.routeLocked(); err != nil {
 		return err
 	}
 	if err := WriteMerge(c.bw, s); err != nil {
@@ -216,7 +234,7 @@ func (q *Query) vector(frame byte) ([]float64, error) {
 // c.mu.
 func (q *Query) requestLocked(frame byte) error {
 	c := q.c
-	if err := writeSelect(c.bw, q.name); err != nil {
+	if err := q.routeLocked(); err != nil {
 		return err
 	}
 	if err := c.bw.WriteByte(frame); err != nil {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -275,12 +276,24 @@ func (s *Server) serveConn(conn net.Conn) error {
 		}
 		routed := false
 		var q *est.Query
-		if ft == frameSelect {
+		if ft == frameSelect || ft == frameSelectGen {
 			name, err := readString(br, maxNameLen)
 			if err != nil {
 				return err
 			}
 			q = s.reg.Get(name)
+			if ft == frameSelectGen {
+				var gb [8]byte
+				if _, err := io.ReadFull(br, gb[:]); err != nil {
+					return err
+				}
+				if gen := binary.BigEndian.Uint64(gb[:]); q != nil && q.Gen() != gen {
+					// The name was deleted and reopened since the client
+					// pinned its handle: reject rather than silently landing
+					// the exchange in the successor query.
+					q = nil
+				}
+			}
 			routed = true
 			if ft, err = sc.readFrameType(br); err != nil {
 				return err
@@ -441,6 +454,72 @@ func (s *Server) serveConn(conn net.Conn) error {
 				return err
 			}
 			if err := writeFloats(bw, enhanced); err != nil {
+				return err
+			}
+		case frameEpoch:
+			if err := s.serveEpoch(br, bw, sc, q); err != nil {
+				return err
+			}
+		case frameWindow:
+			var wb [4]byte
+			if _, err := io.ReadFull(br, wb[:]); err != nil {
+				return err
+			}
+			w := int(binary.BigEndian.Uint32(wb[:]))
+			if err := serveRingVector(bw, q, func(r epochEstimator) ([]float64, error) {
+				return r.WindowEstimate(w)
+			}); err != nil {
+				return err
+			}
+		case frameDecay:
+			var gb [8]byte
+			if _, err := io.ReadFull(br, gb[:]); err != nil {
+				return err
+			}
+			gamma := math.Float64frombits(binary.BigEndian.Uint64(gb[:]))
+			if err := serveRingVector(bw, q, func(r epochEstimator) ([]float64, error) {
+				return r.DecayedEstimate(gamma)
+			}); err != nil {
+				return err
+			}
+		case frameRotate:
+			ring := ringOf(q, true)
+			if ring == nil {
+				if err := bw.WriteByte(ackErr); err != nil {
+					return err
+				}
+				break
+			}
+			var reply [9]byte
+			reply[0] = ackOK
+			binary.BigEndian.PutUint64(reply[1:], ring.Rotate())
+			if _, err := bw.Write(reply[:]); err != nil {
+				return err
+			}
+		case frameQueryInfo:
+			if routed {
+				return fmt.Errorf("transport: QUERYINFO cannot be routed (it names its query in the body)")
+			}
+			name, err := readString(br, maxNameLen)
+			if err != nil {
+				return err
+			}
+			target := s.reg.Get(name)
+			if target == nil {
+				if err := bw.WriteByte(ackErr); err != nil {
+					return err
+				}
+				break
+			}
+			var reply [19]byte
+			reply[0] = ackOK
+			binary.BigEndian.PutUint64(reply[1:9], target.Gen())
+			reply[9] = byte(target.State())
+			if ring := ringOf(target, false); ring != nil {
+				reply[10] = 1
+				binary.BigEndian.PutUint64(reply[11:19], ring.Current())
+			}
+			if _, err := bw.Write(reply[:]); err != nil {
 				return err
 			}
 		default:

@@ -35,6 +35,32 @@
 //	     (durably persisting the full collector state, see internal/persist)
 //	     and replies a status byte; on 0xFF a length-prefixed error string
 //	     follows. Not routable: a checkpoint spans every query.
+//	0x0C EPOCH     uint64 epoch id, then one embedded ingest frame (0x01,
+//	     0x05 or 0x06, type byte included) — the embedded reports are
+//	     accumulated into the named epoch instead of the live one, subject
+//	     to the serving ring's lateness policy. Composes after SELECT /
+//	     SELECTGEN; the reply mirrors the wrapped frame's (ack byte for a
+//	     report, status + uint32 accepted for a batch). Requires an
+//	     epoch-enabled (continual) query.
+//	0x0D WINDOW    uint32 w — server replies a status byte; on 0x00 it
+//	     follows with uint32 d, then d × float64: the estimate over the
+//	     last w epochs (live epoch included)
+//	0x0E DECAY     float64 gamma — server replies a status byte; on 0x00
+//	     it follows with uint32 d, then d × float64: the exponentially
+//	     decayed estimate (epoch k back weighted gamma^k)
+//	0x0F ROTATE    (no payload) — the server rotates the serving ring
+//	     (freezing the live epoch) and replies a status byte; on 0x00 a
+//	     uint64 follows: the id of the new live epoch
+//	0x10 SELECTGEN uint32 name length + name bytes + uint64 generation — a
+//	     route header like SELECT, but pinned to one registration
+//	     generation: if the named query has since been deleted and
+//	     reopened (a different generation), the route resolves to no query
+//	     and the inner frame is rejected instead of silently landing in
+//	     the successor's estimator
+//	0x11 QUERYINFO uint32 name length + name bytes — the server replies a
+//	     status byte; on 0x00 it follows with uint64 generation, one byte
+//	     lifecycle state, one byte epoch-mode flag, and uint64 live epoch
+//	     id (zero when epoch mode is off). Not routable.
 //
 // A report frame (0x01 or 0x05) is acknowledged with a single 0x00 byte
 // (ok) or 0xFF (rejected). Frames are small, so no additional length prefix
@@ -91,6 +117,12 @@ const (
 	frameOpenQuery  = 0x09
 	frameSelect     = 0x0A
 	frameCheckpoint = 0x0B
+	frameEpoch      = 0x0C
+	frameWindow     = 0x0D
+	frameDecay      = 0x0E
+	frameRotate     = 0x0F
+	frameSelectGen  = 0x10
+	frameQueryInfo  = 0x11
 
 	ackOK  = 0x00
 	ackErr = 0xFF
@@ -903,6 +935,22 @@ func writeSelect(w io.Writer, name string) error {
 		return err
 	}
 	return writeString(w, name, maxNameLen)
+}
+
+// writeSelectGen writes one SELECTGEN route header (0x10): the next frame
+// executes against the named query only if its registration generation
+// still matches gen.
+func writeSelectGen(w io.Writer, name string, gen uint64) error {
+	if _, err := w.Write([]byte{frameSelectGen}); err != nil {
+		return err
+	}
+	if err := writeString(w, name, maxNameLen); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], gen)
+	_, err := w.Write(buf[:])
+	return err
 }
 
 // writeQuerySpecBody serializes an est.QuerySpec: name, kind and mechanism

@@ -12,15 +12,23 @@
 #                         -benchtime (default 1s — reports/s from a 1x
 #                         run would be noise, and benchdiff.sh compares
 #                         these numbers against the committed baseline).
+#   BENCH_epoch.json      continual-collection ingest (BenchmarkEpochIngest:
+#                         one-shot vs epoch-ring over the batch and lane
+#                         paths); the ring rows must stay at 0 allocs/op —
+#                         rotation is amortized away. EPOCH_BENCHTIME
+#                         controls its -benchtime (default 1s).
 #
-# OUT / OUT_INGEST override the output paths.
+# OUT / OUT_INGEST / OUT_EPOCH override the output paths.
 set -eu
 
 BENCHTIME="${BENCHTIME:-1x}"
 INGEST_BENCHTIME="${INGEST_BENCHTIME:-1s}"
+EPOCH_BENCHTIME="${EPOCH_BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_transport.json}"
 OUT_INGEST="${OUT_INGEST:-BENCH_ingest.json}"
+OUT_EPOCH="${OUT_EPOCH:-BENCH_epoch.json}"
 PKG="${PKG:-./internal/transport/}"
+PKG_EPOCH="${PKG_EPOCH:-./internal/epoch/}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -68,3 +76,7 @@ emit_json "$raw" "$OUT" "$BENCHTIME"
 go test -run='^$' -bench='^BenchmarkIngest$' \
     -benchmem -benchtime="$INGEST_BENCHTIME" "$PKG" | tee "$raw"
 emit_json "$raw" "$OUT_INGEST" "$INGEST_BENCHTIME"
+
+go test -run='^$' -bench='^BenchmarkEpochIngest$' \
+    -benchmem -benchtime="$EPOCH_BENCHTIME" "$PKG_EPOCH" | tee "$raw"
+emit_json "$raw" "$OUT_EPOCH" "$EPOCH_BENCHTIME"

@@ -1,22 +1,23 @@
 #!/usr/bin/env sh
-# Compares a fresh ingest benchmark run against the committed baseline
-# and warns — loudly, but non-blockingly — when reports/s regresses more
-# than 20% on any benchmark. Also warns when the striped/legacy ratio at
-# 16 connections drops below 4×, the PR 4 headline guarantee.
+# Compares fresh benchmark runs against the committed baselines and
+# warns — loudly, but non-blockingly — when reports/s regresses more
+# than 20% on any benchmark. Every committed BENCH_*.json participates
+# (transport, ingest, epoch, whatever future suites add); the
+# striped/legacy ratio check at 16 connections — the PR 4 headline
+# guarantee — additionally runs against the ingest file.
 #
-#   sh scripts/benchdiff.sh [baseline.json] [current.json]
+#   sh scripts/benchdiff.sh                       # compare every BENCH_*.json
+#   sh scripts/benchdiff.sh base.json cur.json    # compare one explicit pair
 #
-# baseline defaults to the committed BENCH_ingest.json (via git show, so
-# it works after `make bench` overwrote the working-tree copy); current
-# defaults to ./BENCH_ingest.json. Exit status is always 0: benchmark
-# noise on shared CI runners must not block merges, the ::warning::
-# annotation is the signal — and a missing or malformed JSON on either
-# side is itself only a warning (a broken baseline must not fail the
-# pipeline mid-pipe under set -e; it means there is nothing to compare).
+# In the default mode each baseline comes from `git show HEAD:` (so the
+# comparison works after `make bench` overwrote the working-tree copies)
+# and the current run is the working-tree file of the same name. Exit
+# status is always 0: benchmark noise on shared CI runners must not
+# block merges, the ::warning:: annotation is the signal — and a missing
+# or malformed JSON on either side of any pair is itself only a notice
+# (a broken baseline must not fail the pipeline mid-pipe under set -e;
+# it means there is nothing to compare for that suite).
 set -eu
-
-CURRENT="${2:-BENCH_ingest.json}"
-BASELINE="${1:-}"
 
 base_tmp=""
 base_pairs=""
@@ -25,31 +26,15 @@ cleanup() {
     rm -f "$base_tmp" "$base_pairs" "$cur_pairs"
 }
 trap cleanup EXIT
-
-# skip MESSAGE — benchdiff never blocks: report why there is nothing to
-# compare and succeed.
-skip() {
-    echo "benchdiff: $*; skipping comparison"
-    exit 0
-}
-
-if [ -z "$BASELINE" ]; then
-    base_tmp="$(mktemp)"
-    if git show HEAD:BENCH_ingest.json > "$base_tmp" 2>/dev/null; then
-        BASELINE="$base_tmp"
-    else
-        skip "no committed BENCH_ingest.json baseline"
-    fi
-fi
-
-[ -f "$BASELINE" ] || skip "baseline $BASELINE not found"
-[ -f "$CURRENT" ] || skip "$CURRENT not found (run make bench first)"
+base_tmp="$(mktemp)"
+base_pairs="$(mktemp)"
+cur_pairs="$(mktemp)"
 
 # extract FILE — prints "name reports_per_s" pairs, normalizing the
 # trailing -N GOMAXPROCS suffix so runs from different machines compare.
 # Tolerant by construction: lines that do not look like benchmark
 # entries simply produce no output, so a malformed file yields an empty
-# pair list (detected below) instead of a mid-pipe error.
+# pair list (detected by the caller) instead of a mid-pipe error.
 extract() {
     awk -F'"' '/"name":/ {
         name = $4
@@ -61,32 +46,44 @@ extract() {
     }' "$1" 2>/dev/null || true
 }
 
-base_pairs="$(mktemp)"
-cur_pairs="$(mktemp)"
-extract "$BASELINE" > "$base_pairs"
-extract "$CURRENT" > "$cur_pairs"
-
-[ -s "$base_pairs" ] || skip "baseline $BASELINE is malformed or has no reports/s entries"
-[ -s "$cur_pairs" ] || skip "$CURRENT is malformed or has no reports/s entries"
-
 warned=0
-while read -r name base; do
-    cur="$(awk -v n="$name" '$1 == n { print $2; exit }' "$cur_pairs")"
-    [ -z "$cur" ] && continue
-    regressed="$(awk -v b="$base" -v c="$cur" 'BEGIN { print (b > 0 && c < 0.8 * b) ? 1 : 0 }')"
-    if [ "$regressed" = "1" ]; then
-        echo "::warning::ingest benchmark $name regressed: $cur reports/s vs baseline $base (>20% drop)"
-        warned=1
-    fi
-done < "$base_pairs"
 
-# Headline ratio check: striped vs legacy at 16 connections.
-ratio="$(awk '
-    $1 ~ /striped\/conns=16$/ { s = $2 }
-    $1 ~ /legacy\/conns=16$/  { l = $2 }
-    END { if (s > 0 && l > 0) printf "%.2f", s / l }
-' "$cur_pairs")"
-if [ -n "$ratio" ]; then
+# compare_pair LABEL BASELINE CURRENT — warns on every >20% reports/s
+# drop; returns normally no matter what it finds.
+compare_pair() {
+    label="$1"
+    extract "$2" > "$base_pairs"
+    extract "$3" > "$cur_pairs"
+    if ! [ -s "$base_pairs" ]; then
+        echo "benchdiff: $label baseline is malformed or has no reports/s entries; skipping"
+        return 0
+    fi
+    if ! [ -s "$cur_pairs" ]; then
+        echo "benchdiff: $label current run is malformed or has no reports/s entries; skipping"
+        return 0
+    fi
+    while read -r name base; do
+        cur="$(awk -v n="$name" '$1 == n { print $2; exit }' "$cur_pairs")"
+        [ -z "$cur" ] && continue
+        regressed="$(awk -v b="$base" -v c="$cur" 'BEGIN { print (b > 0 && c < 0.8 * b) ? 1 : 0 }')"
+        if [ "$regressed" = "1" ]; then
+            echo "::warning::$label benchmark $name regressed: $cur reports/s vs baseline $base (>20% drop)"
+            warned=1
+        fi
+    done < "$base_pairs"
+    return 0
+}
+
+# ratio_check CURRENT — the PR 4 headline guarantee: striped vs legacy
+# ingest at 16 connections must hold 4x (ingest suite only).
+ratio_check() {
+    extract "$1" > "$cur_pairs"
+    ratio="$(awk '
+        $1 ~ /striped\/conns=16$/ { s = $2 }
+        $1 ~ /legacy\/conns=16$/  { l = $2 }
+        END { if (s > 0 && l > 0) printf "%.2f", s / l }
+    ' "$cur_pairs")"
+    [ -n "$ratio" ] || return 0
     below="$(awk -v r="$ratio" 'BEGIN { print (r < 4.0) ? 1 : 0 }')"
     if [ "$below" = "1" ]; then
         echo "::warning::striped/legacy ingest ratio at 16 conns is ${ratio}x (< 4x target)"
@@ -94,9 +91,47 @@ if [ -n "$ratio" ]; then
     else
         echo "benchdiff: striped/legacy ingest ratio at 16 conns: ${ratio}x"
     fi
+    return 0
+}
+
+if [ "$#" -ge 1 ]; then
+    # Explicit pair mode: one baseline against one current file.
+    BASELINE="$1"
+    CURRENT="${2:-BENCH_ingest.json}"
+    if [ -f "$BASELINE" ] && [ -f "$CURRENT" ]; then
+        compare_pair "$(basename "$CURRENT" .json | sed 's/^BENCH_//')" "$BASELINE" "$CURRENT"
+        ratio_check "$CURRENT"
+    else
+        echo "benchdiff: $BASELINE or $CURRENT not found; skipping comparison"
+    fi
+else
+    # Default mode: every benchmark suite committed at HEAD.
+    suites="$(git ls-tree --name-only HEAD 2>/dev/null | grep -x 'BENCH_[A-Za-z0-9_]*\.json' || true)"
+    if [ -z "$suites" ]; then
+        echo "benchdiff: no committed BENCH_*.json baselines; skipping comparison"
+        exit 0
+    fi
+    compared=0
+    for f in $suites; do
+        label="$(echo "$f" | sed 's/^BENCH_//; s/\.json$//')"
+        if ! git show "HEAD:$f" > "$base_tmp" 2>/dev/null; then
+            echo "benchdiff: no committed $f baseline; skipping"
+            continue
+        fi
+        if ! [ -f "$f" ]; then
+            echo "benchdiff: $f not in working tree (run make bench first); skipping"
+            continue
+        fi
+        compare_pair "$label" "$base_tmp" "$f"
+        compared=$((compared + 1))
+        case "$f" in
+        *ingest*) ratio_check "$f" ;;
+        esac
+    done
+    [ "$compared" -gt 0 ] || echo "benchdiff: nothing to compare"
 fi
 
 if [ "$warned" = "0" ]; then
-    echo "benchdiff: no ingest throughput regressions vs baseline"
+    echo "benchdiff: no throughput regressions vs baseline"
 fi
 exit 0

@@ -13,6 +13,13 @@
 #   4. stop gracefully (SIGTERM drain writes a final checkpoint), flip
 #      one payload byte, restart, and assert the corrupted file is
 #      refused with a clear error and the collector starts fresh
+#   5. continual collection: a second collector (-window/-horizon, own
+#      state dir) collects across three wire-driven epoch rotations,
+#      checkpoints, rotates once more with uncheckpointed traffic, and
+#      is kill -9'd mid-rotation; the restart must come back with every
+#      ring bitwise-equal to the checkpoint — correct epoch id, window
+#      and decayed estimates, live snapshot — late reports still
+#      bucketing and the renewal budget ledger still gating
 #
 # The wire-level assertions live in scripts/crashcheck (go run-able Go,
 # because bitwise snapshot comparison and OPENQUERY probing need the
@@ -113,5 +120,46 @@ grep -q "restored" "$WORK/log3" \
 kill -TERM "$PID"
 wait "$PID" 2>/dev/null || true
 PID=""
+
+echo "== phase 6: epoch ring survives kill -9 mid-rotation"
+STATE2="$WORK/state2"
+
+# start_epoch LOGFILE — the continual collector: epochs on via
+# -window/-horizon with no wall-clock ticker, so rotation happens only
+# on ROTATE wire frames and the test controls exactly where the kill -9
+# lands. The -query specs must match crashcheck's epochSpecs.
+start_epoch() {
+    "$WORK/ldpcollect" -users 0 -addr 127.0.0.1:0 \
+        -state-dir "$STATE2" -checkpoint-interval 0 -total-eps 2.0 \
+        -window 8 -horizon 4 \
+        -query em,kind=mean,mech=piecewise,eps=0.2,d=8 \
+        -query ef,kind=freq,mech=squarewave,eps=0.2,cards=3x4,m=2 \
+        > "$1" 2>&1 &
+    PID=$!
+}
+
+start_epoch "$WORK/log4"
+ADDR="$(wait_addr "$WORK/log4")"
+echo "   continual collector up at $ADDR"
+"$WORK/crashcheck" -mode epochseed -addr "$ADDR" -dir "$SNAPS"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+start_epoch "$WORK/log5"
+ADDR="$(wait_addr "$WORK/log5")"
+grep -q "restored 2 queries from" "$WORK/log5" \
+    || { cat "$WORK/log5" >&2; fail "continual restart did not report restoring 2 queries"; }
+"$WORK/crashcheck" -mode epochverify -addr "$ADDR" -dir "$SNAPS"
+kill -TERM "$PID"
+if ! wait "$PID"; then
+    cat "$WORK/log5" >&2
+    fail "continual collector did not exit cleanly on SIGTERM"
+fi
+PID=""
+grep -q "final epoch rotated" "$WORK/log5" \
+    || { cat "$WORK/log5" >&2; fail "SIGTERM drain did not rotate the final epoch"; }
+grep -q "final checkpoint saved" "$WORK/log5" \
+    || { cat "$WORK/log5" >&2; fail "SIGTERM drain did not write a final checkpoint"; }
 
 echo "crash_recovery_e2e: PASS"

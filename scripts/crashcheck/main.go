@@ -16,10 +16,24 @@
 //	    have zero accumulated reports — fresh start, no partial restore.
 //	crashcheck -mode corrupt -file PATH
 //	    flip one payload byte of the checkpoint file so its CRC fails.
+//	crashcheck -mode epochseed -addr HOST:PORT -dir DIR
+//	    against a continual (-window/-horizon) collector: stream reports
+//	    across three epochs driven by ROTATE wire frames, save each
+//	    query's live epoch id, window/decayed estimates and live
+//	    snapshot under DIR, force a CHECKPOINT — then rotate once more
+//	    and stream uncheckpointed reports, so the kill -9 that follows
+//	    lands mid-rotation with work the restore must NOT resurrect.
+//	crashcheck -mode epochverify -addr HOST:PORT -dir DIR
+//	    after the kill -9 + restart: require each query's ring back at
+//	    the checkpointed epoch with window/decayed estimates and live
+//	    snapshot bitwise-equal to the saved ones, a late EPOCH-tagged
+//	    report still bucketed into its frozen epoch, and the renewed
+//	    budget ledger still rejecting an over-horizon OPENQUERY.
 package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"log"
@@ -63,6 +77,10 @@ func main() {
 		err = fresh(*addr)
 	case "corrupt":
 		err = corrupt(*file)
+	case "epochseed":
+		err = epochSeed(*addr, *dir)
+	case "epochverify":
+		err = epochVerify(*addr, *dir)
 	default:
 		err = fmt.Errorf("unknown -mode %q", *mode)
 	}
@@ -206,6 +224,208 @@ func fresh(addr string) error {
 			}
 		}
 	}
+	return nil
+}
+
+// ---- continual-collection phase (epochseed / epochverify) -------------------
+
+// epochSpecs are the two queries of the continual e2e phase. They must
+// match the -query flags of the epoch collector in
+// scripts/crash_recovery_e2e.sh. With -total-eps 2.0 and -horizon 4 each
+// holds 4·0.2 = 0.8 of the budget (1.6 together), so the over-horizon
+// probe below (another ε=0.2, +0.8) must be rejected.
+func epochSpecs() []hdr4me.QuerySpec {
+	return []hdr4me.QuerySpec{
+		{Name: "em", Kind: hdr4me.KindMean, Mech: "piecewise", Eps: 0.2, D: 8},
+		{Name: "ef", Kind: hdr4me.KindFreq, Mech: "squarewave", Eps: 0.2, Cards: []int{3, 4}, M: 2},
+	}
+}
+
+// epochWindows are the window widths whose estimates epochseed saves and
+// epochverify replays: together they fold every retained epoch, so
+// bitwise equality means the whole restored ring matches.
+var epochWindows = []int{1, 2, 3}
+
+const epochDecay = 0.5
+
+// streamEpoch sends e2eUsers/5 deterministic reports into each query,
+// seeded per epoch so every epoch's traffic is distinct.
+func streamEpoch(cl *hdr4me.CollectorClient, epochSeed uint64) error {
+	for _, spec := range epochSpecs() {
+		sess, err := hdr4me.NewFromSpec(spec, hdr4me.WithSeed(42+epochSeed))
+		if err != nil {
+			return fmt.Errorf("query %q: %w", spec.Name, err)
+		}
+		n := e2eUsers / 5
+		reps := make([]hdr4me.Report, 0, n)
+		for i := 0; i < n; i++ {
+			rep, err := sess.Report(tupleFor(spec, i+int(epochSeed)))
+			if err != nil {
+				return fmt.Errorf("query %q: %w", spec.Name, err)
+			}
+			reps = append(reps, rep)
+		}
+		accepted, err := cl.Query(spec.Name).SendBatch(reps)
+		if err != nil {
+			return fmt.Errorf("query %q: %w", spec.Name, err)
+		}
+		if accepted != len(reps) {
+			return fmt.Errorf("query %q: collector accepted %d of %d reports", spec.Name, accepted, len(reps))
+		}
+	}
+	return nil
+}
+
+// ringObservation is everything epochverify compares bitwise: the live
+// epoch id, the window estimates, the decayed estimate, and the live
+// epoch's snapshot encoding.
+func ringObservation(cl *hdr4me.CollectorClient, name string) ([]byte, error) {
+	var buf bytes.Buffer
+	q := cl.Query(name)
+	info, err := cl.QueryInfo(name)
+	if err != nil {
+		return nil, fmt.Errorf("query %q: info: %w", name, err)
+	}
+	if !info.Epochs {
+		return nil, fmt.Errorf("query %q: collector is not continual (epoch flags missing?)", name)
+	}
+	if err := binary.Write(&buf, binary.BigEndian, info.Epoch); err != nil {
+		return nil, err
+	}
+	for _, w := range epochWindows {
+		est, err := q.WindowEstimate(w)
+		if err != nil {
+			return nil, fmt.Errorf("query %q: window %d: %w", name, w, err)
+		}
+		if err := binary.Write(&buf, binary.BigEndian, est); err != nil {
+			return nil, err
+		}
+	}
+	dec, err := q.DecayedEstimate(epochDecay)
+	if err != nil {
+		return nil, fmt.Errorf("query %q: decayed estimate: %w", name, err)
+	}
+	if err := binary.Write(&buf, binary.BigEndian, dec); err != nil {
+		return nil, err
+	}
+	snap, err := q.PullSnapshot()
+	if err != nil {
+		return nil, fmt.Errorf("query %q: pull snapshot: %w", name, err)
+	}
+	if err := transport.EncodeSnapshot(&buf, snap); err != nil {
+		return nil, fmt.Errorf("query %q: encode snapshot: %w", name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// epochSeed drives the continual collector across three epochs, saves
+// each ring's observable state, checkpoints — then rotates once more and
+// streams reports that never hit disk, so the kill -9 lands mid-rotation.
+func epochSeed(addr, dir string) error {
+	cl, err := hdr4me.DialCollector(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	// Three epochs of distinct traffic: stream, rotate, stream, rotate,
+	// stream — live epoch 2 with frozen epochs {0, 1}.
+	for e := uint64(0); e < 3; e++ {
+		if e > 0 {
+			for _, spec := range epochSpecs() {
+				next, err := cl.Query(spec.Name).Rotate()
+				if err != nil {
+					return fmt.Errorf("query %q: rotate: %w", spec.Name, err)
+				}
+				if next != e {
+					return fmt.Errorf("query %q: rotated to epoch %d, want %d", spec.Name, next, e)
+				}
+			}
+		}
+		if err := streamEpoch(cl, e); err != nil {
+			return err
+		}
+	}
+	for _, spec := range epochSpecs() {
+		obs, err := ringObservation(cl, spec.Name)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, spec.Name+".ring"), obs, 0o644); err != nil {
+			return err
+		}
+	}
+	if err := cl.Checkpoint(); err != nil {
+		return fmt.Errorf("CHECKPOINT frame: %w", err)
+	}
+	// Mid-rotation crash setup: one more rotation and a burst of reports,
+	// none of it checkpointed. The restore must come back at epoch 2 —
+	// resurrecting any of this would mean the checkpoint lied.
+	for _, spec := range epochSpecs() {
+		if _, err := cl.Query(spec.Name).Rotate(); err != nil {
+			return fmt.Errorf("query %q: post-checkpoint rotate: %w", spec.Name, err)
+		}
+	}
+	return streamEpoch(cl, 3)
+}
+
+// epochVerify asserts the restored rings are bitwise-identical to the
+// checkpointed observation, late reports still bucket into frozen
+// epochs, and the renewal ledger still gates admissions.
+func epochVerify(addr, dir string) error {
+	cl, err := hdr4me.DialCollector(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	for _, spec := range epochSpecs() {
+		want, err := os.ReadFile(filepath.Join(dir, spec.Name+".ring"))
+		if err != nil {
+			return err
+		}
+		got, err := ringObservation(cl, spec.Name)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("query %q: restored ring differs from checkpointed state (%d vs %d bytes)",
+				spec.Name, len(got), len(want))
+		}
+		info, err := cl.QueryInfo(spec.Name)
+		if err != nil {
+			return err
+		}
+		if info.Epoch != 2 {
+			return fmt.Errorf("query %q: restored at epoch %d, want the checkpointed epoch 2 "+
+				"(the uncheckpointed rotation must not survive)", spec.Name, info.Epoch)
+		}
+		fmt.Printf("query %q: restored ring bitwise-equal at epoch %d (%d bytes)\n", spec.Name, info.Epoch, len(got))
+	}
+	// Late-report path: a report tagged with frozen epoch 1 must still
+	// bucket (default lateness policy) after the restore.
+	spec := epochSpecs()[0]
+	sess, err := hdr4me.NewFromSpec(spec, hdr4me.WithSeed(7))
+	if err != nil {
+		return err
+	}
+	rep, err := sess.Report(tupleFor(spec, 1))
+	if err != nil {
+		return err
+	}
+	if err := cl.Query(spec.Name).SendEpoch(1, rep); err != nil {
+		return fmt.Errorf("query %q: late report for frozen epoch 1 rejected after restore: %w", spec.Name, err)
+	}
+	fmt.Printf("query %q: late report bucketed into restored frozen epoch 1\n", spec.Name)
+	// The two queries hold 1.6 of the 2.0 budget over the 4-epoch
+	// horizon; another ε=0.2 would hold 2.4 and must be rejected by the
+	// restored renewal ledger.
+	_, err = cl.Open(hdr4me.QuerySpec{Name: "overhorizon", Kind: hdr4me.KindMean, Mech: "laplace", Eps: 0.2, D: 2})
+	if err == nil {
+		return fmt.Errorf("restored renewal ledger accepted an over-horizon OPENQUERY")
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		return fmt.Errorf("over-horizon OPENQUERY failed for the wrong reason: %v", err)
+	}
+	fmt.Printf("over-horizon OPENQUERY rejected by restored renewal ledger: %v\n", err)
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/hdr4me/hdr4me/internal/analysis"
+	"github.com/hdr4me/hdr4me/internal/epoch"
 	"github.com/hdr4me/hdr4me/internal/est"
 	"github.com/hdr4me/hdr4me/internal/freq"
 	"github.com/hdr4me/hdr4me/internal/highdim"
@@ -61,6 +62,16 @@ type sessionConfig struct {
 	custom     Estimator
 	stateDir   string
 	ckptEvery  time.Duration
+
+	// Continual-collection knobs (continual.go); epochs is set by any of
+	// the epoch options and switches New to wrap the estimator in a ring.
+	epochs      bool
+	epochDur    time.Duration
+	epochEvery  int64
+	epochRetain int
+	window      int
+	decay       float64
+	lateness    LatenessPolicy
 }
 
 // WithMechanism selects the one-dimensional LDP mechanism (mean and
@@ -174,6 +185,14 @@ type Session struct {
 	est     Estimator
 	workers int
 
+	// ring wraps est for continual sessions (any epoch option): ingest
+	// routes through it so rotation triggers count reports, while est
+	// stays the inner family estimator the estimate/enhance type switches
+	// know. Nil for one-shot sessions.
+	ring *epoch.Ring
+	// stopRotate joins the wall-clock rotation ticker (WithEpochDuration).
+	stopRotate func()
+
 	// lanes are stripe-bound ingest handles into the estimator's
 	// lock-striped accumulator; Observe rotates over them so concurrent
 	// observers rarely contend on one stripe lock. Nil for estimators
@@ -234,6 +253,16 @@ func New(opts ...Option) (*Session, error) {
 		return nil, err
 	}
 	s.est = e
+	// Continual sessions wrap the estimator in an epoch ring; ingest
+	// (lanes included) routes through it so report-count rotation
+	// triggers see every report.
+	ingest := e
+	if cfg.epochs {
+		if s.ring, err = s.buildRing(e); err != nil {
+			return nil, err
+		}
+		ingest = s.ring
+	}
 	// Striped ingest for Observe: only when the estimator both produces
 	// detached reports (so perturbation runs outside any lock) and offers
 	// stripe lanes. All three built-in families do.
@@ -241,9 +270,15 @@ func New(opts ...Option) (*Session, error) {
 		if _, ok := e.(est.LaneProvider); ok {
 			s.lanes = make([]est.Lane, sessionLanes)
 			for i := range s.lanes {
-				s.lanes[i] = est.AcquireLane(e)
+				s.lanes[i] = est.AcquireLane(ingest)
 			}
 		}
+	}
+	if cfg.epochDur > 0 {
+		s.stopRotate = StartCheckpointer(cfg.epochDur, func() error {
+			s.ring.Rotate()
+			return nil
+		}, nil)
 	}
 	if cfg.stateDir != "" {
 		// Fail fast: durability needs a serializable spec (no custom
@@ -288,6 +323,9 @@ func New(opts ...Option) (*Session, error) {
 // Close is idempotent; the session itself stays usable (only the
 // periodic persistence stops).
 func (s *Session) Close() error {
+	if s.stopRotate != nil {
+		s.stopRotate() // idempotent; joins the epoch ticker
+	}
 	if s.stopCkpt == nil {
 		return nil
 	}
@@ -402,7 +440,17 @@ func (s *Session) Observe(t Tuple) error {
 		}
 		return s.lanes[idx%uint64(len(s.lanes))].AddReport(rep)
 	}
-	return s.est.Observe(t, rng)
+	return s.ingestEst().Observe(t, rng)
+}
+
+// ingestEst is where ingest surfaces accumulate: the epoch ring for a
+// continual session (so rotation triggers count every report), the
+// estimator itself otherwise.
+func (s *Session) ingestEst() Estimator {
+	if s.ring != nil {
+		return s.ring
+	}
+	return s.est
 }
 
 // Report perturbs one raw tuple with the session's randomness and returns
@@ -431,7 +479,7 @@ const (
 
 // AddReport accumulates one already-perturbed report (streaming ingestion
 // from the wire). Safe for concurrent use.
-func (s *Session) AddReport(rep Report) error { return s.est.AddReport(rep) }
+func (s *Session) AddReport(rep Report) error { return s.ingestEst().AddReport(rep) }
 
 // AddReports accumulates a batch of already-perturbed reports through the
 // estimator's batched ingest path: for the built-in families the whole
@@ -439,7 +487,7 @@ func (s *Session) AddReport(rep Report) error { return s.est.AddReport(rep) }
 // of one per report. Malformed reports are skipped, not fatal — accepted
 // counts the rest, and err carries the first rejection for diagnostics.
 func (s *Session) AddReports(reps []Report) (accepted int, err error) {
-	return est.AddReports(s.est, reps)
+	return est.AddReports(s.ingestEst(), reps)
 }
 
 // Estimate returns the running naive estimate.
