@@ -79,6 +79,18 @@
 // window of horizon consecutive epochs. Rings checkpoint and restore
 // with everything else. See the README's "Continual collection" section.
 //
+// The invariants all of the above rests on are machine-enforced:
+// cmd/hdrvet, a go vet -vettool multichecker built on the
+// dependency-free go/analysis mirror in internal/analyzers, fails the
+// build when a transport handler replies before consuming a frame body
+// (framedrain), a float accumulator bypasses the mathx Kahan lanes
+// (kahansum), blocking I/O happens under a mutex (lockhold), a frame
+// byte is duplicated or lacks encoder/decoder/fuzz coverage
+// (wireframe), or a codec/fold path ranges over a map unsorted
+// (rangemap). Intentional exceptions are annotated in source as
+// "//hdrvet:ignore <analyzer> -- <reason>", reason mandatory. See the
+// README's "Static analysis & enforced invariants" section.
+//
 // The pre-Session facade (Simulate, SimulateAllocated, SimulateDuchiMD,
 // SimulateFreq) remains available as deprecated wrappers over the same
 // internals; see README.md for the migration table and EXPERIMENTS.md for

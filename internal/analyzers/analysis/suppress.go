@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// IgnorePrefix opens an intentional-exception directive:
+//
+//	//hdrvet:ignore <analyzer>[ <analyzer>...] -- <reason>
+//
+// placed on the flagged line or the line directly above it. The reason
+// is mandatory: a suppression without one is itself reported, so every
+// exception in the tree documents why the invariant may be broken
+// there. The name "all" suppresses every analyzer.
+const IgnorePrefix = "//hdrvet:ignore"
+
+// directive is one parsed //hdrvet:ignore comment.
+type directive struct {
+	line     int
+	names    []string
+	hasWhy   bool
+	position token.Pos
+}
+
+func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var ds []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, IgnorePrefix)
+				spec, why, found := strings.Cut(rest, "--")
+				d := directive{
+					line:     fset.Position(c.Pos()).Line,
+					names:    strings.Fields(spec),
+					hasWhy:   found && strings.TrimSpace(why) != "",
+					position: c.Pos(),
+				}
+				ds = append(ds, d)
+			}
+		}
+	}
+	return ds
+}
+
+func (d directive) covers(name string) bool {
+	for _, n := range d.names {
+		if n == name || n == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplySuppressions drops diagnostics covered by a well-formed
+// //hdrvet:ignore directive on the same or the preceding line, and adds
+// a diagnostic for every malformed directive (no analyzer names, or no
+// "-- reason" tail).
+func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	ds := parseDirectives(fset, files)
+	var out []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		keep := true
+		for _, dir := range ds {
+			if !dir.hasWhy || len(dir.names) == 0 {
+				continue
+			}
+			if sameFile(fset, dir.position, d.Pos) &&
+				(dir.line == pos.Line || dir.line == pos.Line-1) &&
+				dir.covers(d.Analyzer) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range ds {
+		if !dir.hasWhy || len(dir.names) == 0 {
+			out = append(out, Diagnostic{
+				Pos:      dir.position,
+				Analyzer: "hdrvet",
+				Message:  "malformed " + IgnorePrefix + " directive: want \"" + IgnorePrefix + " <analyzer> -- <reason>\"",
+			})
+		}
+	}
+	return out
+}
+
+func sameFile(fset *token.FileSet, a, b token.Pos) bool {
+	return fset.Position(a).Filename == fset.Position(b).Filename
+}

@@ -1,0 +1,229 @@
+// Package driver runs hdrvet's analyzers over type-checked packages in
+// two modes: standalone (patterns resolved with `go list -export`, used
+// by `make vet-fast` and the analyzer tests) and unitchecker (one
+// vet.cfg unit per invocation, the protocol `go vet -vettool` speaks).
+//
+// Both modes type-check from source against compiler export data, so no
+// x/tools machinery is needed: `go list -export` (or the vet.cfg's
+// PackageFile map) names a gc export file for every import, and
+// importer.ForCompiler's lookup hook opens them.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	ForTest    string
+	Export     string
+	GoFiles    []string
+	Dir        string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+const listFields = "-json=ImportPath,ForTest,Export,GoFiles,Dir,Standard,Module"
+
+func goList(args ...string) ([]listPackage, error) {
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// A Unit is one type-checked analysis target.
+type Unit struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// Load resolves patterns into analysis units. Each in-module package
+// becomes one unit; when `go list -test` offers a test variant
+// ("pkg [pkg.test]"), that variant replaces the plain package — its file
+// list is the plain one plus the in-package _test.go files, which is
+// exactly what go vet analyzes — and external test packages
+// ("pkg_test [pkg.test]") become units of their own.
+func Load(patterns []string) ([]*Unit, error) {
+	roots, err := goList(append([]string{"list", "-json=ImportPath"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	rootSet := make(map[string]bool, len(roots))
+	for _, r := range roots {
+		rootSet[r.ImportPath] = true
+	}
+
+	args := append([]string{"list", "-test", "-export", "-deps", listFields}, patterns...)
+	pkgs, err := goList(args...)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	// Pick the units: in-module, not the synthesized ".test" mains, and
+	// plain packages only when no [pkg.test] variant supersedes them.
+	superseded := make(map[string]bool)
+	for _, p := range pkgs {
+		if p.ForTest != "" && !strings.HasSuffix(p.ImportPath, ".test") &&
+			strings.HasPrefix(p.ImportPath, p.ForTest+" ") {
+			superseded[p.ForTest] = true
+		}
+	}
+	var units []*Unit
+	for _, p := range pkgs {
+		if p.Standard || p.Module == nil || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.ForTest == "" && superseded[p.ImportPath] {
+			continue
+		}
+		// Only analyze packages the patterns named (or their test
+		// variants) — the -deps closure is there for export data.
+		base := p.ImportPath
+		if i := strings.IndexByte(base, ' '); i >= 0 {
+			base = base[:i]
+		}
+		if !rootSet[base] && !rootSet[strings.TrimSuffix(base, "_test")] {
+			continue
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		// An external test package ("pkg_test [pkg.test]") links against
+		// the test variant of the package under test, so its in-package
+		// test helpers resolve.
+		var importMap map[string]string
+		if p.ForTest != "" && strings.HasPrefix(base, p.ForTest+"_test") {
+			variant := p.ForTest + " [" + p.ForTest + ".test]"
+			if _, ok := exports[variant]; ok {
+				importMap = map[string]string{p.ForTest: variant}
+			}
+		}
+		u, err := typeCheck(p.ImportPath, p.Dir, p.GoFiles, exportLookup(exports), importMap)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].ImportPath < units[j].ImportPath })
+	return units, nil
+}
+
+// exportLookup opens gc export data by canonical import path.
+func exportLookup(exports map[string]string) importer.Lookup {
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// mapImporter resolves source-level import paths through an optional
+// vet.cfg ImportMap before handing them to the gc export-data importer.
+type mapImporter struct {
+	base      types.ImporterFrom
+	importMap map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if c, ok := m.importMap[path]; ok {
+		path = c
+	}
+	return m.base.ImportFrom(path, "", 0)
+}
+
+// typeCheck parses files (absolute, or relative to dir) and checks them
+// against export data.
+func typeCheck(importPath, dir string, files []string, lookup importer.Lookup, importMap map[string]string) (*Unit, error) {
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, name := range files {
+		if !strings.HasPrefix(name, "/") && dir != "" {
+			name = dir + "/" + name
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{
+		Importer: &mapImporter{
+			base:      importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+			importMap: importMap,
+		},
+	}
+	pkg, err := conf.Check(importPath, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Unit{ImportPath: importPath, Fset: fset, Files: parsed, Pkg: pkg, Info: info}, nil
+}
+
+// Run applies analyzers to one unit and returns the surviving
+// diagnostics, suppressions applied, in positional order.
+func Run(u *Unit, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("%s on %s: %v", a.Name, u.ImportPath, err)
+		}
+		diags = append(diags, pass.Diagnostics()...)
+	}
+	diags = analysis.ApplySuppressions(u.Fset, u.Files, diags)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, u.Fset, nil
+}

@@ -1,0 +1,12 @@
+package framedrain_test
+
+import (
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analyzertest"
+	"github.com/hdr4me/hdr4me/internal/analyzers/framedrain"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, framedrain.Analyzer, "example.com/internal/transport/handler")
+}

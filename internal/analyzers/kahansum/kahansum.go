@@ -1,0 +1,141 @@
+// Package kahansum forbids naive float accumulation in the estimator
+// packages.
+//
+// The collector's bitwise-reproducibility contracts — striped ingest
+// equals serial ingest, checkpoint restore equals the live collector,
+// window folds equal the serving ring's own — all assume float sums are
+// produced by the compensated lanes in internal/mathx. A plain `+=`
+// into a long-lived accumulator reintroduces order-dependent rounding,
+// which those contracts then leak to every client.
+//
+// Scope: internal/est, internal/highdim, internal/freq, internal/epoch,
+// non-test files. Flagged: `+=`/`-=` on a float whose root is reachable
+// from outside the function — a pointer (receivers and heap state) or a
+// package-level variable. Deliberately unflagged: accumulation into
+// function-local or parameter-owned floats and slices, the fold-into-
+// fresh-output idiom read paths use, where ordering is fixed by the
+// caller and compensation is applied upstream.
+package kahansum
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "kahansum",
+	Doc:  "forbid naive += / -= on long-lived float accumulators outside mathx Kahan lanes",
+	Run:  run,
+}
+
+var scopes = []string{"internal/est", "internal/highdim", "internal/freq", "internal/epoch"}
+
+func inScope(path string) bool {
+	if strings.Contains(path, "internal/mathx") {
+		return false
+	}
+	for _, s := range scopes {
+		if strings.Contains(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Package) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || (as.Tok != token.ADD_ASSIGN && as.Tok != token.SUB_ASSIGN) || len(as.Lhs) != 1 {
+				return true
+			}
+			lhs := as.Lhs[0]
+			if !isFloat(pass.TypesInfo.TypeOf(lhs)) {
+				return true
+			}
+			root := rootIdent(lhs)
+			if root == nil {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[root]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[root]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return true
+			}
+			if !escapesFunction(v) {
+				return true
+			}
+			pass.Reportf(as.TokPos,
+				"naive %s on float accumulator %s: long-lived sums must go through internal/mathx Kahan lanes (mathx.KahanSum) to keep folds bitwise-reproducible",
+				as.Tok, exprString(lhs))
+			return true
+		})
+	}
+	return nil
+}
+
+// escapesFunction reports whether v's float state outlives the
+// enclosing call: package-level, or reached through a pointer.
+func escapesFunction(v *types.Var) bool {
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return true // package scope
+	}
+	_, isPtr := v.Type().Underlying().(*types.Pointer)
+	return isPtr
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// rootIdent unwraps selector/index/deref chains to the base identifier:
+// e.Snap.Sums[i] → e.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return "(" + exprString(x.X) + ")"
+	default:
+		return "expression"
+	}
+}

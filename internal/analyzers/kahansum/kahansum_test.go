@@ -1,0 +1,16 @@
+package kahansum_test
+
+import (
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analyzertest"
+	"github.com/hdr4me/hdr4me/internal/analyzers/kahansum"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, kahansum.Analyzer, "example.com/internal/est/acc")
+}
+
+func TestOutOfScopePackagesAreClean(t *testing.T) {
+	analyzertest.Run(t, kahansum.Analyzer, "example.com/outside")
+}

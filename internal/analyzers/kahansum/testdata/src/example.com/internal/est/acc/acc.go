@@ -1,0 +1,58 @@
+// Package acc is a kahansum fixture: naive accumulation into long-lived
+// floats is flagged, caller-owned and function-local folds are not.
+package acc
+
+type agg struct {
+	sum   float64
+	total int
+}
+
+// Pointer receiver: the accumulator outlives the call — flagged.
+func (a *agg) add(v float64) {
+	a.sum += v // want "naive .= on float accumulator a.sum"
+	a.total++
+}
+
+func (a *agg) sub(v float64) {
+	a.sum -= v // want "naive -= on float accumulator a.sum"
+}
+
+var global float64
+
+func addGlobal(v float64) {
+	global += v // want "naive .= on float accumulator global"
+}
+
+// Fold into caller-owned output: ordering is the caller's choice and
+// compensation is applied upstream — clean.
+func fold(out, in []float64) {
+	for i := range out {
+		out[i] += in[i]
+	}
+}
+
+// Function-local accumulator dies with the call — clean.
+func mean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Integer tallies are not float folds — clean.
+func (a *agg) count(n int) {
+	a.total += n
+}
+
+// A documented suppression silences the finding.
+func (a *agg) addRaw(v float64) {
+	//hdrvet:ignore kahansum -- fixture: documented intentional exception
+	a.sum += v
+}
+
+// A reasonless suppression suppresses nothing and is itself flagged.
+func (a *agg) addUndocumented(v float64) {
+	//hdrvet:ignore kahansum // want "malformed"
+	a.sum += v // want "naive .= on float accumulator a.sum"
+}

@@ -1,0 +1,276 @@
+// Package lockhold flags blocking calls made while a mutex acquired in
+// the same function is still held.
+//
+// The collector's mutexes guard in-memory state (stripe lanes, the
+// query registry, server bookkeeping); holding one across network or
+// channel I/O lets one slow peer stall every other connection — the
+// precise regression the lock-striped ingest work exists to prevent.
+// Blocking work must happen after the critical section: collect under
+// the lock, release, then write.
+//
+// One idiom is exempt: a connection object whose own mutex serializes
+// its own endpoints (client.go's c.mu guarding c.bw/c.br). When the
+// blocking call's receiver chain is rooted in the same object as the
+// held mutex (c.mu → c.bw), the lock IS the per-connection write lock
+// and holding it across the write is the point.
+//
+// The analysis is linear per function: Lock/Unlock and blocking events
+// are replayed in source order, deferred unlocks keep the lock held to
+// the end, and control flow is not path-sensitive — a miss on an exotic
+// branch shape is accepted, a false positive on one is suppressible.
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "forbid blocking I/O, channel operations, and sleeps while holding a mutex",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Package) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+type event struct {
+	pos  int // source order
+	node ast.Node
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	// held maps the owner chain of each acquired mutex ("c" for
+	// c.mu.Lock()) to the full lock expression ("c.mu").
+	held := map[string]string{}
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch x := m.(type) {
+			case *ast.FuncLit:
+				checkFunc(pass, x.Body) // its own lock discipline
+				return false
+			case *ast.DeferStmt:
+				walk(x.Call, true)
+				return false
+			case *ast.SendStmt:
+				blockingAt(pass, x.Pos(), "channel send", "", held)
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					blockingAt(pass, x.Pos(), "channel receive", "", held)
+				}
+			case *ast.CallExpr:
+				handleCall(pass, x, deferred, held)
+			}
+			return true
+		})
+	}
+	walk(body, false)
+}
+
+func handleCall(pass *analysis.Pass, call *ast.CallExpr, deferred bool, held map[string]string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := chainString(sel.X)
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		if isMutex(pass, sel.X) && recv != "" {
+			held[ownerOf(recv)] = recv
+			return
+		}
+	case "Unlock", "RUnlock":
+		if isMutex(pass, sel.X) && recv != "" && !deferred {
+			// A deferred unlock releases at return: the lock stays held
+			// for the rest of the body.
+			delete(held, ownerOf(recv))
+			return
+		}
+	}
+	if deferred {
+		// Deferred calls run at return, interleaved with deferred
+		// unlocks in an order this linear scan cannot see; skip them.
+		return
+	}
+	if kind := blockingKind(pass, sel); kind != "" {
+		blockingAt(pass, call.Pos(), kind, recv, held)
+	}
+}
+
+// blockingAt reports a blocking operation at pos for every held mutex
+// whose owner the operation's receiver chain does not share.
+func blockingAt(pass *analysis.Pass, pos token.Pos, kind, recv string, held map[string]string) {
+	var owners []string
+	for owner := range held {
+		if recv == "" || !sameRoot(owner, recv) {
+			owners = append(owners, owner)
+		}
+	}
+	sort.Strings(owners)
+	for _, owner := range owners {
+		pass.Reportf(pos,
+			"%s while %s is held: release the mutex before blocking, or one stalled peer blocks every lock waiter",
+			kind, held[owner])
+	}
+}
+
+// isMutex reports whether e is a sync.Mutex / sync.RWMutex value.
+func isMutex(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}
+
+// blockingKind classifies a selector call as blocking, returning a
+// human-readable kind or "".
+func blockingKind(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	// Package-level calls: time.Sleep, net.Dial*.
+	if pkg, ok := sel.X.(*ast.Ident); ok {
+		if obj, isPkg := pass.TypesInfo.Uses[pkg].(*types.PkgName); isPkg {
+			switch obj.Imported().Path() {
+			case "time":
+				if sel.Sel.Name == "Sleep" {
+					return "time.Sleep"
+				}
+			case "net":
+				if strings.HasPrefix(sel.Sel.Name, "Dial") || sel.Sel.Name == "Listen" {
+					return "net." + sel.Sel.Name
+				}
+			}
+			return ""
+		}
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return ""
+	}
+	switch typeName(t) {
+	case "bufio.Writer":
+		if strings.HasPrefix(sel.Sel.Name, "Write") || sel.Sel.Name == "Flush" {
+			return "bufio.Writer " + sel.Sel.Name
+		}
+	case "bufio.Reader":
+		if strings.HasPrefix(sel.Sel.Name, "Read") || sel.Sel.Name == "Peek" || sel.Sel.Name == "Discard" {
+			return "bufio.Reader " + sel.Sel.Name
+		}
+	case "sync.WaitGroup":
+		if sel.Sel.Name == "Wait" {
+			return "WaitGroup.Wait"
+		}
+	}
+	if implementsNetConn(pass, t) {
+		switch sel.Sel.Name {
+		case "Read", "Write", "Close":
+			return "net.Conn " + sel.Sel.Name
+		}
+	}
+	if isNetListener(t) && sel.Sel.Name == "Accept" {
+		return "net.Listener Accept"
+	}
+	return ""
+}
+
+// typeName returns "pkgpath.Name" for named or pointer-to-named types.
+func typeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// implementsNetConn reports whether t is (or points to) a type that
+// satisfies net.Conn, resolved against the net package if this unit
+// imports it.
+func implementsNetConn(pass *analysis.Pass, t types.Type) bool {
+	conn := netConnInterface(pass.Pkg)
+	if conn == nil {
+		return false
+	}
+	return types.Implements(t, conn) ||
+		types.Implements(types.NewPointer(t), conn)
+}
+
+func isNetListener(t types.Type) bool {
+	return typeName(t) == "net.Listener"
+}
+
+// netConnInterface digs net.Conn's interface type out of the package's
+// import graph.
+func netConnInterface(pkg *types.Package) *types.Interface {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == "net" {
+			if obj, ok := imp.Scope().Lookup("Conn").(*types.TypeName); ok {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// chainString renders a selector chain rooted at an identifier
+// ("b.c.bw"), or "" for anything more exotic.
+func chainString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := chainString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return chainString(x.X)
+	default:
+		return ""
+	}
+}
+
+// ownerOf strips the final field from a lock expression: "c.mu" → "c",
+// "mu" → "mu".
+func ownerOf(chain string) string {
+	if i := strings.LastIndexByte(chain, '.'); i >= 0 {
+		return chain[:i]
+	}
+	return chain
+}
+
+// sameRoot reports whether recv is the held owner itself or one of its
+// fields ("c.bw" under owner "c").
+func sameRoot(owner, recv string) bool {
+	return recv == owner || strings.HasPrefix(recv, owner+".")
+}

@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analyzertest"
+	"github.com/hdr4me/hdr4me/internal/analyzers/lockhold"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, lockhold.Analyzer, "example.com/server")
+}

@@ -1,0 +1,69 @@
+// Package server is a lockhold fixture: blocking calls under a mutex
+// are flagged; the connection-owner idiom (a mutex serializing its own
+// object's endpoints) and the collect-then-write shape are not.
+package server
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+)
+
+type hub struct {
+	mu    sync.Mutex
+	conns map[string]net.Conn
+	bw    *bufio.Writer
+}
+
+// Network write to a foreign connection under mu — flagged.
+func (h *hub) broadcast(conn net.Conn, p []byte) {
+	h.mu.Lock()
+	_, _ = conn.Write(p) // want "net.Conn Write while h.mu is held"
+	h.mu.Unlock()
+}
+
+// A deferred unlock keeps the lock held for the whole body — flagged.
+func (h *hub) deferred(conn net.Conn, p []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, _ = conn.Write(p) // want "net.Conn Write while h.mu is held"
+}
+
+// Channel send under mu — flagged.
+func (h *hub) notify(ch chan int) {
+	h.mu.Lock()
+	ch <- 1 // want "channel send while h.mu is held"
+	h.mu.Unlock()
+}
+
+// Sleeping under mu — flagged.
+func (h *hub) tick() {
+	h.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while h.mu is held"
+	h.mu.Unlock()
+}
+
+// The connection-owner idiom: h.mu serializes h's own buffered writer,
+// so holding it across the write is the point — clean.
+func (h *hub) send(p []byte) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, err := h.bw.Write(p); err != nil {
+		return err
+	}
+	return h.bw.Flush()
+}
+
+// Collect under the lock, release, then write — clean.
+func (h *hub) flushAll(p []byte) {
+	h.mu.Lock()
+	targets := make([]net.Conn, 0, len(h.conns))
+	for _, c := range h.conns {
+		targets = append(targets, c)
+	}
+	h.mu.Unlock()
+	for _, c := range targets {
+		_, _ = c.Write(p)
+	}
+}

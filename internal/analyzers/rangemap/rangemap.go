@@ -1,0 +1,149 @@
+// Package rangemap forbids unsorted map iteration in code that feeds
+// wire encoding, checkpoints, or float folds.
+//
+// Go randomizes map iteration order, so a `range` over a map inside a
+// persist codec or a snapshot/fold path makes the bytes — or, worse,
+// the float rounding — of two identical collectors diverge. Checkpoints
+// and snapshots must be bitwise-reproducible (the crash-recovery e2e
+// asserts it), so those paths must iterate deterministically.
+//
+// Scope: internal/persist, internal/est, internal/epoch, non-test
+// files. A range over a map is allowed only in the collect-then-sort
+// idiom: the loop body only appends keys or values into slices, and a
+// sort.* / slices.Sort* call over one of those slices follows in the
+// same function before they are used. Everything else is flagged.
+package rangemap
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "rangemap",
+	Doc:  "forbid unsorted range over maps in persist codecs and snapshot/fold paths",
+	Run:  run,
+}
+
+var scopes = []string{"internal/persist", "internal/est", "internal/epoch"}
+
+func inScope(path string) bool {
+	for _, s := range scopes {
+		if strings.Contains(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Package) {
+			continue
+		}
+		// Walk with enough context to see the statements that follow
+		// each range loop inside its enclosing block.
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				if _, isMap := pass.TypesInfo.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
+					continue
+				}
+				if sortedCollect(pass, rs, block.List[i+1:]) {
+					continue
+				}
+				pass.Reportf(rs.For,
+					"range over map %s has randomized order: iterate a sorted key slice, or collect into a slice and sort it before use",
+					exprString(rs.X))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sortedCollect reports whether rs is the benign collect-then-sort
+// idiom: every statement in the body appends into a slice, and some
+// later statement in the same block sorts one of those slices.
+func sortedCollect(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	sinks := map[string]bool{}
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		sinks[lhs.Name] = true
+	}
+	if len(sinks) == 0 {
+		return false
+	}
+	// Find a sort over one of the sinks in the trailing statements.
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := arg.(*ast.Ident); ok && sinks[id.Name] {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	default:
+		return "map"
+	}
+}

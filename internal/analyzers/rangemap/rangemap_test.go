@@ -1,0 +1,12 @@
+package rangemap_test
+
+import (
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analyzertest"
+	"github.com/hdr4me/hdr4me/internal/analyzers/rangemap"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, rangemap.Analyzer, "example.com/internal/persist/codec")
+}

@@ -1,0 +1,56 @@
+// Package codec is a rangemap fixture: encoding from raw map order is
+// flagged, the collect-then-sort idiom and sorted-slice iteration are
+// not.
+package codec
+
+import "sort"
+
+type state struct {
+	sums map[string]float64
+}
+
+// Encoding straight out of map order — flagged.
+func (s *state) encode(out *[]byte) {
+	for k, v := range s.sums { // want "range over map s.sums"
+		*out = append(*out, byte(len(k)), byte(v))
+	}
+}
+
+// Collect-then-sort — clean.
+func (s *state) names() []string {
+	names := make([]string, 0, len(s.sums))
+	for k := range s.sums {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Iterating the sorted key slice — clean (not a map range).
+func (s *state) encodeSorted(out *[]byte) {
+	for _, k := range s.names() {
+		*out = append(*out, byte(len(k)), byte(s.sums[k]))
+	}
+}
+
+// Collecting without a sort before use — flagged.
+func (s *state) keysUnsorted() []string {
+	var keys []string
+	for k := range s.sums { // want "range over map s.sums"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// A documented suppression silences the finding (order-insensitive
+// reduction).
+func (s *state) total() float64 {
+	var t float64
+	//hdrvet:ignore rangemap all -- fixture: min/max-style reductions are order-insensitive
+	for _, v := range s.sums {
+		if v > t {
+			t = v
+		}
+	}
+	return t
+}

@@ -1,0 +1,162 @@
+// Package stock carries dependency-free reimplementations of two stock
+// go/analysis passes hdrvet bundles alongside its custom checkers.
+//
+// The upstream multichecker would pull these from golang.org/x/tools;
+// this module is dependency-free, so the two that matter for the
+// collector are rebuilt here on go/ast + go/types:
+//
+//   - atomic: flags `x = atomic.AddT(&x, d)` self-assignment, which
+//     destroys the atomicity the call was buying.
+//   - copylock: flags lock-containing values (sync.Mutex, RWMutex,
+//     WaitGroup, Once, Cond, Pool, Map — directly or via struct/array
+//     fields) passed, received, returned, or ranged by value. A copied
+//     lock guards nothing.
+//
+// The upstream nilness pass is not bundled: it is built on x/tools' SSA
+// form, which has no stdlib equivalent, and `go vet`'s default suite
+// already covers the overlapping nil checks.
+package stock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analysis"
+)
+
+var Atomic = &analysis.Analyzer{
+	Name: "atomic",
+	Doc:  "flag assignment of a sync/atomic result back to its operand",
+	Run:  runAtomic,
+}
+
+var Copylock = &analysis.Analyzer{
+	Name: "copylock",
+	Doc:  "flag values containing sync locks passed, returned, or ranged by value",
+	Run:  runCopylock,
+}
+
+func runAtomic(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isAtomicAdd(pass, call) || len(call.Args) == 0 {
+					continue
+				}
+				addr, ok := call.Args[0].(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				if types.ExprString(addr.X) == types.ExprString(as.Lhs[i]) {
+					pass.Reportf(as.Pos(),
+						"direct assignment of %s result back to %s defeats the atomic operation",
+						types.ExprString(call.Fun), types.ExprString(addr.X))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isAtomicAdd(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.HasPrefix(sel.Sel.Name, "Add") {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+func runCopylock(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(pass, x.Recv, x.Type)
+			case *ast.FuncLit:
+				checkFuncSig(pass, nil, x.Type)
+			case *ast.RangeStmt:
+				if x.Value == nil {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(x.Value)
+				if path := lockPath(t); path != "" {
+					pass.Reportf(x.Value.Pos(),
+						"range value copies a lock: %s contains %s; iterate by index or pointer", t, path)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFuncSig(pass *analysis.Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if path := lockPath(t); path != "" {
+				pass.Reportf(field.Type.Pos(),
+					"%s passes a lock by value: %s contains %s; use a pointer", what, t, path)
+			}
+		}
+	}
+	check(recv, "receiver")
+	check(ft.Params, "parameter")
+	check(ft.Results, "return value")
+}
+
+// lockPath returns a description of where t carries a lock by value
+// ("sync.Mutex", "struct field mu"), or "" when it carries none.
+// Pointers, slices, maps, and channels stop the search: sharing through
+// them is the fix, not the bug.
+func lockPath(t types.Type) string {
+	return lockPathSeen(t, map[types.Type]bool{})
+}
+
+func lockPathSeen(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		if obj := n.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return "sync." + obj.Name()
+			}
+		}
+		return lockPathSeen(n.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if p := lockPathSeen(u.Field(i).Type(), seen); p != "" {
+				return p
+			}
+		}
+	case *types.Array:
+		return lockPathSeen(u.Elem(), seen)
+	}
+	return ""
+}

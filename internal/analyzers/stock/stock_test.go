@@ -1,0 +1,16 @@
+package stock_test
+
+import (
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analyzertest"
+	"github.com/hdr4me/hdr4me/internal/analyzers/stock"
+)
+
+func TestAtomicFixtures(t *testing.T) {
+	analyzertest.Run(t, stock.Atomic, "example.com/atomicfix")
+}
+
+func TestCopylockFixtures(t *testing.T) {
+	analyzertest.Run(t, stock.Copylock, "example.com/copylockfix")
+}

@@ -1,0 +1,18 @@
+// Package atomicfix exercises the bundled atomic pass.
+package atomicfix
+
+import "sync/atomic"
+
+var n int64
+
+func bumpBad() {
+	n = atomic.AddInt64(&n, 1) // want "direct assignment of atomic.AddInt64 result back to n"
+}
+
+func bumpGood() {
+	atomic.AddInt64(&n, 1)
+}
+
+func bumpInto(total *int64) int64 {
+	return atomic.AddInt64(total, 1)
+}

@@ -1,0 +1,33 @@
+// Package copylockfix exercises the bundled copylock pass.
+package copylockfix
+
+import "sync"
+
+type counterHub struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func byValue(h counterHub) int { // want "parameter passes a lock by value"
+	return len(h.m)
+}
+
+func byPointer(h *counterHub) int {
+	return len(h.m)
+}
+
+func (h counterHub) lenValue() int { // want "receiver passes a lock by value"
+	return len(h.m)
+}
+
+func ranged(hubs []counterHub) {
+	for _, h := range hubs { // want "range value copies a lock"
+		_ = h
+	}
+}
+
+func rangedByIndex(hubs []counterHub) {
+	for i := range hubs {
+		_ = hubs[i].m
+	}
+}

@@ -1,0 +1,37 @@
+// Package wire is a wireframe fixture: a frame constant must carry a
+// unique byte and be referenced by an encoder, a decoder, and a fuzz
+// test; frameSet and frameGet are fully wired, frameDrop and the
+// duplicate frameAlias are not.
+package wire
+
+import "io"
+
+const (
+	frameSet   = 0x01
+	frameGet   = 0x02
+	frameDrop  = 0x03 // want "frameDrop has no encoder"
+	frameAlias = 0x01 // want "duplicates the byte value 0x01" "frameAlias has no encoder"
+)
+
+type conn struct {
+	buf []byte
+}
+
+func writeSet(w io.Writer) error {
+	_, err := w.Write([]byte{frameSet})
+	return err
+}
+
+func (c *conn) encodeGet() {
+	c.buf[0] = frameGet
+}
+
+func dispatch(ft byte) string {
+	switch ft {
+	case frameSet:
+		return "set"
+	case frameGet:
+		return "get"
+	}
+	return "unknown"
+}

@@ -1,0 +1,14 @@
+package wire
+
+import "testing"
+
+func FuzzDispatch(f *testing.F) {
+	f.Add([]byte{frameSet})
+	f.Add([]byte{frameGet})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		_ = dispatch(data[0])
+	})
+}

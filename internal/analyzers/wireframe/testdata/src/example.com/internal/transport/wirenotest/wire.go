@@ -1,0 +1,31 @@
+// Package wirenotest has no _test.go files: wireframe's fuzz-coverage
+// rule only runs on the test variant, so an encoder+decoder pair is
+// enough here.
+package wirenotest
+
+import "io"
+
+const (
+	frameSet = 0x01
+	frameGet = 0x02
+)
+
+func writeSet(w io.Writer) error {
+	_, err := w.Write([]byte{frameSet})
+	return err
+}
+
+func writeGet(w io.Writer) error {
+	_, err := w.Write([]byte{frameGet})
+	return err
+}
+
+func dispatch(ft byte) string {
+	switch ft {
+	case frameSet:
+		return "set"
+	case frameGet:
+		return "get"
+	}
+	return "unknown"
+}

@@ -1,0 +1,200 @@
+// Package wireframe cross-checks the transport's frame-constant
+// registry against the code that speaks it.
+//
+// The wire protocol is defined by the `frame*` byte constants in
+// internal/transport. Two invariants keep it evolvable: no two frames
+// may share a byte value (a duplicate silently routes one frame's
+// bodies into another's handler), and every declared frame must be
+// exercised from all three sides — written by an encoder, dispatched by
+// a decoder, and covered by a fuzz test's seed corpus — so a frame
+// cannot ship half-implemented or fuzz-blind.
+//
+// Classification is structural, not name-based: an encoder reference
+// stores the constant into a buffer (`buf[0] = frameX`, `[]byte{frameX}`)
+// or passes it to a Write*/append* call; a decoder reference dispatches
+// on it (a switch case or ==/!= comparison); a fuzz reference is any use
+// inside a Fuzz* function. The fuzz rule only runs when the unit
+// includes _test.go files (the package's test variant — what both
+// `go vet` and the standalone driver analyze).
+package wireframe
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wireframe",
+	Doc:  "frame constants must be duplicate-free and referenced by an encoder, a decoder, and a fuzz test",
+	Run:  run,
+}
+
+type refs struct {
+	enc, dec, fuzz bool
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.Contains(pass.Pkg.Path(), "internal/transport") {
+		return nil
+	}
+
+	// The registry: frame* constants declared in non-test files.
+	consts := map[types.Object]*refs{}
+	byValue := map[int64]types.Object{}
+	for id, obj := range pass.TypesInfo.Defs {
+		c, ok := obj.(*types.Const)
+		if !ok || !strings.HasPrefix(id.Name, "frame") || pass.IsTestFile(id.Pos()) {
+			continue
+		}
+		if c.Parent() == nil || c.Parent().Parent() != types.Universe {
+			continue // not package-level
+		}
+		consts[obj] = &refs{}
+		v, ok := constant.Int64Val(c.Val())
+		if !ok {
+			continue
+		}
+		if prev, dup := byValue[v]; dup {
+			first, second := prev, obj
+			if second.Pos() < first.Pos() {
+				first, second = second, first
+			}
+			pass.Reportf(second.Pos(),
+				"frame constant %s duplicates the byte value 0x%02X of %s: every frame must have a unique wire byte",
+				second.Name(), v, first.Name())
+		} else {
+			byValue[v] = obj
+		}
+	}
+	if len(consts) == 0 {
+		return nil
+	}
+
+	checkFuzz := pass.HasTestFiles()
+	for _, f := range pass.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return
+			}
+			r, ok := consts[pass.TypesInfo.Uses[id]]
+			if !ok {
+				return
+			}
+			classify(id, stack, r)
+		})
+	}
+
+	for obj, r := range consts {
+		var missing []string
+		if !r.enc {
+			missing = append(missing, "encoder (a Write*/append call or buffer store)")
+		}
+		if !r.dec {
+			missing = append(missing, "decoder (a switch case or comparison)")
+		}
+		if checkFuzz && !r.fuzz {
+			missing = append(missing, "fuzz test (a reference inside a Fuzz* function)")
+		}
+		if len(missing) > 0 {
+			pass.Reportf(obj.Pos(), "frame constant %s has no %s reference",
+				obj.Name(), strings.Join(missing, ", no "))
+		}
+	}
+	return nil
+}
+
+// classify inspects the ancestors of one constant use and records which
+// protocol roles it witnesses.
+func classify(id *ast.Ident, stack []ast.Node, r *refs) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.CallExpr:
+			if argOf(anc, id, stack) && writerCallee(anc) {
+				r.enc = true
+			}
+		case *ast.AssignStmt:
+			for j, lhs := range anc.Lhs {
+				if j < len(anc.Rhs) && contains(anc.Rhs[j], id) {
+					if _, idx := lhs.(*ast.IndexExpr); idx {
+						r.enc = true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			r.enc = true
+		case *ast.CaseClause:
+			for _, e := range anc.List {
+				if contains(e, id) {
+					r.dec = true
+				}
+			}
+		case *ast.BinaryExpr:
+			if anc.Op == token.EQL || anc.Op == token.NEQ {
+				r.dec = true
+			}
+		case *ast.FuncDecl:
+			if strings.HasPrefix(anc.Name.Name, "Fuzz") {
+				r.fuzz = true
+			}
+		}
+	}
+}
+
+// argOf reports whether id sits inside one of call's arguments (not its
+// callee).
+func argOf(call *ast.CallExpr, id *ast.Ident, _ []ast.Node) bool {
+	for _, a := range call.Args {
+		if contains(a, id) {
+			return true
+		}
+	}
+	return false
+}
+
+// writerCallee reports whether the call looks like an encoding sink:
+// any Write*/Append*/Put* function or method, or the append builtin.
+func writerCallee(call *ast.CallExpr) bool {
+	var name string
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		name = fn.Name
+	case *ast.SelectorExpr:
+		name = fn.Sel.Name
+	default:
+		return false
+	}
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "write") || strings.HasPrefix(lower, "append") ||
+		strings.HasPrefix(lower, "put") || name == "append"
+}
+
+func contains(root ast.Expr, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == ast.Node(id) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// walkWithStack visits every node with the path of its ancestors.
+func walkWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+package wireframe_test
+
+import (
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analyzertest"
+	"github.com/hdr4me/hdr4me/internal/analyzers/wireframe"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, wireframe.Analyzer, "example.com/internal/transport/wire")
+}
+
+func TestFuzzRuleSkippedWithoutTestFiles(t *testing.T) {
+	analyzertest.Run(t, wireframe.Analyzer, "example.com/internal/transport/wirenotest")
+}

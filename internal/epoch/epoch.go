@@ -322,6 +322,11 @@ func (r *Ring) AddLate(id uint64, reps []est.Report) (int, error) {
 	if accepted > 0 {
 		delta := r.scratch.(est.Rotator).Rotate()
 		for i := range e.Snap.Sums {
+			// Plain adds, intentionally: a frozen snapshot has no Kahan
+			// lanes to resume — compensation terms do not ride the
+			// checkpoint — so one uncompensated add per late batch is
+			// the only fold a restored collector can reproduce bitwise.
+			//hdrvet:ignore kahansum -- frozen snapshots carry no compensation lanes across checkpoints; a plain add is the reproducible fold
 			e.Snap.Sums[i] += delta.Sums[i]
 		}
 		for i := range e.Snap.Counts {
