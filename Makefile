@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same targets.
 
-.PHONY: build test race bench benchdiff cover fmt-check e2e lint vet-fast hdrvet
+.PHONY: build test race bench benchdiff cover fmt-check e2e lint vet-fast hdrvet suppressions
 
 # Pinned versions for the externally installed lint tools, so the CI
 # lint job is reproducible. hdrvet itself is built from this tree and
@@ -14,10 +14,17 @@ build:
 	go build ./...
 
 # hdrvet builds the collector's invariant checker (frame-drain, Kahan
-# accumulation, lock-hold, wire-frame registry, map-order — see
-# internal/analyzers) into bin/hdrvet.
+# accumulation, privacy-taint, nilness, lock-hold, lock-order,
+# wire-frame registry, map-order — see internal/analyzers) into
+# bin/hdrvet.
 hdrvet:
 	go build -o $(HDRVET) ./cmd/hdrvet
+
+# suppressions audits every //hdrvet:ignore directive in the tree:
+# lists each with file:line and reason, and fails when any is stale
+# (suppresses nothing today) or malformed.
+suppressions: hdrvet
+	./$(HDRVET) -suppressions ./...
 
 # lint is the full static-analysis gate: gofmt, the hdrvet suite over
 # every package via `go vet -vettool`, and staticcheck when installed

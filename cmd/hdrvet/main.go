@@ -1,5 +1,6 @@
 // Command hdrvet is the collector's invariant checker: a multichecker
-// bundling the five custom analyzers from internal/analyzers plus
+// bundling the custom analyzers from internal/analyzers — including
+// the dataflow-based ldpflow, nilness, and lockorder — plus
 // reimplementations of the stock atomic and copylock passes.
 //
 // It runs in two modes:
@@ -15,6 +16,16 @@
 //	//hdrvet:ignore <analyzer> -- <reason>
 //
 // on the flagged line or the line above it; the reason is mandatory.
+//
+// hdrvet -suppressions [packages] audits every ignore directive in the
+// tree: each is listed with its position and reason, and directives
+// that no longer silence any finding (stale) or lack names/reason
+// (malformed) are flagged and make the exit non-zero, so dead
+// exceptions cannot linger.
+//
+// Under GitHub Actions (GITHUB_ACTIONS=true) every finding is also
+// emitted as a ::error workflow command, which the runner renders as a
+// PR annotation on the flagged line.
 package main
 
 import (
@@ -28,7 +39,10 @@ import (
 	"github.com/hdr4me/hdr4me/internal/analyzers/driver"
 	"github.com/hdr4me/hdr4me/internal/analyzers/framedrain"
 	"github.com/hdr4me/hdr4me/internal/analyzers/kahansum"
+	"github.com/hdr4me/hdr4me/internal/analyzers/ldpflow"
 	"github.com/hdr4me/hdr4me/internal/analyzers/lockhold"
+	"github.com/hdr4me/hdr4me/internal/analyzers/lockorder"
+	"github.com/hdr4me/hdr4me/internal/analyzers/nilness"
 	"github.com/hdr4me/hdr4me/internal/analyzers/rangemap"
 	"github.com/hdr4me/hdr4me/internal/analyzers/stock"
 	"github.com/hdr4me/hdr4me/internal/analyzers/wireframe"
@@ -37,12 +51,15 @@ import (
 // version is the string `go vet` hashes into its action cache key
 // (the -V=full handshake); bump it when analyzer behavior changes so
 // cached clean results are invalidated.
-const version = "v1.0.0"
+const version = "v1.1.0"
 
 var all = []*analysis.Analyzer{
 	framedrain.Analyzer,
 	kahansum.Analyzer,
+	ldpflow.Analyzer,
 	lockhold.Analyzer,
+	lockorder.Analyzer,
+	nilness.Analyzer,
 	rangemap.Analyzer,
 	wireframe.Analyzer,
 	stock.Atomic,
@@ -56,6 +73,7 @@ func main() {
 	versionFlag := flag.String("V", "", "print version (the go vet tool-ID handshake)")
 	flagsFlag := flag.Bool("flags", false, "print the tool's analyzer flags as JSON and exit")
 	fast := flag.Bool("fast", false, "run only framedrain and wireframe (the quick pre-commit set)")
+	suppressions := flag.Bool("suppressions", false, "audit //hdrvet:ignore directives: list all, flag stale and malformed ones")
 	selected := make(map[string]*bool, len(all))
 	for _, a := range all {
 		selected[a.Name] = flag.Bool(a.Name, false, "run only named analyzers: "+firstLine(a.Doc))
@@ -87,18 +105,63 @@ func main() {
 	if err != nil {
 		exitOn(err, 0)
 	}
+	if *suppressions {
+		flagged, err := auditSuppressions(units)
+		exitOn(err, flagged)
+	}
 	findings := 0
 	for _, u := range units {
 		diags, fset, err := driver.Run(u, analyzers)
 		if err != nil {
 			exitOn(err, 0)
 		}
-		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
-		}
+		driver.EmitDiagnostics(os.Stdout, os.Stderr, fset, diags)
 		findings += len(diags)
 	}
 	exitOn(nil, findings)
+}
+
+// auditSuppressions lists every //hdrvet:ignore directive in the
+// loaded units with its position and reason, marking the ones that are
+// malformed or stale (silencing no current finding — the invariant
+// they excepted holds again, so the directive should go). It returns
+// how many were flagged; a clean audit returns 0.
+func auditSuppressions(units []*driver.Unit) (int, error) {
+	flagged, total := 0, 0
+	for _, u := range units {
+		ds := analysis.Directives(u.Fset, u.Files)
+		if len(ds) == 0 {
+			continue
+		}
+		// Raw findings: what the directives would be suppressing.
+		raw, fset, err := driver.RunRaw(u, all)
+		if err != nil {
+			return 0, err
+		}
+		for _, d := range ds {
+			total++
+			live := false
+			for _, diag := range raw {
+				if d.Suppresses(fset, diag) {
+					live = true
+					break
+				}
+			}
+			status := ""
+			switch {
+			case d.Malformed():
+				status = "  [MALFORMED: want \"" + analysis.IgnorePrefix + " <analyzer> -- <reason>\"]"
+				flagged++
+			case !live:
+				status = "  [STALE: suppresses nothing]"
+				flagged++
+			}
+			fmt.Printf("%s: %s -- %s%s\n",
+				fset.Position(d.Pos), strings.Join(d.Names, " "), d.Reason, status)
+		}
+	}
+	fmt.Printf("%d suppression(s), %d flagged\n", total, flagged)
+	return flagged, nil
 }
 
 // pick returns the analyzers to run: the named ones, the -fast pair, or
@@ -169,5 +232,6 @@ analyzers:
 		fmt.Fprintf(os.Stderr, "  -%-12s %s\n", a.Name, firstLine(a.Doc))
 	}
 	fmt.Fprintf(os.Stderr, "  -%-12s %s\n", "fast", "framedrain + wireframe only (pre-commit quick set)")
+	fmt.Fprintf(os.Stderr, "  -%-12s %s\n", "suppressions", "audit ignore directives: list all, flag stale/malformed")
 	fmt.Fprintf(os.Stderr, "\nsuppress an intentional exception with:\n  %s <analyzer> -- <reason>\n", analysis.IgnorePrefix)
 }

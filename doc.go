@@ -87,9 +87,17 @@
 // (kahansum), blocking I/O happens under a mutex (lockhold), a frame
 // byte is duplicated or lacks encoder/decoder/fuzz coverage
 // (wireframe), or a codec/fold path ranges over a map unsorted
-// (rangemap). Intentional exceptions are annotated in source as
-// "//hdrvet:ignore <analyzer> -- <reason>", reason mandatory. See the
-// README's "Static analysis & enforced invariants" section.
+// (rangemap). Three flow-sensitive analyzers run on the SSA-lite CFG
+// layer in internal/analyzers/dataflow: ldpflow fails the build when a
+// raw tuple value can reach an output sink (fmt/log, a transport
+// encoder, a persist path) without passing an LDP randomizer — the
+// privacy promise as a dataflow property; nilness catches guaranteed
+// nil dereferences and degenerate nil checks; lockorder builds the
+// global mutex-acquisition order graph and reports cycles and locks
+// held at return. Intentional exceptions are annotated in source as
+// "//hdrvet:ignore <analyzer> -- <reason>", reason mandatory, and
+// audited by hdrvet -suppressions. See the README's "Static analysis &
+// enforced invariants" section.
 //
 // The pre-Session facade (Simulate, SimulateAllocated, SimulateDuchiMD,
 // SimulateFreq) remains available as deprecated wrappers over the same

@@ -16,16 +16,55 @@ import (
 // there. The name "all" suppresses every analyzer.
 const IgnorePrefix = "//hdrvet:ignore"
 
-// directive is one parsed //hdrvet:ignore comment.
-type directive struct {
-	line     int
-	names    []string
-	hasWhy   bool
-	position token.Pos
+// A Directive is one parsed //hdrvet:ignore comment. The suppression
+// audit (hdrvet -suppressions) lists them; ApplySuppressions consumes
+// them.
+type Directive struct {
+	// Pos is the comment's position.
+	Pos token.Pos
+	// Line is the comment's line; the directive covers findings on
+	// this line and the next.
+	Line int
+	// Names are the analyzer names the directive covers ("all" covers
+	// every analyzer).
+	Names []string
+	// Reason is the mandatory justification after the "--".
+	Reason string
 }
 
-func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
-	var ds []directive
+// Malformed reports whether the directive is unusable: no analyzer
+// names, or no non-empty "-- reason" tail.
+func (d Directive) Malformed() bool {
+	return len(d.Names) == 0 || d.Reason == ""
+}
+
+// Covers reports whether the directive names the analyzer.
+func (d Directive) Covers(name string) bool {
+	for _, n := range d.Names {
+		if n == name || n == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// Suppresses reports whether the directive silences diag: well-formed,
+// same file, the diagnostic's line or the one directly below, and the
+// analyzer is named.
+func (d Directive) Suppresses(fset *token.FileSet, diag Diagnostic) bool {
+	if d.Malformed() {
+		return false
+	}
+	pos := fset.Position(diag.Pos)
+	return fset.Position(d.Pos).Filename == pos.Filename &&
+		(d.Line == pos.Line || d.Line == pos.Line-1) &&
+		d.Covers(diag.Analyzer)
+}
+
+// Directives parses every //hdrvet:ignore comment in files, malformed
+// ones included.
+func Directives(fset *token.FileSet, files []*ast.File) []Directive {
+	var ds []Directive
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -34,11 +73,13 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
 				}
 				rest := strings.TrimPrefix(c.Text, IgnorePrefix)
 				spec, why, found := strings.Cut(rest, "--")
-				d := directive{
-					line:     fset.Position(c.Pos()).Line,
-					names:    strings.Fields(spec),
-					hasWhy:   found && strings.TrimSpace(why) != "",
-					position: c.Pos(),
+				d := Directive{
+					Pos:   c.Pos(),
+					Line:  fset.Position(c.Pos()).Line,
+					Names: strings.Fields(spec),
+				}
+				if found {
+					d.Reason = strings.TrimSpace(why)
 				}
 				ds = append(ds, d)
 			}
@@ -47,32 +88,17 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
 	return ds
 }
 
-func (d directive) covers(name string) bool {
-	for _, n := range d.names {
-		if n == name || n == "all" {
-			return true
-		}
-	}
-	return false
-}
-
 // ApplySuppressions drops diagnostics covered by a well-formed
 // //hdrvet:ignore directive on the same or the preceding line, and adds
 // a diagnostic for every malformed directive (no analyzer names, or no
 // "-- reason" tail).
 func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
-	ds := parseDirectives(fset, files)
+	ds := Directives(fset, files)
 	var out []Diagnostic
 	for _, d := range diags {
-		pos := fset.Position(d.Pos)
 		keep := true
 		for _, dir := range ds {
-			if !dir.hasWhy || len(dir.names) == 0 {
-				continue
-			}
-			if sameFile(fset, dir.position, d.Pos) &&
-				(dir.line == pos.Line || dir.line == pos.Line-1) &&
-				dir.covers(d.Analyzer) {
+			if dir.Suppresses(fset, d) {
 				keep = false
 				break
 			}
@@ -82,17 +108,13 @@ func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnosti
 		}
 	}
 	for _, dir := range ds {
-		if !dir.hasWhy || len(dir.names) == 0 {
+		if dir.Malformed() {
 			out = append(out, Diagnostic{
-				Pos:      dir.position,
+				Pos:      dir.Pos,
 				Analyzer: "hdrvet",
 				Message:  "malformed " + IgnorePrefix + " directive: want \"" + IgnorePrefix + " <analyzer> -- <reason>\"",
 			})
 		}
 	}
 	return out
-}
-
-func sameFile(fset *token.FileSet, a, b token.Pos) bool {
-	return fset.Position(a).Filename == fset.Position(b).Filename
 }

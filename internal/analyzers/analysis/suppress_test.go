@@ -1,0 +1,135 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analysis"
+)
+
+func parseSrc(t testing.TB, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Skipf("fuzz input does not parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestDirectives(t *testing.T) {
+	src := `package p
+
+func f() int {
+	//hdrvet:ignore demo -- reason one
+	a := 1
+	//hdrvet:ignore demo other
+	b := 2
+	//hdrvet:ignore all -- blanket
+	c := 3
+	return a + b + c
+}
+`
+	fset, files := parseSrc(t, src)
+	ds := analysis.Directives(fset, files)
+	if len(ds) != 3 {
+		t.Fatalf("want 3 directives, got %d", len(ds))
+	}
+	if ds[0].Malformed() || ds[0].Reason != "reason one" || !ds[0].Covers("demo") {
+		t.Errorf("first directive misparsed: %+v", ds[0])
+	}
+	if !ds[1].Malformed() {
+		t.Errorf("directive without -- reason not marked malformed: %+v", ds[1])
+	}
+	if ds[2].Covers("anything") != true {
+		t.Errorf("\"all\" directive does not cover: %+v", ds[2])
+	}
+}
+
+func TestApplySuppressions(t *testing.T) {
+	src := `package p
+
+func f() int {
+	//hdrvet:ignore demo -- covered, line above
+	a := 1
+	b := 2 //hdrvet:ignore demo -- covered, same line
+
+	c := 3
+	return a + b + c
+}
+`
+	fset, files := parseSrc(t, src)
+	lineStart := func(line int) token.Pos {
+		return fset.File(files[0].Package).LineStart(line)
+	}
+	diags := []analysis.Diagnostic{
+		{Pos: lineStart(5), Analyzer: "demo", Message: "on covered line"},
+		{Pos: lineStart(6), Analyzer: "demo", Message: "same-line directive"},
+		{Pos: lineStart(8), Analyzer: "demo", Message: "uncovered"},
+		{Pos: lineStart(5), Analyzer: "other", Message: "wrong analyzer"},
+	}
+	kept := analysis.ApplySuppressions(fset, files, diags)
+	var msgs []string
+	for _, d := range kept {
+		msgs = append(msgs, d.Message)
+	}
+	got := strings.Join(msgs, "; ")
+	if got != "uncovered; wrong analyzer" {
+		t.Errorf("surviving diagnostics: %q", got)
+	}
+}
+
+// FuzzIgnoreDirective feeds arbitrary directive comments through the
+// parser and the suppression matcher: no input may panic, and the
+// malformed/well-formed split must stay consistent with Covers.
+func FuzzIgnoreDirective(f *testing.F) {
+	f.Add("//hdrvet:ignore demo -- reason")
+	f.Add("//hdrvet:ignore demo other -- multi name")
+	f.Add("//hdrvet:ignore all --")
+	f.Add("//hdrvet:ignore -- no names")
+	f.Add("//hdrvet:ignore")
+	f.Add("//hdrvet:ignore demo--glued")
+	f.Add("//hdrvet:ignore \x00 -- weird")
+	f.Fuzz(func(t *testing.T, comment string) {
+		if strings.ContainsAny(comment, "\n\r") {
+			t.Skip("directives are single-line comments")
+		}
+		src := "package p\n\nfunc f() {\n\t" + comment + "\n\t_ = 0\n}\n"
+		fset, files := parseSrc(t, src)
+		ds := analysis.Directives(fset, files)
+		diag := analysis.Diagnostic{
+			Pos:      fset.File(files[0].Package).LineStart(5),
+			Analyzer: "demo",
+			Message:  "probe",
+		}
+		for _, d := range ds {
+			if d.Malformed() && d.Suppresses(fset, diag) {
+				t.Errorf("malformed directive suppresses: %+v", d)
+			}
+			if d.Suppresses(fset, diag) && !d.Covers("demo") {
+				t.Errorf("suppresses without covering: %+v", d)
+			}
+		}
+		// The full pipeline must neither panic nor drop the diagnostic
+		// unless some directive legitimately covers it.
+		kept := analysis.ApplySuppressions(fset, files, []analysis.Diagnostic{diag})
+		covered := false
+		for _, d := range ds {
+			if d.Suppresses(fset, diag) {
+				covered = true
+			}
+		}
+		found := false
+		for _, d := range kept {
+			if d.Message == "probe" {
+				found = true
+			}
+		}
+		if covered == found {
+			t.Errorf("suppression mismatch: covered=%v kept=%v", covered, found)
+		}
+	})
+}

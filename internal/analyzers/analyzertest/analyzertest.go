@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/format"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -58,7 +59,17 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		name := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		// Fixtures are source-of-truth for analyzer behavior; hold them
+		// to the same gofmt bar as the rest of the tree.
+		if formatted, err := format.Source(src); err == nil && !bytes.Equal(formatted, src) {
+			t.Errorf("%s: fixture is not gofmt-formatted (run gofmt -w on testdata/src)", name)
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
 		if err != nil {
 			t.Fatalf("parsing fixture: %v", err)
 		}
@@ -129,30 +140,20 @@ func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []an
 		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
 	}
 
+	// Unmatched expectations fail with the fixture file:line of the
+	// want comment — an analyzer that silently stops diagnosing must
+	// point at exactly which fixture line went quiet.
 	var leftover []string
 	for k, res := range wants {
 		for _, re := range res {
-			leftover = append(leftover, k.file+":"+itoa(k.line)+": no finding matched want "+re.String())
+			leftover = append(leftover,
+				fmt.Sprintf("%s:%d: expected finding not reported: want %q", k.file, k.line, re.String()))
 		}
 	}
 	sort.Strings(leftover)
 	for _, l := range leftover {
 		t.Error(l)
 	}
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var b [20]byte
-	i := len(b)
-	for n > 0 {
-		i--
-		b[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(b[i:])
 }
 
 // splitQuoted extracts the quoted regexps from a want comment's tail.

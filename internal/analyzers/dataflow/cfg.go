@@ -1,0 +1,495 @@
+// Package dataflow is the SSA-lite layer hdrvet's flow-sensitive
+// analyzers (ldpflow, nilness, lockorder) are built on: a per-function
+// control-flow graph over go/ast, a worklist fixpoint solver over
+// abstract variable states, and a package-level call-graph summary
+// index for one-level interprocedural propagation.
+//
+// It is deliberately not SSA: there are no phi nodes and no renaming.
+// Instead, each basic block carries the original statements in source
+// order, edges carry the branch condition that selects them (so
+// analyses can refine facts per branch, the way `if x != nil` splits
+// the world), and the solver joins predecessor states at block entry
+// with an analysis-chosen join (may/union for taint and lock sets,
+// must/intersection for nilness facts). Virtual registers are simply
+// types.Object keys in the state map; def-use chains fall out of the
+// transfer functions replaying assignments over that map.
+//
+// The design trades precision for zero dependencies and auditability:
+// goroutine interleavings, captured variables in function literals,
+// and aliasing through pointers are out of scope, and every analyzer
+// built on this package documents which of those gaps it accepts.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is a straight-line run of statements: execution enters at
+// Nodes[0] and leaves through one of Succs.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// An Edge is one control transfer. Cond, when non-nil, is the branch
+// condition that must evaluate to Taken for this edge to be followed —
+// the hook branch-sensitive analyses refine their facts on.
+type Edge struct {
+	From, To *Block
+	Cond     ast.Expr
+	Taken    bool
+}
+
+// A Graph is one function body's CFG. Exit is the single synthetic
+// block every return (and the implicit fall-off-the-end return) leads
+// to; it holds no nodes.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// Exit marks the implicit return at the closing brace of a function
+// whose final statement can fall off the end. Analyzers that check
+// at-return conditions (lockorder's unlock-on-all-paths) see it like a
+// ReturnStmt.
+type Exit struct {
+	Brace token.Pos
+}
+
+func (e *Exit) Pos() token.Pos { return e.Brace }
+func (e *Exit) End() token.Pos { return e.Brace + 1 }
+
+// builder accumulates blocks while walking one function body.
+type builder struct {
+	g   *Graph
+	cur *Block // nil when the current path has terminated
+
+	// break/continue targets for the enclosing loop/switch stack, and
+	// label → target blocks for labeled statements.
+	breaks    []*Block
+	continues []*Block
+	labels    map[string]*labelTarget
+	// gotos seen before their label was defined, patched at the end.
+	pendingGotos []pendingGoto
+}
+
+type labelTarget struct {
+	block     *Block // the labeled statement's block (goto target)
+	brk, cont *Block // break/continue targets when it labels a loop
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// New builds the CFG of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		labels: make(map[string]*labelTarget),
+	}
+	b.g.Exit = &Block{Index: -1}
+	b.g.Entry = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		// Fall off the end: an implicit return.
+		b.cur.Nodes = append(b.cur.Nodes, &Exit{Brace: body.Rbrace})
+		b.edge(b.cur, b.g.Exit, nil, false)
+	}
+	for _, pg := range b.pendingGotos {
+		if t, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, t.block, nil, false)
+		}
+	}
+	b.g.Exit.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.g.Exit)
+	return b.g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block, cond ast.Expr, taken bool) {
+	e := &Edge{From: from, To: to, Cond: cond, Taken: taken}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// startBlock begins a new block and, when the current path has not
+// terminated, links the current block to it unconditionally.
+func (b *builder) startBlock() *Block {
+	blk := b.newBlock()
+	if b.cur != nil {
+		b.edge(b.cur, blk, nil, false)
+	}
+	b.cur = blk
+	return blk
+}
+
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		// Unreachable code after return/break; park it in a fresh
+		// (predecessor-less) block so its nodes still exist.
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+	case *ast.SwitchStmt:
+		b.switchStmt(s, "")
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, "")
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.edge(b.cur, b.g.Exit, nil, false)
+			b.cur = nil
+		}
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminalCall(s.X) {
+			b.edge(b.cur, b.g.Exit, nil, false)
+			b.cur = nil
+		}
+	default:
+		// Assign, Decl, IncDec, Send, Go, Defer, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+
+	then := b.newBlock()
+	b.edge(head, then, s.Cond, true)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+
+	var elseEnd *Block
+	hasElse := s.Else != nil
+	var elseStart *Block
+	if hasElse {
+		elseStart = b.newBlock()
+		b.edge(head, elseStart, s.Cond, false)
+		b.cur = elseStart
+		b.stmt(s.Else)
+		elseEnd = b.cur
+	}
+
+	join := b.newBlock()
+	if thenEnd != nil {
+		b.edge(thenEnd, join, nil, false)
+	}
+	if hasElse {
+		if elseEnd != nil {
+			b.edge(elseEnd, join, nil, false)
+		}
+	} else {
+		b.edge(head, join, s.Cond, false)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.startBlock()
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+
+	exit := b.newBlock()
+	body := b.newBlock()
+	if s.Cond != nil {
+		b.edge(head, body, s.Cond, true)
+		b.edge(head, exit, s.Cond, false)
+	} else {
+		b.edge(head, body, nil, false)
+	}
+
+	post := b.newBlock() // continue target; holds s.Post when present
+	b.pushLoop(label, exit, post)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, post, nil, false)
+	}
+	b.popLoop(label)
+
+	b.cur = post
+	if s.Post != nil {
+		b.add(s.Post)
+	}
+	b.edge(post, head, nil, false)
+	b.cur = exit
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.startBlock()
+	// The RangeStmt node itself carries X and the Key/Value
+	// definitions; transfer functions interpret it.
+	b.add(s)
+
+	exit := b.newBlock()
+	body := b.newBlock()
+	b.edge(head, body, nil, false)
+	b.edge(head, exit, nil, false)
+
+	b.pushLoop(label, exit, head)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, head, nil, false)
+	}
+	b.popLoop(label)
+	b.cur = exit
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.cur
+	if head == nil {
+		head = b.startBlock()
+	}
+	exit := b.newBlock()
+	b.pushSwitch(label, exit)
+
+	hasDefault := false
+	var caseBodies []*Block
+	var clauses []*ast.CaseClause
+	for _, cs := range s.Body.List {
+		cc := cs.(*ast.CaseClause)
+		body := b.newBlock()
+		caseBodies = append(caseBodies, body)
+		clauses = append(clauses, cc)
+		if cc.List == nil {
+			hasDefault = true
+			b.edge(head, body, nil, false)
+		} else if s.Tag == nil && len(cc.List) == 1 {
+			// An untagged switch is an if/else chain: a single-expr case
+			// body is entered exactly when that condition holds.
+			b.edge(head, body, cc.List[0], true)
+		} else {
+			b.edge(head, body, nil, false)
+		}
+	}
+	for i, body := range caseBodies {
+		b.cur = body
+		b.stmtList(clauses[i].Body)
+		if b.cur != nil {
+			if hasFallthrough(clauses[i].Body) && i+1 < len(caseBodies) {
+				b.edge(b.cur, caseBodies[i+1], nil, false)
+			} else {
+				b.edge(b.cur, exit, nil, false)
+			}
+		}
+	}
+	if !hasDefault {
+		b.edge(head, exit, nil, false)
+	}
+	b.popSwitch(label)
+	b.cur = exit
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	head := b.cur
+	exit := b.newBlock()
+	b.pushSwitch(label, exit)
+
+	hasDefault := false
+	for _, cs := range s.Body.List {
+		cc := cs.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		body := b.newBlock()
+		b.edge(head, body, nil, false)
+		b.cur = body
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, exit, nil, false)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, exit, nil, false)
+	}
+	b.popSwitch(label)
+	b.cur = exit
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.startBlock()
+	exit := b.newBlock()
+	b.pushSwitch(label, exit)
+	for _, cs := range s.Body.List {
+		cc := cs.(*ast.CommClause)
+		body := b.newBlock()
+		b.edge(head, body, nil, false)
+		b.cur = body
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, exit, nil, false)
+		}
+	}
+	b.popSwitch(label)
+	b.cur = exit
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	target := b.startBlock()
+	b.labels[s.Label.Name] = &labelTarget{block: target}
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, s.Label.Name)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, s.Label.Name)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner, s.Label.Name)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(inner, s.Label.Name)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, s.Label.Name)
+	default:
+		b.stmt(s.Stmt)
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	if b.cur == nil {
+		return
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if t, ok := b.labels[s.Label.Name]; ok && t.brk != nil {
+				b.edge(b.cur, t.brk, nil, false)
+			}
+		} else if n := len(b.breaks); n > 0 {
+			b.edge(b.cur, b.breaks[n-1], nil, false)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		if s.Label != nil {
+			if t, ok := b.labels[s.Label.Name]; ok && t.cont != nil {
+				b.edge(b.cur, t.cont, nil, false)
+			}
+		} else if n := len(b.continues); n > 0 {
+			b.edge(b.cur, b.continues[n-1], nil, false)
+		}
+		b.cur = nil
+	case token.GOTO:
+		if t, ok := b.labels[s.Label.Name]; ok {
+			b.edge(b.cur, t.block, nil, false)
+		} else {
+			b.pendingGotos = append(b.pendingGotos, pendingGoto{b.cur, s.Label.Name})
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled structurally in switchStmt via hasFallthrough.
+	}
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if label != "" {
+		if t, ok := b.labels[label]; ok {
+			t.brk, t.cont = brk, cont
+		}
+	}
+}
+
+func (b *builder) popLoop(string) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *builder) pushSwitch(label string, brk *Block) {
+	b.breaks = append(b.breaks, brk)
+	if label != "" {
+		if t, ok := b.labels[label]; ok {
+			t.brk = brk
+		}
+	}
+}
+
+func (b *builder) popSwitch(string) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+}
+
+func hasFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// isTerminalCall reports whether e is a call that never returns:
+// panic(...) or os.Exit(...). log.Fatal* also terminates but resolving
+// it needs type info the builder does not carry; analyzers tolerate
+// the spurious fall-through edge.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fn.X.(*ast.Ident); ok {
+			return pkg.Name == "os" && fn.Sel.Name == "Exit"
+		}
+	}
+	return false
+}

@@ -209,6 +209,20 @@ func typeCheck(importPath, dir string, files []string, lookup importer.Lookup, i
 // Run applies analyzers to one unit and returns the surviving
 // diagnostics, suppressions applied, in positional order.
 func Run(u *Unit, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, error) {
+	diags, fset, err := RunRaw(u, analyzers)
+	if err != nil {
+		return nil, nil, err
+	}
+	diags = analysis.ApplySuppressions(u.Fset, u.Files, diags)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, fset, nil
+}
+
+// RunRaw applies analyzers to one unit and returns every diagnostic
+// with no suppression filtering — the suppression audit matches raw
+// findings against directives to tell live suppressions from stale
+// ones.
+func RunRaw(u *Unit, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, error) {
 	var diags []analysis.Diagnostic
 	for _, a := range analyzers {
 		pass := &analysis.Pass{
@@ -223,7 +237,5 @@ func Run(u *Unit, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token
 		}
 		diags = append(diags, pass.Diagnostics()...)
 	}
-	diags = analysis.ApplySuppressions(u.Fset, u.Files, diags)
-	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, u.Fset, nil
 }

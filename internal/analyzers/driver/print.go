@@ -1,0 +1,63 @@
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analysis"
+)
+
+// EmitDiagnostics prints findings in both the human format (to errw,
+// normally stderr) and — when running under GitHub Actions — the
+// workflow-command format (to outw, normally stdout), which the runner
+// turns into PR annotations at the flagged line:
+//
+//	::error file=internal/est/stripes.go,line=186,col=3::message (analyzer)
+//
+// Both modes run in the standalone driver and in every per-unit
+// `go vet -vettool` process, so CI annotations work regardless of how
+// hdrvet was invoked.
+func EmitDiagnostics(outw, errw io.Writer, fset *token.FileSet, diags []analysis.Diagnostic) {
+	gh := os.Getenv("GITHUB_ACTIONS") == "true"
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(errw, "%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+		if gh {
+			fmt.Fprintf(outw, "::error file=%s,line=%d,col=%d::%s (%s)\n",
+				escapeProperty(relTo(cwd, pos.Filename)), pos.Line, pos.Column,
+				escapeData(d.Message), d.Analyzer)
+		}
+	}
+}
+
+// relTo shortens an absolute filename to a workspace-relative path —
+// the form GitHub needs to attach the annotation to a file in the PR.
+func relTo(cwd, file string) string {
+	if cwd != "" {
+		if rel, ok := strings.CutPrefix(file, cwd+"/"); ok {
+			return rel
+		}
+	}
+	return file
+}
+
+// escapeData escapes a workflow-command message per the runner's
+// rules.
+func escapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeProperty escapes a workflow-command property value.
+func escapeProperty(s string) string {
+	s = escapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
+}

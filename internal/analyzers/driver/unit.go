@@ -67,9 +67,7 @@ func RunUnit(cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
-	}
+	EmitDiagnostics(os.Stdout, os.Stderr, fset, diags)
 	if err := writeVetx(cfg.VetxOutput); err != nil {
 		return 0, err
 	}

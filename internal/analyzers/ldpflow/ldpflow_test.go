@@ -1,0 +1,16 @@
+package ldpflow_test
+
+import (
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analyzertest"
+	"github.com/hdr4me/hdr4me/internal/analyzers/ldpflow"
+)
+
+func TestLDPFlow(t *testing.T) {
+	analyzertest.Run(t, ldpflow.Analyzer, "example.com/internal/est/flow")
+}
+
+func TestLDPFlowTransportSink(t *testing.T) {
+	analyzertest.Run(t, ldpflow.Analyzer, "example.com/internal/est/transport")
+}

@@ -1,0 +1,39 @@
+// Package transport is the ldpflow sink fixture: a frame encoder in a
+// transport package is a wire sink, so raw tuple values must not reach
+// it.
+package transport
+
+import "bufio"
+
+// Tuple mirrors est.Tuple.
+type Tuple struct{ Values []float64 }
+
+// Mech is a stand-in randomizer.
+type Mech struct{}
+
+// Perturb sanitizes one value.
+func (Mech) Perturb(v, eps float64) float64 { return v * eps }
+
+// WriteFrame is a transport encoder: an output sink.
+func WriteFrame(bw *bufio.Writer, vals []float64) error {
+	for _, v := range vals {
+		if err := bw.WriteByte(byte(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Emit puts raw values on the wire: a finding.
+func Emit(bw *bufio.Writer, t Tuple) {
+	WriteFrame(bw, t.Values) // want "raw tuple value reaches transport encoder WriteFrame"
+}
+
+// EmitPerturbed releases sanitized values: clean.
+func EmitPerturbed(bw *bufio.Writer, m Mech, t Tuple) {
+	out := make([]float64, len(t.Values))
+	for i, v := range t.Values {
+		out[i] = m.Perturb(v, 2)
+	}
+	WriteFrame(bw, out)
+}

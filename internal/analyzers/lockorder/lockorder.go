@@ -1,0 +1,433 @@
+// Package lockorder is the deadlock analyzer: it builds a global
+// mutex-acquisition order graph and reports cycles, plus functions
+// that can return while still holding a lock.
+//
+// Every sync.Mutex / sync.RWMutex acquisition site is classified by
+// what it locks — a named struct's mutex field (est.Stripes.mu), an
+// embedded mutex (epoch.Ring), or a package-level mutex variable —
+// and the dataflow tracks, per function, the exact chains of classes
+// held on each path (may-join: all possible chains coexist). When a
+// lock of class B executes under a chain ending in A, the analyzer
+// records the edge A→B in a graph accumulated across every function
+// it has seen; an edge that completes a cycle (B already reaches A,
+// or A == B — a re-acquisition of a non-reentrant mutex) is a
+// potential deadlock and reports at the acquisition site, citing
+// where the opposite order was observed.
+//
+// The second check fires at every return (and the implicit fall off
+// the end): any chain still holding a class with no matching
+// deferred unlock is a leak — some path out of the function never
+// releases the lock.
+//
+// Accepted gaps, by design: the graph is global only within one
+// driver process, so standalone mode (make vet-fast, hdrvet ./...)
+// sees cross-package cycles while `go vet -vettool` — one process per
+// package — sees per-package cycles only; lock handles passed across
+// function boundaries are not tracked (a function that locks and
+// deliberately returns a guard object needs a suppression);
+// sync.Locker interface values and TryLock are ignored. Test files
+// are skipped.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analysis"
+	"github.com/hdr4me/hdr4me/internal/analyzers/dataflow"
+)
+
+// Analyzer is the process-wide instance: its order graph accumulates
+// across every package the driver feeds it, which is what makes
+// cross-package cycle detection work in standalone mode.
+var Analyzer = NewAnalyzer()
+
+// NewAnalyzer returns a lockorder analyzer with a fresh, isolated
+// order graph. Tests use it so fixture packages cannot contaminate
+// each other (or the real tree) through the shared graph.
+func NewAnalyzer() *analysis.Analyzer {
+	lo := &lockorder{
+		edges:    make(map[[2]string]token.Pos),
+		reported: make(map[[2]string]bool),
+	}
+	return &analysis.Analyzer{
+		Name: "lockorder",
+		Doc:  "detect lock-order cycles and locks held at return",
+		Run:  lo.run,
+	}
+}
+
+// chainSep joins class keys inside a chain string; a unit separator
+// cannot occur in an import path or identifier.
+const chainSep = "\x1f"
+
+// lockorder carries the cross-function state: the acquisition-order
+// graph (edge → first position observed) and the cycle pairs already
+// reported.
+type lockorder struct {
+	edges    map[[2]string]token.Pos
+	reported map[[2]string]bool
+}
+
+func (lo *lockorder) run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Package) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lo.checkFunc(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					lo.checkFunc(pass, fl.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func (lo *lockorder) checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &checker{
+		lo:       lo,
+		pass:     pass,
+		info:     pass.TypesInfo,
+		deferred: deferredUnlocks(pass.TypesInfo, body),
+	}
+	g := dataflow.New(body)
+	res := g.Solve(dataflow.Problem{
+		// The no-locks-held chain: every function starts with one
+		// (empty) chain on the table.
+		Entry:    dataflow.State{"": 1},
+		Transfer: c.transfer,
+		Join:     dataflow.JoinMay,
+	})
+	res.Visit(c.visit)
+}
+
+type checker struct {
+	lo       *lockorder
+	pass     *analysis.Pass
+	info     *types.Info
+	deferred map[string]bool
+}
+
+// deferredUnlocks collects the lock classes released by defer
+// statements anywhere in the body — directly (defer mu.Unlock()) or
+// inside a deferred function literal.
+func deferredUnlocks(info *types.Info, body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	record := func(call *ast.CallExpr) {
+		if op, recv := mutexOp(info, call); op == "Unlock" || op == "RUnlock" {
+			if key, _, ok := lockClass(info, recv); ok {
+				out[key] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		record(d.Call)
+		if fl, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					record(call)
+				}
+				return true
+			})
+		}
+		return false
+	})
+	return out
+}
+
+// lockCall matches the node shapes a lock operation appears in: a
+// bare call statement.
+func lockCall(info *types.Info, n ast.Node) (op string, key, display string, ok bool) {
+	es, isExpr := n.(*ast.ExprStmt)
+	if !isExpr {
+		return "", "", "", false
+	}
+	call, isCall := ast.Unparen(es.X).(*ast.CallExpr)
+	if !isCall {
+		return "", "", "", false
+	}
+	op, recv := mutexOp(info, call)
+	if op == "" {
+		return "", "", "", false
+	}
+	key, display, classOK := lockClass(info, recv)
+	if !classOK {
+		return "", "", "", false
+	}
+	return op, key, display, true
+}
+
+// mutexOp reports whether call is a sync.Mutex / sync.RWMutex lock or
+// unlock, returning the method name and the receiver expression.
+func mutexOp(info *types.Info, call *ast.CallExpr) (op string, recv ast.Expr) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	switch fun.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", nil
+	}
+	sel, ok := info.Selections[fun]
+	if !ok {
+		return "", nil
+	}
+	m, ok := sel.Obj().(*types.Func)
+	if !ok || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return "", nil
+	}
+	return fun.Sel.Name, fun.X
+}
+
+// lockClass canonicalizes what a receiver expression locks: a mutex
+// field of a named struct (pkg#Type.field), an embedded mutex on a
+// named struct (pkg#Type), or a mutex variable (pkg#name). The
+// display form drops the package path for readable messages.
+func lockClass(info *types.Info, recv ast.Expr) (key, display string, ok bool) {
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Obj() != nil {
+			if named := namedOf(sel.Recv()); named != nil {
+				obj := named.Obj()
+				key = cleanPath(obj.Pkg().Path()) + "#" + obj.Name() + "." + sel.Obj().Name()
+				return key, obj.Pkg().Name() + "." + obj.Name() + "." + sel.Obj().Name(), true
+			}
+			return "", "", false
+		}
+		// Package-qualified variable: pkg.Mu.
+		if v, ok := info.ObjectOf(e.Sel).(*types.Var); ok && v.Pkg() != nil {
+			return cleanPath(v.Pkg().Path()) + "#" + v.Name(), v.Pkg().Name() + "." + v.Name(), true
+		}
+	case *ast.Ident:
+		v, isVar := info.ObjectOf(e).(*types.Var)
+		if !isVar || v.Pkg() == nil {
+			return "", "", false
+		}
+		// An embedded mutex locked as s.Lock() classifies by the
+		// receiver's named type; a mutex variable by its name.
+		if named := namedOf(v.Type()); named != nil && !isSyncMutex(named) {
+			obj := named.Obj()
+			return cleanPath(obj.Pkg().Path()) + "#" + obj.Name(), obj.Pkg().Name() + "." + obj.Name(), true
+		}
+		return cleanPath(v.Pkg().Path()) + "#" + v.Name(), v.Pkg().Name() + "." + v.Name(), true
+	}
+	return "", "", false
+}
+
+// cleanPath strips the test-variant suffix from a package path
+// ("pkg/est [pkg/est.test]" → "pkg/est") so the base package and its
+// test variant share one set of lock classes.
+func cleanPath(p string) string {
+	if i := strings.IndexByte(p, ' '); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	if n == nil {
+		if p, ok := t.(*types.Pointer); ok {
+			n, _ = p.Elem().(*types.Named)
+		}
+	}
+	return n
+}
+
+func isSyncMutex(n *types.Named) bool {
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// transfer rewrites every held chain through one node: Lock appends
+// the class (unless already held — growth stops, visit reports the
+// re-acquisition), Unlock removes it. Pure state, no reporting.
+func (c *checker) transfer(n ast.Node, st dataflow.State) {
+	op, key, _, ok := lockCall(c.info, n)
+	if !ok {
+		return
+	}
+	chains := stateChains(st)
+	switch op {
+	case "Lock", "RLock":
+		for _, ch := range chains {
+			if chainHolds(ch, key) {
+				continue
+			}
+			delete(st, ch)
+			st[appendChain(ch, key)] = 1
+		}
+	case "Unlock", "RUnlock":
+		for _, ch := range chains {
+			if !chainHolds(ch, key) {
+				continue
+			}
+			delete(st, ch)
+			st[removeChain(ch, key)] = 1
+		}
+	}
+}
+
+// visit records order edges and reports: cycles at acquisition sites,
+// leaks at returns.
+func (c *checker) visit(n ast.Node, st dataflow.State) {
+	if op, key, display, ok := lockCall(c.info, n); ok && (op == "Lock" || op == "RLock") {
+		for _, ch := range stateChains(st) {
+			if chainHolds(ch, key) {
+				c.report(n.Pos(), key, key, display, display)
+				continue
+			}
+			if last := lastClass(ch); last != "" {
+				c.addEdge(n.Pos(), last, key, displayOf(last), display)
+			}
+		}
+		return
+	}
+	_, isReturn := n.(*ast.ReturnStmt)
+	_, isExit := n.(*dataflow.Exit)
+	if !isReturn && !isExit {
+		return
+	}
+	leaked := make(map[string]bool)
+	for _, ch := range stateChains(st) {
+		for _, key := range chainClasses(ch) {
+			if !c.deferred[key] && !leaked[key] {
+				leaked[key] = true
+				c.pass.Reportf(n.Pos(), "returns while holding lock %s", displayOf(key))
+			}
+		}
+	}
+}
+
+// addEdge records from→to in the global order graph and reports when
+// the reverse direction is already reachable — the cycle.
+func (c *checker) addEdge(pos token.Pos, from, to, fromDisplay, toDisplay string) {
+	if _, ok := c.lo.edges[[2]string{from, to}]; !ok {
+		c.lo.edges[[2]string{from, to}] = pos
+	}
+	if c.reaches(to, from, map[string]bool{}) {
+		c.report(pos, from, to, fromDisplay, toDisplay)
+	}
+}
+
+func (c *checker) report(pos token.Pos, from, to, fromDisplay, toDisplay string) {
+	pair := [2]string{from, to}
+	if c.lo.reported[pair] {
+		return
+	}
+	c.lo.reported[pair] = true
+	if from == to {
+		c.pass.Reportf(pos, "lock order cycle: %s acquired while already held (non-reentrant)", toDisplay)
+		return
+	}
+	where := ""
+	if rev, ok := c.lo.edges[[2]string{to, from}]; ok {
+		where = " (opposite order at " + c.pass.Fset.Position(rev).String() + ")"
+	}
+	c.pass.Reportf(pos, "lock order cycle: %s acquired while holding %s%s", toDisplay, fromDisplay, where)
+}
+
+// reaches walks the order graph from → … → to.
+func (c *checker) reaches(from, to string, seen map[string]bool) bool {
+	if from == to {
+		return true
+	}
+	if seen[from] {
+		return false
+	}
+	seen[from] = true
+	for edge := range c.lo.edges {
+		if edge[0] == from && c.reaches(edge[1], to, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- chain-string helpers ---------------------------------------------------
+
+// stateChains returns the held-lock chains in st, sorted for
+// deterministic edge and report order.
+func stateChains(st dataflow.State) []string {
+	out := make([]string, 0, len(st))
+	for k := range st {
+		out = append(out, k.(string))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func chainClasses(ch string) []string {
+	if ch == "" {
+		return nil
+	}
+	return strings.Split(ch, chainSep)
+}
+
+func chainHolds(ch, key string) bool {
+	for _, c := range chainClasses(ch) {
+		if c == key {
+			return true
+		}
+	}
+	return false
+}
+
+func appendChain(ch, key string) string {
+	if ch == "" {
+		return key
+	}
+	return ch + chainSep + key
+}
+
+func removeChain(ch, key string) string {
+	var kept []string
+	for _, c := range chainClasses(ch) {
+		if c != key {
+			kept = append(kept, c)
+		}
+	}
+	return strings.Join(kept, chainSep)
+}
+
+func lastClass(ch string) string {
+	cs := chainClasses(ch)
+	if len(cs) == 0 {
+		return ""
+	}
+	return cs[len(cs)-1]
+}
+
+// displayOf recovers the short display form from a class key
+// (pkg/path#Type.field → path-tail.Type.field).
+func displayOf(key string) string {
+	path, rest, ok := strings.Cut(key, "#")
+	if !ok {
+		return key
+	}
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	return path + "." + rest
+}

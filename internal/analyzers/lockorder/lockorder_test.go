@@ -1,0 +1,14 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analyzertest"
+	"github.com/hdr4me/hdr4me/internal/analyzers/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	// A fresh instance: the package-wide Analyzer accumulates its order
+	// graph across everything it sees, which tests must not share.
+	analyzertest.Run(t, lockorder.NewAnalyzer(), "example.com/locks")
+}

@@ -1,0 +1,97 @@
+// Package locks is the lockorder fixture: an inverted acquisition
+// order, a re-acquisition, and a lock held at return, next to the
+// clean shapes (defer release, embedded mutex, global mutex).
+package locks
+
+import "sync"
+
+// S carries two mutex fields whose acquisition order the fixture
+// inverts.
+type S struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	na int
+	nb int
+}
+
+// ABOrder establishes the order a→b.
+func ABOrder(s *S) {
+	s.a.Lock()
+	s.b.Lock()
+	s.na++
+	s.nb++
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// BAOrder acquires in the opposite order: the cycle.
+func BAOrder(s *S) {
+	s.b.Lock()
+	s.a.Lock() // want "lock order cycle: locks.S.a acquired while holding locks.S.b"
+	s.nb++
+	s.na++
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// Reacquire locks a non-reentrant mutex it already holds.
+func Reacquire(s *S) {
+	s.a.Lock()
+	s.a.Lock() // want "acquired while already held"
+	s.a.Unlock()
+}
+
+// Leak can return with the lock still held.
+func Leak(s *S, cond bool) int {
+	s.a.Lock()
+	if cond {
+		return s.na // want "returns while holding lock locks.S.a"
+	}
+	s.a.Unlock()
+	return 0
+}
+
+// DeferRelease is the canonical clean shape.
+func DeferRelease(s *S) int {
+	s.a.Lock()
+	defer s.a.Unlock()
+	return s.na
+}
+
+// R embeds its mutex; acquisitions classify by the struct type.
+type R struct {
+	sync.Mutex
+	n int
+}
+
+// Nested acquires the embedded mutex then a field mutex: a fresh
+// edge, no cycle.
+func Nested(r *R, s *S) {
+	r.Lock()
+	s.a.Lock()
+	r.n++
+	s.a.Unlock()
+	r.Unlock()
+}
+
+// global is a package-level mutex; balanced use stays silent.
+var global sync.Mutex
+
+// Global locks and unlocks the package mutex.
+func Global() {
+	global.Lock()
+	global.Unlock()
+}
+
+// SuppressedHold hands the lock to its caller on purpose.
+func SuppressedHold(s *S) {
+	s.a.Lock()
+	//hdrvet:ignore lockorder -- fixture: caller releases via UnlockS
+}
+
+// UnlockS releases what SuppressedHold acquired: unlocking a mutex
+// this function never locked is silent (the chain simply has nothing
+// to remove).
+func UnlockS(s *S) {
+	s.a.Unlock()
+}

@@ -1,0 +1,430 @@
+// Package nilness is the CFG-based nil analyzer: it reports
+// dereferences that are guaranteed to panic and nil checks that can
+// only go one way.
+//
+// It tracks, per function, a must-style fact for each local variable
+// of nilable type (pointer, map, slice, chan, func, interface): the
+// variable is definitely nil, definitely non-nil, or unknown. Facts
+// come from literal assignments (x = nil, x = &T{}, x = make(...)),
+// from zero-value declarations (var x *T), from observed dereferences
+// (code past *x only runs when x was non-nil), and from branch
+// refinement (the true edge of x != nil carries non-nil). Joins
+// intersect: a fact survives a merge point only when every incoming
+// path agrees, so nothing is reported unless it holds on all paths.
+//
+// Three findings:
+//
+//   - guaranteed nil dereference: *x, x.f (field through pointer),
+//     x[i] (slice index), or x(...) (func call) where x is definitely
+//     nil — including "nil-checked then dereferenced", where the deref
+//     sits inside the if x == nil branch that proved x nil;
+//   - write to nil map: m[k] = v where m is definitely nil (reads of a
+//     nil map are legal and stay silent);
+//   - degenerate nil check: comparing x against nil when x is already
+//     definitely nil or definitely non-nil — the comparison always
+//     goes the same way, so either the check or the code it guards is
+//     dead.
+//
+// Accepted gaps, by design: variables whose address is taken or that
+// are assigned inside a function literal are untracked (any alias or
+// closure call could change them); method calls are never treated as
+// dereferences (Go methods may have legitimate nil receivers);
+// short-circuit operands inside one && / || expression are checked
+// against the state before the whole condition, so a nil deref
+// guarded only by short-circuit evaluation is (correctly) not
+// reported and a guaranteed one hidden there is missed. Test files
+// are skipped.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analysis"
+	"github.com/hdr4me/hdr4me/internal/analyzers/dataflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "report guaranteed nil dereferences and degenerate nil checks",
+	Run:  run,
+}
+
+// Abstract values. Missing key = unknown.
+const (
+	isNil  = uint64(1)
+	nonNil = uint64(2)
+)
+
+func run(pass *analysis.Pass) error {
+	a := &analyzer{pass: pass}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Package) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.checkFunc(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					a.checkFunc(fl.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+type analyzer struct {
+	pass *analysis.Pass
+}
+
+func (a *analyzer) checkFunc(body *ast.BlockStmt) {
+	c := &checker{
+		pass:    a.pass,
+		info:    a.pass.TypesInfo,
+		untrack: untrackedVars(body, a.pass.TypesInfo),
+	}
+	g := dataflow.New(body)
+	res := g.Solve(dataflow.Problem{
+		Entry:    dataflow.State{},
+		Transfer: c.transfer,
+		Refine:   c.refine,
+		Join:     dataflow.JoinMust,
+	})
+	res.Visit(c.visit)
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	info    *types.Info
+	untrack map[*types.Var]bool
+}
+
+// untrackedVars collects the variables nilness must not track: those
+// whose address is taken anywhere in the body, and those assigned
+// inside a function literal (a closure call could rewrite them at any
+// program point).
+func untrackedVars(body *ast.BlockStmt, info *types.Info) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	mark := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := info.ObjectOf(id).(*types.Var); ok {
+				out[v] = true
+			}
+		}
+	}
+	var walk func(n ast.Node, inLit bool)
+	walk = func(n ast.Node, inLit bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				if !inLit {
+					walk(n.Body, true)
+					return false
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					mark(n.X)
+				}
+			case *ast.AssignStmt:
+				if inLit {
+					for _, lhs := range n.Lhs {
+						mark(lhs)
+					}
+				}
+			case *ast.RangeStmt:
+				if inLit {
+					mark(n.Key)
+					mark(n.Value)
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return out
+}
+
+// tracked returns the state key for e when it is a plain identifier
+// naming a trackable nilable local, nil otherwise.
+func (c *checker) tracked(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := c.info.ObjectOf(id).(*types.Var)
+	if !ok || v.IsField() || c.untrack[v] || !nilable(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func nilable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan,
+		*types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// classify abstracts one assigned expression.
+func (c *checker) classify(e ast.Expr, st dataflow.State) uint64 {
+	e = ast.Unparen(e)
+	if tv, ok := c.info.Types[e]; ok && tv.IsNil() {
+		return isNil
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v := c.tracked(e); v != nil {
+			return st[v]
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return nonNil
+		}
+	case *ast.CompositeLit, *ast.FuncLit:
+		return nonNil
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := c.info.ObjectOf(id).(*types.Builtin); ok &&
+				(b.Name() == "make" || b.Name() == "new") {
+				return nonNil
+			}
+		}
+	}
+	return 0
+}
+
+func set(st dataflow.State, v *types.Var, val uint64) {
+	if val == 0 {
+		delete(st, v)
+	} else {
+		st[v] = val
+	}
+}
+
+// transfer applies one CFG node: dereference observations first (code
+// after *x only runs when x was non-nil), then assignment effects.
+func (c *checker) transfer(n ast.Node, st dataflow.State) {
+	if _, ok := n.(*dataflow.Exit); ok {
+		return
+	}
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		c.observeDerefs(rs.X, st)
+		if v := c.tracked(rs.Key); v != nil {
+			delete(st, v)
+		}
+		if rs.Value != nil {
+			if v := c.tracked(rs.Value); v != nil {
+				delete(st, v)
+			}
+		}
+		return
+	}
+	c.observeDerefs(n, st)
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			// Evaluate all right-hand sides against the pre-state
+			// (x, y = y, x swaps facts, not clobbers them).
+			vals := make([]uint64, len(n.Rhs))
+			for i, rhs := range n.Rhs {
+				vals[i] = c.classify(rhs, st)
+			}
+			for i, lhs := range n.Lhs {
+				if v := c.tracked(lhs); v != nil {
+					set(st, v, vals[i])
+				}
+			}
+		} else {
+			// Multi-value call / map / type-assert form: unknown.
+			for _, lhs := range n.Lhs {
+				if v := c.tracked(lhs); v != nil {
+					delete(st, v)
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				v := c.tracked(name)
+				if v == nil {
+					continue
+				}
+				switch {
+				case len(vs.Values) == 0:
+					// Zero value of a nilable type is nil.
+					st[v] = isNil
+				case len(vs.Values) == len(vs.Names):
+					set(st, v, c.classify(vs.Values[i], st))
+				default:
+					delete(st, v)
+				}
+			}
+		}
+	}
+}
+
+// observeDerefs upgrades every dereferenced tracked variable in n to
+// non-nil: execution continuing past the dereference proves it.
+func (c *checker) observeDerefs(n ast.Node, st dataflow.State) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if v, _ := c.derefTarget(n); v != nil {
+			st[v] = nonNil
+		}
+		return true
+	})
+}
+
+// derefTarget returns the tracked variable that node n dereferences,
+// if any, plus a short description of the dereference kind.
+func (c *checker) derefTarget(n ast.Node) (*types.Var, string) {
+	switch n := n.(type) {
+	case *ast.StarExpr:
+		if v := c.tracked(n.X); v != nil {
+			return v, "dereference"
+		}
+	case *ast.SelectorExpr:
+		// Field selection through a pointer auto-dereferences. Method
+		// calls do not (pointer-receiver methods may accept nil).
+		if sel, ok := c.info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+			if v := c.tracked(n.X); v != nil {
+				if _, ok := v.Type().Underlying().(*types.Pointer); ok {
+					return v, "field access"
+				}
+			}
+		}
+	case *ast.IndexExpr:
+		if v := c.tracked(n.X); v != nil {
+			if _, ok := v.Type().Underlying().(*types.Slice); ok {
+				return v, "index"
+			}
+		}
+	case *ast.CallExpr:
+		if v := c.tracked(n.Fun); v != nil {
+			if _, ok := v.Type().Underlying().(*types.Signature); ok {
+				return v, "call"
+			}
+		}
+	}
+	// Channel sends/receives on nil block forever rather than panic,
+	// and select cases use nil channels deliberately: never reported.
+	return nil, ""
+}
+
+// refine narrows facts along a conditional edge.
+func (c *checker) refine(cond ast.Expr, taken bool, st dataflow.State) {
+	cond = ast.Unparen(cond)
+	switch e := cond.(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			c.refine(e.X, !taken, st)
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			if taken { // both operands held
+				c.refine(e.X, true, st)
+				c.refine(e.Y, true, st)
+			}
+		case token.LOR:
+			if !taken { // both operands failed
+				c.refine(e.X, false, st)
+				c.refine(e.Y, false, st)
+			}
+		case token.EQL, token.NEQ:
+			v := c.nilComparison(e)
+			if v == nil {
+				return
+			}
+			// x == nil taken, or x != nil not-taken → x is nil.
+			if (e.Op == token.EQL) == taken {
+				st[v] = isNil
+			} else {
+				st[v] = nonNil
+			}
+		}
+	}
+}
+
+// nilComparison matches x == nil / nil == x (either order) over a
+// tracked variable.
+func (c *checker) nilComparison(e *ast.BinaryExpr) *types.Var {
+	isNilExpr := func(x ast.Expr) bool {
+		tv, ok := c.info.Types[ast.Unparen(x)]
+		return ok && tv.IsNil()
+	}
+	if isNilExpr(e.Y) {
+		if v := c.tracked(e.X); v != nil {
+			return v
+		}
+	}
+	if isNilExpr(e.X) {
+		if v := c.tracked(e.Y); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// visit reports findings from the fixed point. st is the state before
+// node n.
+func (c *checker) visit(n ast.Node, st dataflow.State) {
+	if _, ok := n.(*dataflow.Exit); ok {
+		return
+	}
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		n = rs.X // the body is visited via its own blocks
+	}
+	// A nil map write is an assignment m[k] = v; check left-hand sides
+	// before the generic walk so it reports as a write, not an index.
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				if v := c.tracked(ix.X); v != nil && st[v] == isNil {
+					if _, ok := v.Type().Underlying().(*types.Map); ok {
+						c.pass.Reportf(ix.Pos(), "write to nil map %s", v.Name())
+					}
+				}
+			}
+		}
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if v, kind := c.derefTarget(n); v != nil && st[v] == isNil {
+			c.pass.Reportf(n.Pos(), "guaranteed nil %s of %s", kind, v.Name())
+		}
+		if e, ok := n.(*ast.BinaryExpr); ok && (e.Op == token.EQL || e.Op == token.NEQ) {
+			if v := c.nilComparison(e); v != nil {
+				switch st[v] {
+				case isNil:
+					c.pass.Reportf(e.Pos(), "degenerate nil check: %s is always nil here", v.Name())
+				case nonNil:
+					c.pass.Reportf(e.Pos(), "degenerate nil check: %s is never nil here", v.Name())
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/analyzers/analyzertest"
+	"github.com/hdr4me/hdr4me/internal/analyzers/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	analyzertest.Run(t, nilness.Analyzer, "example.com/nilcheck")
+}

@@ -1,0 +1,147 @@
+// Package nilcheck is the nilness analyzer fixture: guaranteed nil
+// dereferences, nil map writes, and degenerate nil checks, next to
+// the clean shapes that must stay silent.
+package nilcheck
+
+// T is a pointer target with one field.
+type T struct{ F int }
+
+// DerefNilPointer dereferences a zero-value pointer.
+func DerefNilPointer() int {
+	var p *int
+	return *p // want "guaranteed nil dereference of p"
+}
+
+// FieldOfNilPointer selects a field through a zero-value pointer.
+func FieldOfNilPointer() int {
+	var p *T
+	return p.F // want "guaranteed nil field access of p"
+}
+
+// CheckedThenDereferenced proves p nil and then dereferences it in
+// the guarded branch.
+func CheckedThenDereferenced(p *T) int {
+	if p == nil {
+		return p.F // want "guaranteed nil field access of p"
+	}
+	return p.F
+}
+
+// IndexNilSlice indexes a zero-value slice.
+func IndexNilSlice() int {
+	var s []int
+	return s[0] // want "guaranteed nil index of s"
+}
+
+// CallNilFunc calls a zero-value function variable.
+func CallNilFunc() {
+	var fn func()
+	fn() // want "guaranteed nil call of fn"
+}
+
+// WriteNilMap writes to a zero-value map.
+func WriteNilMap() {
+	var m map[string]int
+	m["k"] = 1 // want "write to nil map m"
+}
+
+// ReadNilMap reads a zero-value map: legal, stays silent.
+func ReadNilMap() int {
+	var m map[string]int
+	return m["k"]
+}
+
+// DegenerateNeverNil checks a freshly allocated pointer against nil.
+func DegenerateNeverNil() {
+	q := &T{}
+	if q == nil { // want "degenerate nil check: q is never nil here"
+		return
+	}
+	_ = q.F
+}
+
+// DegenerateAlwaysNil checks a zero-value slice that nothing assigned.
+func DegenerateAlwaysNil() bool {
+	var s []int
+	return s != nil // want "degenerate nil check: s is always nil here"
+}
+
+// CheckAfterDeref dereferences first, so the later check can only go
+// one way.
+func CheckAfterDeref(p *int) int {
+	v := *p
+	if p == nil { // want "degenerate nil check: p is never nil here"
+		return 0
+	}
+	return v
+}
+
+// GuardedDeref is the canonical clean shape: check, then use.
+func GuardedDeref(p *T) int {
+	if p == nil {
+		return 0
+	}
+	return p.F
+}
+
+// NotGuard refines through the ! operator: the else path holds p nil.
+func NotGuard(p *T) int {
+	if !(p == nil) {
+		return p.F
+	}
+	return p.F // want "guaranteed nil field access of p"
+}
+
+// AndGuard refines through &&: both conjuncts hold in the body.
+func AndGuard(p *T, ok bool) int {
+	if p != nil && ok {
+		return p.F
+	}
+	return 0
+}
+
+// JoinLosesFact assigns on only one path, so the merge point knows
+// nothing and stays silent.
+func JoinLosesFact(cond bool) int {
+	var p *T
+	if cond {
+		p = &T{}
+	}
+	if p == nil {
+		return 0
+	}
+	return p.F
+}
+
+// JoinKeepsFact re-establishes nil on every path, so the fact
+// survives the merge.
+func JoinKeepsFact(cond bool) int {
+	var p *T
+	if cond {
+		p = nil
+	}
+	return p.F // want "guaranteed nil field access of p"
+}
+
+// AddressTaken is untracked: an alias could rewrite p at any time.
+func AddressTaken() int {
+	var p *int
+	q := &p
+	_ = q
+	return *p
+}
+
+// ClosureAssigned is untracked: calling the closure rewrites p.
+func ClosureAssigned() int {
+	var p *T
+	set := func() { p = &T{} }
+	set()
+	return p.F
+}
+
+// Suppressed carries an ignore directive and must not diagnose.
+func Suppressed() int {
+	var p *int
+	//hdrvet:ignore nilness -- fixture: directive must silence the deref
+	return *p
+}

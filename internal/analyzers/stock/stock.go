@@ -12,9 +12,10 @@
 //     fields) passed, received, returned, or ranged by value. A copied
 //     lock guards nothing.
 //
-// The upstream nilness pass is not bundled: it is built on x/tools' SSA
-// form, which has no stdlib equivalent, and `go vet`'s default suite
-// already covers the overlapping nil checks.
+// The upstream nilness pass is not reimplemented here: it is built on
+// x/tools' SSA form. Its hdrvet counterpart lives in
+// internal/analyzers/nilness instead, built on the in-tree SSA-lite
+// CFG layer (internal/analyzers/dataflow).
 package stock
 
 import (

@@ -183,8 +183,10 @@ func (s *Stripes) foldInto(sums []float64, counts []int64) {
 func (s *Stripes) lockAll() {
 	s.base.mu.Lock()
 	for i := range s.lanes {
+		//hdrvet:ignore lockorder -- distinct stripe instances, always locked in ascending index order
 		s.lanes[i].mu.Lock()
 	}
+	//hdrvet:ignore lockorder -- lockAll hands every stripe lock to its caller; unlockAll releases
 }
 
 func (s *Stripes) unlockAll() {

@@ -64,7 +64,10 @@ func (f *Flat) MakeReport(t est.Tuple, rng *mathx.RNG) (est.Report, error) {
 	}
 	for j, c := range t.Cats {
 		if c < 0 || c >= p.Cards[j] {
-			return est.Report{}, fmt.Errorf("freq: category %d out of range [0, %d) in dimension %d", c, p.Cards[j], j)
+			// The raw category is the user's private value: the error
+			// names the dimension and its range, never the value itself
+			// (error strings reach collector logs; ldpflow enforces this).
+			return est.Report{}, fmt.Errorf("freq: category out of range [0, %d) in dimension %d", p.Cards[j], j)
 		}
 	}
 	epsEntry := p.EpsPerEntry()

@@ -126,9 +126,12 @@ func (a *MDAggregator) MakeReport(t est.Tuple, rng *mathx.RNG) (est.Report, erro
 	if len(t.Values) != a.M.D {
 		return est.Report{}, fmt.Errorf("highdim: tuple has %d dims, duchi-md says %d", len(t.Values), a.M.D)
 	}
-	for _, v := range t.Values {
+	for j, v := range t.Values {
 		if math.IsNaN(v) || v < -1 || v > 1 {
-			return est.Report{}, fmt.Errorf("highdim: duchi-md value %v outside [−1, 1]", v)
+			// The raw value is the user's private datum: the error names
+			// the offending dimension only (error strings reach collector
+			// logs; ldpflow enforces this).
+			return est.Report{}, fmt.Errorf("highdim: duchi-md value outside [−1, 1] at dimension %d", j)
 		}
 	}
 	return est.Report{Values: a.M.PerturbTuple(rng, t.Values)}, nil
