@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same targets.
 
-.PHONY: build test race bench benchdiff cover fmt-check e2e lint vet-fast hdrvet suppressions
+.PHONY: build test race bench benchdiff cover fmt-check e2e overload-e2e lint vet-fast hdrvet suppressions
 
 # Pinned versions for the externally installed lint tools, so the CI
 # lint job is reproducible. hdrvet itself is built from this tree and
@@ -73,6 +73,16 @@ fmt-check:
 
 # e2e runs the crash-recovery end-to-end: kill -9 a checkpointing
 # collector, restart it, and assert the restored estimates are
-# bitwise-equal (scripts/crash_recovery_e2e.sh).
+# bitwise-equal; its final phase streams through a twice-cut
+# fault-injection proxy and asserts the reconnecting client's fold
+# equals a clean run's (scripts/crash_recovery_e2e.sh).
 e2e:
 	sh scripts/crash_recovery_e2e.sh
+
+# overload-e2e runs the graceful-degradation end-to-end: a live
+# collector with -max-conns/-max-inflight/-idle-timeout set is driven
+# past each limit and must shed with retryable NACKs, stay responsive
+# for admitted traffic, force-close stalled connections, and drain
+# cleanly afterward (scripts/overload_e2e.sh).
+overload-e2e:
+	sh scripts/overload_e2e.sh

@@ -61,11 +61,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"hash/fnv"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // -pprof side listener
 	"os/signal"
@@ -118,6 +120,14 @@ func main() {
 	pprofAddr := flag.String("pprof", "",
 		"serve net/http/pprof on this side listener (e.g. localhost:6060; empty = off) "+
 			"to observe ingest contention and allocation in a live collector")
+	idleTimeout := flag.Duration("idle-timeout", 0,
+		"force-close a connection idle (or stalled mid-frame) this long between reads (0 = no limit)")
+	writeTimeout := flag.Duration("write-timeout", 0,
+		"force-close a connection that does not drain a reply within this bound (0 = no limit)")
+	maxConns := flag.Int("max-conns", 0,
+		"cap concurrently served connections; excess connections are NACKed retryable and closed (0 = no cap)")
+	maxInflight := flag.Int("max-inflight", 0,
+		"cap reports concurrently being decoded and accumulated; over-limit batches are NACKed retryable (0 = no cap)")
 	totalEps := flag.Float64("total-eps", 0, "total per-user privacy budget across all queries (0 = unaccounted)")
 	stateDir := flag.String("state-dir", "",
 		"directory for durable collector state: restore on startup, checkpoint periodically, "+
@@ -160,6 +170,20 @@ func main() {
 	if *ckptEvery < 0 {
 		log.Fatalf("ldpcollect: -checkpoint-interval must be >= 0, have %v", *ckptEvery)
 	}
+	if *idleTimeout < 0 || *writeTimeout < 0 {
+		log.Fatalf("ldpcollect: -idle-timeout and -write-timeout must be >= 0, have %v and %v",
+			*idleTimeout, *writeTimeout)
+	}
+	if *maxConns < 0 || *maxInflight < 0 {
+		log.Fatalf("ldpcollect: -max-conns and -max-inflight must be >= 0, have %d and %d",
+			*maxConns, *maxInflight)
+	}
+	hard := hardeningFlags{
+		idle:        *idleTimeout,
+		write:       *writeTimeout,
+		maxConns:    *maxConns,
+		maxInflight: *maxInflight,
+	}
 	if *epochDur < 0 || *window < 0 || *horizon < 0 {
 		log.Fatalf("ldpcollect: -epoch, -window and -horizon must be >= 0")
 	}
@@ -185,22 +209,29 @@ func main() {
 	defer stop()
 
 	// Observability side listener: pprof profiles (mutex contention on the
-	// ingest stripes, allocation in the decode path) without exposing the
-	// debug surface on the collector port. Mutex profiling is off by
-	// default in the runtime; sample 1-in-10 contention events so
-	// /debug/pprof/mutex actually shows the stripe locks.
+	// ingest stripes, allocation in the decode path) and the collector's
+	// failure counters under /debug/collector, without exposing the debug
+	// surface on the collector port. Mutex profiling is off by default in
+	// the runtime; sample 1-in-10 contention events so /debug/pprof/mutex
+	// actually shows the stripe locks. Listen synchronously (port 0 works,
+	// and the bound address is printed before any traffic) and serve in
+	// the background.
 	if *pprofAddr != "" {
 		runtime.SetMutexProfileFraction(10)
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("ldpcollect: pprof listen: %v", err)
+		}
+		fmt.Printf("pprof listening on http://%s/debug/pprof/ (failure counters on /debug/collector)\n", ln.Addr())
 		go func() {
-			log.Printf("ldpcollect: pprof listening on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := http.Serve(ln, nil); err != nil {
 				log.Printf("ldpcollect: pprof: %v", err)
 			}
 		}()
 	}
 
 	if len(queries) > 0 {
-		multiQuery(ctx, queries, *addr, *users, *batch, *totalEps, *stateDir, *ckptEvery, *seed, ec)
+		multiQuery(ctx, queries, *addr, *users, *batch, *totalEps, *stateDir, *ckptEvery, *seed, ec, hard)
 		return
 	}
 
@@ -267,12 +298,15 @@ func main() {
 	// EPOCH/WINDOW/DECAY/ROTATE frames route), the bare estimator otherwise.
 	srv := hdr4me.NewEstimatorServer(sess.ServingEstimator())
 	srv.OnCheckpoint = save // nil without -state-dir: CHECKPOINT frames NACK
+	hard.apply(srv)
+	exposeStats(srv)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("ldpcollect: listen: %v", err)
 	}
 	defer srv.Close()
 	fmt.Printf("collector listening on %s (%s, ε=%g, d=%d, m=%d)\n", bound, mech.Name(), *eps, *d, *m)
+	hard.banner()
 	if ec.enabled {
 		fmt.Printf("continual collection: epoch interval %v, window %d, lateness %v\n", ec.dur, ec.window, ec.lateness)
 	}
@@ -415,6 +449,42 @@ type continualFlags struct {
 	lateness hdr4me.LatenessPolicy
 }
 
+// hardeningFlags bundles the failure-hardening knobs. apply must run
+// before srv.Listen: the accept loop reads these fields without locks.
+type hardeningFlags struct {
+	idle, write           time.Duration
+	maxConns, maxInflight int
+}
+
+func (h hardeningFlags) apply(srv *hdr4me.CollectorServer) {
+	srv.IdleTimeout = h.idle
+	srv.WriteTimeout = h.write
+	srv.MaxConns = h.maxConns
+	srv.MaxInflight = h.maxInflight
+}
+
+func (h hardeningFlags) banner() {
+	if h.idle == 0 && h.write == 0 && h.maxConns == 0 && h.maxInflight == 0 {
+		return
+	}
+	fmt.Printf("hardening: idle-timeout %v, write-timeout %v, max-conns %d, max-inflight %d\n",
+		h.idle, h.write, h.maxConns, h.maxInflight)
+}
+
+// exposeStats registers the collector's failure-and-recovery counters as
+// a JSON endpoint on the default mux, next to the pprof handlers — the
+// shed/deadline/dedupe counts a harness (or an operator) polls to see
+// whether the collector is degrading gracefully. Without -pprof nothing
+// serves the mux and the registration is inert.
+func exposeStats(srv *hdr4me.CollectorServer) {
+	http.HandleFunc("/debug/collector", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(srv.Stats()); err != nil {
+			log.Printf("ldpcollect: /debug/collector: %v", err)
+		}
+	})
+}
+
 // drainAndCheckpoint is the graceful-shutdown tail: stop accepting, let
 // in-flight connections finish their exchanges (bounded by
 // drainTimeout; stragglers are force-closed), rotate the final epoch
@@ -447,7 +517,7 @@ func drainAndCheckpoint(srv *hdr4me.CollectorServer, rotate func(), save func() 
 // saved query replays through the ordinary Open path, so restored
 // state passes the same Accountant gating as live registrations — and
 // keeps the state durable (interval, CHECKPOINT frames, shutdown drain).
-func multiQuery(ctx context.Context, queries querySpecs, addr string, users, batch int, totalEps float64, stateDir string, ckptEvery time.Duration, seed uint64, ec continualFlags) {
+func multiQuery(ctx context.Context, queries querySpecs, addr string, users, batch int, totalEps float64, stateDir string, ckptEvery time.Duration, seed uint64, ec continualFlags, hard hardeningFlags) {
 	var acct *hdr4me.Accountant
 	if totalEps > 0 {
 		var err error
@@ -546,6 +616,8 @@ func multiQuery(ctx context.Context, queries querySpecs, addr string, users, bat
 			fmt.Println("final epoch rotated")
 		}
 	}
+	hard.apply(srv)
+	exposeStats(srv)
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		log.Fatalf("ldpcollect: listen: %v", err)
@@ -556,6 +628,7 @@ func multiQuery(ctx context.Context, queries querySpecs, addr string, users, bat
 		fmt.Printf(", per-user spend %g of %g", acct.Spent(), acct.Total())
 	}
 	fmt.Println(")")
+	hard.banner()
 
 	if users == 0 {
 		fmt.Println("serve-only: accepting routed reports, OPENQUERY registrations and estimates (Ctrl-C to stop)")

@@ -79,6 +79,23 @@
 // window of horizon consecutive epochs. Rings checkpoint and restore
 // with everything else. See the README's "Continual collection" section.
 //
+// The transport is failure-hardened: the collector force-closes
+// connections that stall mid-frame or stop draining replies
+// (CollectorServer.IdleTimeout/WriteTimeout), caps concurrent
+// connections and in-flight reports (MaxConns/MaxInflight), and sheds
+// the excess with a retryable NACK — ErrCollectorOverloaded on the
+// client — while admitted traffic stays responsive. A buffered client
+// opened WithReconnect survives connection loss with exactly-once
+// delivery: a HELLO-frame session token plus per-session batch sequence
+// numbers let it redial with backoff and re-ship exactly the batches
+// the collector never applied, the collector deduplicating by (token,
+// sequence). Every client exchange is bounded by
+// CollectorClient.SetTimeout or a ...Context variant, failure counters
+// are served by CollectorServer.Stats (and ldpcollect's
+// /debug/collector endpoint), and internal/transport/faultconn injects
+// resets, stalls, partial writes and latency to prove all of it under
+// test. See the README's "Failure model & recovery" section.
+//
 // The invariants all of the above rests on are machine-enforced:
 // cmd/hdrvet, a go vet -vettool multichecker built on the
 // dependency-free go/analysis mirror in internal/analyzers, fails the

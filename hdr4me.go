@@ -343,6 +343,30 @@ func WithFlushInterval(d time.Duration) BufferOption { return transport.WithFlus
 // query).
 func WithQueryName(name string) BufferOption { return transport.WithQueryName(name) }
 
+// WithReconnect turns on a BufferedCollectorClient's automatic
+// reconnection with exactly-once batch replay: the client opens a replay
+// session (HELLO frame), numbers every batch, and after a transport
+// failure redials, resumes the session, and re-ships exactly the batches
+// the collector has not applied. redial may be nil when the client comes
+// from DialCollectorBuffered, which then redials the original address.
+func WithReconnect(redial func() (*CollectorClient, error)) BufferOption {
+	return transport.WithReconnect(redial)
+}
+
+// WithReconnectLimit caps consecutive failed recovery attempts (redials,
+// shed-retry rounds) before a BufferedCollectorClient gives up (default 8).
+func WithReconnectLimit(n int) BufferOption { return transport.WithReconnectLimit(n) }
+
+// CollectorStats is a CollectorServer's failure-and-recovery counter
+// snapshot (shed connections, tripped deadlines, shed and deduplicated
+// batches, replay sessions), from CollectorServer.Stats.
+type CollectorStats = transport.ServerStats
+
+// ErrCollectorOverloaded is returned by collector clients when the
+// collector sheds their connection or batch under overload; the request
+// was not processed and may be retried after a backoff.
+var ErrCollectorOverloaded = transport.ErrOverloaded
+
 // NewCollectorServer wraps a mean-family aggregator in a TCP collector.
 // NewEstimatorServer is the generalization serving any Estimator family
 // (and the ENHANCED frame where supported).

@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"time"
 
@@ -16,6 +18,17 @@ const (
 	// stays far below any socket buffer — pipelining without the
 	// write-write deadlock of never reading.
 	defaultMaxPending = 32
+
+	// Retry pacing: shed batches and reconnect attempts back off
+	// exponentially from retryBaseDelay to retryMaxDelay, jittered so a
+	// fleet of clients does not retry in lockstep.
+	retryBaseDelay = 20 * time.Millisecond
+	retryMaxDelay  = 1 * time.Second
+
+	// defaultRecoverLimit caps consecutive no-progress recovery rounds
+	// (redials, session resumes, shed-retry sweeps) before the client
+	// goes sticky.
+	defaultRecoverLimit = 8
 )
 
 // BufferOption configures a BufferedClient.
@@ -45,36 +58,94 @@ func WithQueryName(name string) BufferOption {
 	return func(b *BufferedClient) { b.query = name }
 }
 
+// WithReconnect turns on session-based automatic reconnection: the
+// client establishes a replay session (HELLO) before its first batch,
+// numbers every batch with a session sequence, and — when the transport
+// fails mid-pipeline — redials, resumes the session, and replays exactly
+// the batches the collector has not applied. The collector dedupes by
+// (session, sequence), so a batch whose ack was lost in the disconnect
+// is never double-counted and a batch that never arrived is never lost.
+//
+// redial returns a fresh Client to the same collector. It may be nil
+// when the BufferedClient comes from DialBuffered, which then redials
+// the original address; with NewBufferedClient a nil redial makes any
+// transport failure sticky, exactly as without this option.
+func WithReconnect(redial func() (*Client, error)) BufferOption {
+	return func(b *BufferedClient) {
+		b.reconnect = true
+		b.redial = redial
+	}
+}
+
+// WithReconnectLimit caps consecutive failed recovery attempts — redials,
+// session resumes, shed-retry rounds — before the client gives up and
+// goes sticky (default 8). Progress (any batch settled) resets the
+// count.
+func WithReconnectLimit(n int) BufferOption {
+	return func(b *BufferedClient) {
+		if n > 0 {
+			b.recoverLimit = n
+		}
+	}
+}
+
+// pendingBatch is one shipped-but-unsettled BATCH frame. In reconnect
+// mode it keeps its session sequence and its reports until the collector
+// settles it, so a disconnect or a retryable NACK can re-ship exactly
+// these bytes under exactly this sequence.
+type pendingBatch struct {
+	seq         uint64 // session sequence; 0 outside reconnect mode
+	n           int    // report count, for ack sanity checks
+	reps        []est.Report
+	needsResend bool // shed (NACKed retryable) or replayed: no ack outstanding
+	resolved    bool // settled this drain pass; compacted out
+}
+
 // BufferedClient batches report submission over one Client: Add buffers
 // reports and ships a BATCH frame whenever the buffer reaches the batch
 // size (or the flush interval elapses), pipelining up to a bounded number
 // of un-acked batches before draining their acknowledgements. Flush ships
 // and drains everything; Close flushes and closes the connection.
 //
+// Failure handling: a batch the collector rejects outright (ackErr —
+// e.g. an unknown query) is counted in Rejected and does not poison the
+// pipeline; a batch the collector sheds under overload is retried with
+// jittered backoff; and with WithReconnect a broken connection is
+// redialed and every unapplied batch replayed exactly once. Only
+// unrecoverable failures are sticky.
+//
 // The BufferedClient owns the Client's connection while reports or acks
 // are outstanding: query methods on the underlying Client (Estimate,
 // Counts, ...) may only be interleaved after a successful Flush.
 // BufferedClient methods themselves are safe for concurrent use.
 type BufferedClient struct {
-	c        *Client
-	size     int
-	interval time.Duration
-	query    string
+	c            *Client
+	size         int
+	interval     time.Duration
+	query        string
+	reconnect    bool
+	redial       func() (*Client, error)
+	recoverLimit int
 
-	mu       sync.Mutex
-	buf      []est.Report
-	pending  []int // sent counts of un-acked BATCH frames, in order
-	sent     int64
-	accepted int64
-	timer    *time.Timer
-	err      error // first transport error, sticky
-	closed   bool
+	mu         sync.Mutex
+	buf        []est.Report
+	pending    []*pendingBatch
+	token      uint64
+	nextSeq    uint64
+	sent       int64
+	accepted   int64
+	rejected   int64
+	reconnects int64
+	replayed   int64
+	timer      *time.Timer
+	err        error // first unrecoverable error, sticky
+	closed     bool
 }
 
 // NewBufferedClient wraps an established Client in an auto-batching
 // submitter.
 func NewBufferedClient(c *Client, opts ...BufferOption) *BufferedClient {
-	b := &BufferedClient{c: c, size: defaultBatchSize}
+	b := &BufferedClient{c: c, size: defaultBatchSize, recoverLimit: defaultRecoverLimit}
 	for _, opt := range opts {
 		opt(b)
 	}
@@ -82,18 +153,22 @@ func NewBufferedClient(c *Client, opts ...BufferOption) *BufferedClient {
 }
 
 // DialBuffered connects to a collector at addr and wraps the connection in
-// a BufferedClient.
+// a BufferedClient. With WithReconnect(nil), recovery redials addr.
 func DialBuffered(addr string, opts ...BufferOption) (*BufferedClient, error) {
 	c, err := Dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewBufferedClient(c, opts...), nil
+	b := NewBufferedClient(c, opts...)
+	if b.reconnect && b.redial == nil {
+		b.redial = func() (*Client, error) { return Dial(addr) }
+	}
+	return b, nil
 }
 
 // Add buffers one report, shipping a BATCH frame when the buffer fills.
-// The returned error is sticky: once a transport exchange fails, every
-// subsequent Add reports it.
+// The returned error is sticky: once the pipeline fails unrecoverably,
+// every subsequent Add reports it.
 func (b *BufferedClient) Add(rep est.Report) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -140,7 +215,8 @@ func (b *BufferedClient) Close() error {
 	return b.err
 }
 
-// Sent returns how many reports have been shipped in BATCH frames.
+// Sent returns how many reports have been shipped in BATCH frames
+// (replays of the same batch are not counted again).
 func (b *BufferedClient) Sent() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -149,10 +225,38 @@ func (b *BufferedClient) Sent() int64 {
 
 // Accepted returns how many shipped reports the collector has
 // acknowledged as accepted so far (drained acks only; Flush to settle).
+// After a reconnect it reflects the collector's authoritative cumulative
+// count for the session, so acknowledgements lost with the old
+// connection are not undercounted.
 func (b *BufferedClient) Accepted() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.accepted
+}
+
+// Rejected returns how many shipped reports were in batches the
+// collector rejected outright (e.g. routed to a query it does not
+// have). Rejection settles a batch — it is not retried and not sticky.
+func (b *BufferedClient) Rejected() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rejected
+}
+
+// Reconnects returns how many times the client re-established the
+// connection and resumed its replay session.
+func (b *BufferedClient) Reconnects() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reconnects
+}
+
+// Replayed returns how many pending batches were re-shipped after
+// reconnects.
+func (b *BufferedClient) Replayed() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.replayed
 }
 
 // timedFlush is the flush-interval callback.
@@ -165,6 +269,21 @@ func (b *BufferedClient) timedFlush() {
 	}
 	b.shipLocked()
 	b.drainLocked()
+}
+
+// helloLocked establishes the replay session before the first sequenced
+// batch of a reconnect-enabled client. Caller holds b.mu.
+func (b *BufferedClient) helloLocked() error {
+	if !b.reconnect || b.token != 0 {
+		return nil
+	}
+	info, err := b.c.Hello(0)
+	if err != nil {
+		return err
+	}
+	b.token = info.Token
+	b.nextSeq = 1
+	return nil
 }
 
 // shipLocked writes the buffered reports as one BATCH frame without
@@ -181,38 +300,245 @@ func (b *BufferedClient) shipLocked() {
 			return
 		}
 	}
-	b.c.mu.Lock()
-	n, err := b.c.sendBatchLocked(b.query, b.buf)
-	b.c.mu.Unlock()
-	if err != nil {
-		b.err = err
-		return
+	if err := b.helloLocked(); err != nil {
+		b.recoverLocked(err)
+		if b.err != nil {
+			return
+		}
 	}
-	b.pending = append(b.pending, n)
-	b.sent += int64(n)
-	b.buf = b.buf[:0]
+	pb := &pendingBatch{n: len(b.buf), reps: b.buf}
+	b.buf = nil
+	if b.reconnect {
+		pb.seq = b.nextSeq
+		b.nextSeq++
+	}
+	b.pending = append(b.pending, pb)
+	b.sent += int64(pb.n)
+	if err := b.shipOneLocked(pb); err != nil {
+		pb.needsResend = true
+		b.recoverLocked(err)
+		if b.err == nil {
+			// Recovery re-shipped under new sequencing state; settle the
+			// pipeline before accepting more pipelined ships, so batches
+			// stay in order on the wire.
+			b.drainLocked()
+		}
+	}
 }
 
-// drainLocked reads the acknowledgement of every in-flight BATCH frame.
-// Caller holds b.mu.
-func (b *BufferedClient) drainLocked() {
-	if len(b.pending) == 0 {
-		return
-	}
+// shipOneLocked writes one pending batch — sequenced in reconnect mode,
+// legacy otherwise. Caller holds b.mu.
+func (b *BufferedClient) shipOneLocked(pb *pendingBatch) error {
 	b.c.mu.Lock()
 	defer b.c.mu.Unlock()
-	for _, n := range b.pending {
-		if b.err != nil {
-			break
+	if b.reconnect {
+		_, err := b.c.sendSeqBatchLocked(b.query, pb.seq, pb.reps)
+		return err
+	}
+	_, err := b.c.sendBatchLocked(b.query, pb.reps)
+	return err
+}
+
+// drainLocked settles every outstanding batch: it reads
+// acknowledgements, counts accepted and rejected reports, re-ships shed
+// batches after a jittered backoff, and — in reconnect mode — recovers
+// from transport failures by redialing and replaying. It returns with
+// either every batch settled or b.err sticky. Caller holds b.mu.
+func (b *BufferedClient) drainLocked() {
+	for round := 0; b.err == nil && len(b.pending) > 0; round++ {
+		if b.hasResendLocked() {
+			if err := b.reshipLocked(); err != nil {
+				b.recoverLocked(err)
+				continue
+			}
 		}
-		acc, err := b.c.readBatchAckLocked(n)
+		progress, ioErr := b.readAcksLocked()
+		if progress {
+			round = 0
+		}
+		if ioErr != nil {
+			b.recoverLocked(ioErr)
+			continue
+		}
+		if !b.hasResendLocked() {
+			return
+		}
+		if round >= b.recoverLimit {
+			b.err = fmt.Errorf("transport: batches still shed after %d retries: %w", round, ErrOverloaded)
+			return
+		}
+		sleepBackoff(round)
+	}
+}
+
+// hasResendLocked reports whether any pending batch awaits re-shipping.
+// Caller holds b.mu.
+func (b *BufferedClient) hasResendLocked() bool {
+	for _, pb := range b.pending {
+		if pb.needsResend {
+			return true
+		}
+	}
+	return false
+}
+
+// reshipLocked re-ships every batch marked for resend, in ship order,
+// over the current connection. Caller holds b.mu.
+func (b *BufferedClient) reshipLocked() error {
+	b.c.mu.Lock()
+	defer b.c.mu.Unlock()
+	for _, pb := range b.pending {
+		if !pb.needsResend {
+			continue
+		}
+		var err error
+		if b.reconnect {
+			_, err = b.c.sendSeqBatchLocked(b.query, pb.seq, pb.reps)
+		} else {
+			_, err = b.c.sendBatchLocked(b.query, pb.reps)
+		}
 		if err != nil {
-			b.err = err
+			return err
+		}
+		pb.needsResend = false
+	}
+	return nil
+}
+
+// readAcksLocked reads the acknowledgement of every in-flight batch (in
+// ship order — the order acks arrive), settling accepted and rejected
+// ones and marking shed ones for resend. It returns whether any batch
+// settled, plus the transport error that interrupted the pass, if any;
+// batches whose acks were not yet read stay pending for recovery.
+// Caller holds b.mu.
+func (b *BufferedClient) readAcksLocked() (progress bool, ioErr error) {
+	b.c.mu.Lock()
+	if b.c.timeout > 0 {
+		b.c.conn.SetDeadline(time.Now().Add(b.c.timeout))
+		defer b.c.conn.SetDeadline(time.Time{})
+	}
+	for _, pb := range b.pending {
+		if pb.needsResend {
+			continue
+		}
+		status, acc, err := b.c.readBatchStatusLocked(pb.n)
+		if err != nil {
+			ioErr = err
 			break
 		}
-		b.accepted += int64(acc)
+		switch status {
+		case ackOK:
+			b.accepted += int64(acc)
+			pb.resolved = true
+			progress = true
+		case ackRetry:
+			pb.needsResend = true
+		default:
+			b.rejected += int64(pb.n)
+			pb.resolved = true
+			progress = true
+		}
+	}
+	b.c.mu.Unlock()
+	b.compactPendingLocked()
+	return progress, ioErr
+}
+
+// compactPendingLocked drops settled batches from the pending list and
+// releases their reports. Caller holds b.mu.
+func (b *BufferedClient) compactPendingLocked() {
+	keep := b.pending[:0]
+	for _, pb := range b.pending {
+		if !pb.resolved {
+			keep = append(keep, pb)
+		}
+	}
+	for i := len(keep); i < len(b.pending); i++ {
+		b.pending[i] = nil
+	}
+	b.pending = keep
+}
+
+// recoverLocked re-establishes the pipeline after a transport failure:
+// redial, resume the replay session, drop the pending batches the
+// collector already applied, reconcile accounting with its authoritative
+// accepted count, and mark the rest for replay (the drain loop re-ships
+// them in order). Without reconnect mode — or when the collector no
+// longer knows the session — the failure is sticky and the un-acked
+// pipeline is abandoned: Sent minus Accepted minus Rejected is then the
+// number of reports with unknown fate. Caller holds b.mu.
+func (b *BufferedClient) recoverLocked(cause error) {
+	if !b.reconnect || b.redial == nil {
+		b.err = cause
+		b.abandonPendingLocked()
+		return
+	}
+	lastErr := cause
+	for attempt := 0; attempt < b.recoverLimit; attempt++ {
+		sleepBackoff(attempt)
+		nc, err := b.redial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		info, herr := nc.Hello(b.token)
+		if herr != nil {
+			nc.Close()
+			if errors.Is(herr, ErrSessionRejected) {
+				b.err = herr
+				b.abandonPendingLocked()
+				return
+			}
+			lastErr = herr
+			continue
+		}
+		b.c.Close()
+		b.c = nc
+		b.reconnects++
+		b.token = info.Token
+		if b.nextSeq == 0 {
+			b.nextSeq = 1
+		}
+		// Drop what the collector proves it applied; its cumulative count
+		// also covers acks the dead connection swallowed.
+		for _, pb := range b.pending {
+			if pb.seq != 0 && pb.seq <= info.LastSeq {
+				pb.resolved = true
+			} else {
+				pb.needsResend = true
+				b.replayed++
+			}
+		}
+		b.compactPendingLocked()
+		if b.token != 0 {
+			b.accepted = int64(info.Accepted)
+		}
+		return
+	}
+	b.err = fmt.Errorf("transport: reconnect failed after %d attempts: %w", b.recoverLimit, lastErr)
+	b.abandonPendingLocked()
+}
+
+// abandonPendingLocked discards the un-settled pipeline on an
+// unrecoverable failure; the batches' fate is unknown and the accounting
+// deliberately leaves them outside Accepted and Rejected. Caller holds
+// b.mu.
+func (b *BufferedClient) abandonPendingLocked() {
+	for i := range b.pending {
+		b.pending[i] = nil
 	}
 	b.pending = b.pending[:0]
+}
+
+// sleepBackoff pauses before retry attempt (0-based): exponential from
+// retryBaseDelay to retryMaxDelay, jittered to ±50% so a fleet of
+// recovering clients does not stampede the collector in lockstep.
+func sleepBackoff(attempt int) {
+	d := retryBaseDelay << min(attempt, 8)
+	if d > retryMaxDelay {
+		d = retryMaxDelay
+	}
+	time.Sleep(d/2 + rand.N(d))
 }
 
 // stopTimerLocked cancels a pending interval flush. Caller holds b.mu.

@@ -1,0 +1,176 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/highdim"
+	"github.com/hdr4me/hdr4me/internal/ldp"
+	"github.com/hdr4me/hdr4me/internal/transport/faultconn"
+)
+
+// ackThenDie is a minimal wire-speaking stub collector: it reads
+// totalBatches BATCH frames, acks only the first ackBatches with full
+// acceptance, then closes — the deterministic mid-pipeline failure
+// satellite S1 needs. Consuming every shipped frame before closing
+// keeps the close a clean FIN (no RST racing the buffered acks), so the
+// client reads exactly ackBatches acknowledgements and then EOF.
+func ackThenDie(t *testing.T, ackBatches, totalBatches int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		bw := bufio.NewWriter(conn)
+		sc := &decodeScratch{}
+		for seen := 0; seen < totalBatches; seen++ {
+			ft, err := readFrameType(br)
+			if err != nil || ft != frameBatch {
+				return
+			}
+			cnt, err := sc.readUint32(br)
+			if err != nil {
+				return
+			}
+			if err := discardBatchReports(br, sc, cnt); err != nil {
+				return
+			}
+			if seen < ackBatches {
+				if err := writeBatchReply(bw, ackOK, cnt); err != nil {
+					return
+				}
+				if err := bw.Flush(); err != nil {
+					return
+				}
+			}
+		}
+		// Die with the later batches consumed but never settled.
+	}()
+	return ln.Addr().String()
+}
+
+// TestBufferedClientAccountingAfterMidPipelineFailure (satellite S1):
+// when the connection dies with batches in flight, Sent and Accepted
+// must reflect exactly what was shipped and what the collector really
+// acked — no wiping the ledger, no counting unacked batches either way.
+func TestBufferedClientAccountingAfterMidPipelineFailure(t *testing.T) {
+	const (
+		batch    = 10
+		nBatches = 5
+		acked    = 2
+	)
+	addr := ackThenDie(t, acked, nBatches)
+	bc, err := DialBuffered(addr, WithBatchSize(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ship 5 batches; the stub acks 2 and dies. No reconnect mode: the
+	// failure must go sticky with honest books.
+	for i, rep := range testReports(batch * nBatches) {
+		if err := bc.Add(rep); err != nil {
+			break // sticky error may surface before all adds, that's fine
+		}
+		_ = i
+	}
+	if err := bc.Flush(); err == nil {
+		t.Fatal("Flush succeeded; want the mid-pipeline failure surfaced")
+	}
+	if got := bc.Sent(); got != batch*nBatches {
+		t.Fatalf("Sent() = %d; want %d (everything shipped)", got, batch*nBatches)
+	}
+	if got := bc.Accepted(); got != batch*acked {
+		t.Fatalf("Accepted() = %d; want %d — exactly the batches the collector acked", got, batch*acked)
+	}
+	if got := bc.Rejected(); got != 0 {
+		t.Fatalf("Rejected() = %d; want 0 (nothing was rejected, it was lost)", got)
+	}
+	// The error is sticky and consistent.
+	flushErr := bc.Flush()
+	if addErr := bc.Add(testReports(1)[0]); addErr == nil || flushErr == nil {
+		t.Fatal("sticky failure must surface on every later Add and Flush")
+	}
+}
+
+// TestBufferedClientRejectedBatchIsNotSticky (satellite S1): a batch
+// the collector rejects outright — here, routed to a query that does
+// not exist — settles as Rejected and the pipeline keeps flowing; only
+// transport failures are sticky.
+func TestBufferedClientRejectedBatchIsNotSticky(t *testing.T) {
+	proto, err := highdim.NewProtocol(ldp.Laplace{}, 1, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startTestServer(t, proto)
+
+	bc, err := DialBuffered(addr, WithBatchSize(10), WithQueryName("no-such-query"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	for _, rep := range testReports(30) {
+		if err := bc.Add(rep); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if err := bc.Flush(); err != nil {
+		t.Fatalf("Flush = %v; rejection must not be sticky", err)
+	}
+	if got := bc.Rejected(); got != 30 {
+		t.Fatalf("Rejected() = %d; want 30", got)
+	}
+	if got := bc.Accepted(); got != 0 {
+		t.Fatalf("Accepted() = %d; want 0", got)
+	}
+	// The same connection still serves later traffic.
+	if _, err := bc.c.Counts(); err != nil {
+		t.Fatalf("connection unusable after rejected batches: %v", err)
+	}
+}
+
+// TestBufferedClientFaultconnRegression pins the S1 fix against the
+// fault injector: an injected read cut mid-drain must leave Accepted at
+// exactly the acks read before the cut, with the failure sticky.
+func TestBufferedClientFaultconnRegression(t *testing.T) {
+	proto, err := highdim.NewProtocol(ldp.Laplace{}, 1, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startTestServer(t, proto)
+
+	raw, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := faultconn.Wrap(raw.conn)
+	bc := NewBufferedClient(NewClient(fc), WithBatchSize(10))
+
+	for _, rep := range testReports(50) {
+		if err := bc.Add(rep); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	// Cut the socket before any ack can be read: every batch is in
+	// flight, none settled.
+	fc.Cut()
+	if err := bc.Flush(); err == nil {
+		t.Fatal("Flush over a cut connection succeeded")
+	}
+	if got := bc.Sent(); got != 50 {
+		t.Fatalf("Sent() = %d; want 50", got)
+	}
+	if got := bc.Accepted(); got != 0 {
+		t.Fatalf("Accepted() = %d; want 0 — no ack was readable after the cut", got)
+	}
+	if st := fc.Stats(); st.Faulted == 0 {
+		t.Fatalf("fault injector stats = %+v; want Faulted > 0", st)
+	}
+}

@@ -3,13 +3,28 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/hdr4me/hdr4me/internal/est"
 )
+
+// ErrOverloaded reports a retryable NACK: the collector shed the
+// exchange (connection admission or batch admission) without failing it,
+// and the caller may retry the identical exchange after backing off.
+// Test with errors.Is.
+var ErrOverloaded = errors.New("transport: collector overloaded; retry later")
+
+// ErrSessionRejected reports a HELLO the collector refused outright —
+// an unknown or expired session token. Unlike ErrOverloaded it is not
+// retryable: the replay state is gone and the client must open a fresh
+// session (accepting that unacked batches are lost). Test with
+// errors.Is.
+var ErrSessionRejected = errors.New("transport: session rejected")
 
 // Client is the user-side network client: it connects to a collector and
 // submits reports — singly or in batches — queries the running estimates,
@@ -21,10 +36,11 @@ import (
 // another exchange is in flight; open one Client per goroutine when that
 // contention matters.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	timeout time.Duration
 }
 
 // Dial connects to a collector at addr.
@@ -42,6 +58,34 @@ func NewClient(conn net.Conn) *Client {
 	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
 }
 
+// SetTimeout bounds every subsequent exchange on this client: the
+// connection deadline is armed when an exchange begins and cleared when
+// it completes, so a dead or wedged collector surfaces as a timeout
+// error within d instead of hanging the caller forever. Zero (the
+// default) disables the bound. The *Context exchange variants compose
+// with it — whichever deadline is tighter wins.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// begin serializes one exchange and arms the per-exchange deadline; the
+// returned func disarms it and releases the exchange lock.
+func (c *Client) begin() func() {
+	c.mu.Lock()
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		//hdrvet:ignore lockorder -- begin hands c.mu to its caller as a guard; every caller defers the release
+		return func() {
+			c.conn.SetDeadline(time.Time{})
+			c.mu.Unlock()
+		}
+	}
+	//hdrvet:ignore lockorder -- begin hands c.mu to its caller as a guard; every caller defers the release
+	return c.mu.Unlock
+}
+
 // writeReport picks the compact 0x01 frame for pair-shaped reports (the
 // mean family) and the 0x05 frame for reports whose lists differ in length
 // (whole-tuple and frequency families).
@@ -53,15 +97,20 @@ func (c *Client) writeReport(rep est.Report) error {
 }
 
 // readAck reads a single status byte; reject is the error for ackErr.
+// A retryable NACK surfaces as ErrOverloaded.
 func (c *Client) readAck(reject string) error {
 	var ack [1]byte
 	if _, err := io.ReadFull(c.br, ack[:]); err != nil {
 		return err
 	}
-	if ack[0] != ackOK {
+	switch ack[0] {
+	case ackOK:
+		return nil
+	case ackRetry:
+		return ErrOverloaded
+	default:
 		return fmt.Errorf("transport: %s", reject)
 	}
-	return nil
 }
 
 // readReasonedAck reads the status byte of an exchange whose rejection
@@ -75,6 +124,9 @@ func (c *Client) readReasonedAck(context string) error {
 	if ack[0] == ackOK {
 		return nil
 	}
+	if ack[0] == ackRetry {
+		return ErrOverloaded
+	}
 	msg, err := readString(c.br, maxErrLen)
 	if err != nil {
 		return err
@@ -84,8 +136,7 @@ func (c *Client) readReasonedAck(context string) error {
 
 // Send submits one report and waits for the acknowledgement.
 func (c *Client) Send(rep est.Report) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := c.writeReport(rep); err != nil {
 		return err
 	}
@@ -101,8 +152,7 @@ func (c *Client) Send(rep est.Report) error {
 // len(reps) with a nil error means some reports were malformed for the
 // serving estimator. Batches longer than 65536 reports must be split.
 func (c *Client) SendBatch(reps []est.Report) (accepted int, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	n, err := c.sendBatchLocked("", reps)
 	if err != nil {
 		return 0, err
@@ -128,27 +178,120 @@ func (c *Client) sendBatchLocked(query string, reps []est.Report) (int, error) {
 	return len(reps), nil
 }
 
-// readBatchAckLocked reads one BATCH acknowledgement (status + accepted
-// count); the caller holds c.mu.
-func (c *Client) readBatchAckLocked(sent int) (int, error) {
-	var reply [5]byte
-	if _, err := io.ReadFull(c.br, reply[:]); err != nil {
+// sendSeqBatchLocked writes one sequenced BATCH frame — prefixed with a
+// SELECT route header when query is non-empty — without reading the ack.
+// Only valid after a successful HELLO exchange; the caller holds c.mu.
+func (c *Client) sendSeqBatchLocked(query string, seq uint64, reps []est.Report) (int, error) {
+	if query != "" {
+		if err := writeSelect(c.bw, query); err != nil {
+			return 0, err
+		}
+	}
+	if err := WriteSeqBatch(c.bw, seq, reps); err != nil {
 		return 0, err
 	}
-	if reply[0] != ackOK {
+	if err := c.bw.Flush(); err != nil {
+		return 0, err
+	}
+	return len(reps), nil
+}
+
+// readBatchStatusLocked reads one BATCH reply: a retryable NACK is a
+// single status byte, every other status is followed by the uint32
+// accepted count. The returned error is non-nil only for transport-level
+// failures — a rejected (ackErr) or shed (ackRetry) batch leaves the
+// connection in sync and the ack fully consumed, so the caller decides
+// whether that outcome is fatal. Caller holds c.mu.
+func (c *Client) readBatchStatusLocked(sent int) (status byte, accepted int, err error) {
+	var sb [1]byte
+	if _, err := io.ReadFull(c.br, sb[:]); err != nil {
+		return 0, 0, err
+	}
+	if sb[0] == ackRetry {
+		return ackRetry, 0, nil
+	}
+	var cb [4]byte
+	if _, err := io.ReadFull(c.br, cb[:]); err != nil {
+		return 0, 0, err
+	}
+	accepted = int(binary.BigEndian.Uint32(cb[:]))
+	if accepted > sent {
+		return 0, 0, fmt.Errorf("transport: collector acknowledged %d of %d reports", accepted, sent)
+	}
+	return sb[0], accepted, nil
+}
+
+// readBatchAckLocked adapts readBatchStatusLocked for callers without a
+// retry path: a rejected batch and a shed batch are both errors (the
+// latter ErrOverloaded, so it can be told apart and retried). Caller
+// holds c.mu.
+func (c *Client) readBatchAckLocked(sent int) (int, error) {
+	status, accepted, err := c.readBatchStatusLocked(sent)
+	if err != nil {
+		return 0, err
+	}
+	switch status {
+	case ackOK:
+		return accepted, nil
+	case ackRetry:
+		return 0, ErrOverloaded
+	default:
 		return 0, fmt.Errorf("transport: collector rejected batch")
 	}
-	accepted := int(binary.BigEndian.Uint32(reply[1:]))
-	if accepted > sent {
-		return 0, fmt.Errorf("transport: collector acknowledged %d of %d reports", accepted, sent)
+}
+
+// SessionInfo describes the replay session a HELLO exchange established:
+// the token to resume it with after a disconnect, the last batch
+// sequence number the collector applied, and the cumulative reports it
+// accepted for the session. LastSeq tells a reconnecting client which
+// pending batches are already applied; Accepted reconciles accounting
+// for acknowledgements the previous connection lost.
+type SessionInfo struct {
+	Token    uint64
+	LastSeq  uint64
+	Accepted uint64
+}
+
+// Hello opens (token 0) or resumes a replay session on the collector
+// (the HELLO frame). After a successful Hello, every batch this client
+// ships carries a session sequence number and the collector applies each
+// at most once — the exactly-once contract BufferedClient's reconnect
+// logic is built on. An overloaded collector sheds the exchange with
+// ErrOverloaded; an unknown or expired token comes back wrapped in
+// ErrSessionRejected.
+func (c *Client) Hello(token uint64) (SessionInfo, error) {
+	defer c.begin()()
+	if err := writeHello(c.bw, token); err != nil {
+		return SessionInfo{}, err
 	}
-	return accepted, nil
+	if err := c.bw.Flush(); err != nil {
+		return SessionInfo{}, err
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(c.br, ack[:]); err != nil {
+		return SessionInfo{}, err
+	}
+	switch ack[0] {
+	case ackOK:
+	case ackRetry:
+		return SessionInfo{}, ErrOverloaded
+	default:
+		msg, err := readString(c.br, maxErrLen)
+		if err != nil {
+			return SessionInfo{}, err
+		}
+		return SessionInfo{}, fmt.Errorf("%w: %s", ErrSessionRejected, msg)
+	}
+	h, err := readHelloReplyBody(c.br)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	return SessionInfo(h), nil
 }
 
 // Estimate asks the collector for its current naive aggregation.
 func (c *Client) Estimate() ([]float64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := c.writeRequestLocked(frameEstimate); err != nil {
 		return nil, err
 	}
@@ -159,8 +302,7 @@ func (c *Client) Estimate() ([]float64, error) {
 // collector replies with an error status when its estimator does not
 // support enhancement.
 func (c *Client) Enhanced() ([]float64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := c.writeRequestLocked(frameEnhanced); err != nil {
 		return nil, err
 	}
@@ -172,8 +314,7 @@ func (c *Client) Enhanced() ([]float64, error) {
 
 // Counts asks the collector for the per-dimension report counts.
 func (c *Client) Counts() ([]int64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := c.writeRequestLocked(frameCounts); err != nil {
 		return nil, err
 	}
@@ -184,8 +325,7 @@ func (c *Client) Counts() ([]int64, error) {
 // SNAPSHOT frame) — the state a parent collector Merges to fold this
 // shard in.
 func (c *Client) PullSnapshot() (est.Snapshot, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := c.writeRequestLocked(frameSnapshot); err != nil {
 		return est.Snapshot{}, err
 	}
@@ -199,8 +339,7 @@ func (c *Client) PullSnapshot() (est.Snapshot, error) {
 // folds it into its estimator. The collector NACKs snapshots whose family
 // or shape does not match its estimator.
 func (c *Client) PushSnapshot(s est.Snapshot) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := WriteMerge(c.bw, s); err != nil {
 		return err
 	}
@@ -217,8 +356,7 @@ func (c *Client) PushSnapshot(s est.Snapshot) error {
 // on disk. Collectors without a checkpoint sink, and failed writes, come
 // back as an error carrying the collector's reason.
 func (c *Client) Checkpoint() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := c.writeRequestLocked(frameCheckpoint); err != nil {
 		return err
 	}

@@ -129,8 +129,7 @@ type QueryInfo struct {
 // QueryInfo asks the collector about the named query (the QUERYINFO
 // frame). An unknown name is an error.
 func (c *Client) QueryInfo(name string) (QueryInfo, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := c.bw.WriteByte(frameQueryInfo); err != nil {
 		return QueryInfo{}, err
 	}
@@ -170,8 +169,7 @@ func (c *Client) QueryAt(name string, gen uint64) *Query {
 // policy) instead of the live one.
 func (q *Query) SendEpoch(id uint64, rep est.Report) error {
 	c := q.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := q.writeEpochHeaderLocked(id); err != nil {
 		return err
 	}
@@ -190,8 +188,7 @@ func (q *Query) SendEpoch(id uint64, rep est.Report) error {
 // SendBatch.
 func (q *Query) SendBatchEpoch(id uint64, reps []est.Report) (accepted int, err error) {
 	c := q.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := q.writeEpochHeaderLocked(id); err != nil {
 		return 0, err
 	}
@@ -226,8 +223,7 @@ func (q *Query) WindowEstimate(w int) ([]float64, error) {
 		return nil, fmt.Errorf("transport: window of %d epochs", w)
 	}
 	c := q.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := q.routeLocked(); err != nil {
 		return nil, err
 	}
@@ -251,8 +247,7 @@ func (q *Query) WindowEstimate(w int) ([]float64, error) {
 // DECAY frame). Requires a continual query and gamma in (0, 1].
 func (q *Query) DecayedEstimate(gamma float64) ([]float64, error) {
 	c := q.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := q.routeLocked(); err != nil {
 		return nil, err
 	}
@@ -276,8 +271,7 @@ func (q *Query) DecayedEstimate(gamma float64) ([]float64, error) {
 // query.
 func (q *Query) Rotate() (uint64, error) {
 	c := q.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := q.routeLocked(); err != nil {
 		return 0, err
 	}

@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"io"
 	"math"
 	"testing"
@@ -282,6 +283,92 @@ func FuzzRoundTripSnapshot(f *testing.F) {
 		for i := range snap.Counts {
 			if got.Counts[i] != snap.Counts[i] {
 				t.Fatalf("counts mismatch at %d", i)
+			}
+		}
+	})
+}
+
+// FuzzRoundTripHello covers both halves of the session handshake codec:
+// the fixed 9-byte HELLO request (frameHello + token) and the 24-byte
+// reply body must survive decode→encode→decode bit-exactly for any
+// token and progress values the fuzzer invents.
+func FuzzRoundTripHello(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(0xdeadbeef), uint64(1), uint64(7))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, token, lastSeq, accepted uint64) {
+		var req bytes.Buffer
+		if err := writeHello(&req, token); err != nil {
+			t.Fatalf("writeHello: %v", err)
+		}
+		ft, err := readFrameType(&req)
+		if err != nil || ft != frameHello {
+			t.Fatalf("request frame type 0x%02x, err %v; want frameHello", ft, err)
+		}
+		var tok [8]byte
+		if _, err := io.ReadFull(&req, tok[:]); err != nil {
+			t.Fatalf("request token: %v", err)
+		}
+		if got := binary.BigEndian.Uint64(tok[:]); got != token {
+			t.Fatalf("request token %#x; want %#x", got, token)
+		}
+
+		var reply bytes.Buffer
+		h := helloReply{Token: token, LastSeq: lastSeq, Accepted: accepted}
+		if err := writeHelloReplyBody(&reply, h); err != nil {
+			t.Fatalf("writeHelloReplyBody: %v", err)
+		}
+		got, err := readHelloReplyBody(&reply)
+		if err != nil {
+			t.Fatalf("readHelloReplyBody: %v", err)
+		}
+		if got != h {
+			t.Fatalf("reply round trip: %+v vs %+v", got, h)
+		}
+	})
+}
+
+// FuzzSeqBatchDecodeParity: a sequenced batch encoded by WriteSeqBatch
+// must decode through the full-batch replay path (readBatchAll) to
+// bit-identical reports, for any sequence number and report content.
+func FuzzSeqBatchDecodeParity(f *testing.F) {
+	f.Add(uint64(1), uint32(3), 0.25, -0.75)
+	f.Add(^uint64(0), uint32(0), math.Inf(1), math.NaN())
+	f.Fuzz(func(t *testing.T, seq uint64, dim uint32, v1, v2 float64) {
+		reps := []est.Report{
+			{Dims: []uint32{dim}, Values: []float64{v1}},
+			{Dims: []uint32{dim / 2, dim}, Values: []float64{v2, v1}},
+		}
+		var buf bytes.Buffer
+		if err := WriteSeqBatch(&buf, seq, reps); err != nil {
+			t.Fatalf("WriteSeqBatch: %v", err)
+		}
+		ft, err := readFrameType(&buf)
+		if err != nil || ft != frameBatch {
+			t.Fatalf("frame type 0x%02x, err %v; want frameBatch", ft, err)
+		}
+		var hdr [12]byte
+		if _, err := io.ReadFull(&buf, hdr[:]); err != nil {
+			t.Fatalf("seq+count header: %v", err)
+		}
+		if got := binary.BigEndian.Uint64(hdr[:8]); got != seq {
+			t.Fatalf("sequence %d; want %d", got, seq)
+		}
+		cnt := binary.BigEndian.Uint32(hdr[8:])
+		if int(cnt) != len(reps) {
+			t.Fatalf("count %d; want %d", cnt, len(reps))
+		}
+		sc := &decodeScratch{}
+		got, err := readBatchAll(bufio.NewReader(&buf), sc, cnt)
+		if err != nil {
+			t.Fatalf("readBatchAll: %v", err)
+		}
+		if len(got) != len(reps) {
+			t.Fatalf("decoded %d reports; want %d", len(got), len(reps))
+		}
+		for i := range reps {
+			if !reportsEqual(got[i], reps[i]) {
+				t.Fatalf("report %d mismatch: %+v vs %+v", i, got[i], reps[i])
 			}
 		}
 	})

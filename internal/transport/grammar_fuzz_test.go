@@ -117,6 +117,20 @@ func FuzzFrameExchange(f *testing.F) {
 		b.WriteByte(frameQueryInfo)
 		_ = writeString(b, est.DefaultName, maxNameLen)
 	})
+	// HELLO with the open-a-new-session sentinel token, then a sequenced
+	// batch: the session handshake and the (session, sequence) batch
+	// grammar both face the fuzzer.
+	seed(func(b *bytes.Buffer) { b.WriteByte(frameHello); u64(b, 0) })
+	seed(func(b *bytes.Buffer) {
+		b.WriteByte(frameHello)
+		u64(b, 0)
+		b.WriteByte(frameBatch)
+		u64(b, 1) // session batch sequence
+		u32(b, 1)
+		b.Write(repFrame)
+	})
+	// HELLO with an unknown token: the reasoned-rejection path.
+	seed(func(b *bytes.Buffer) { b.WriteByte(frameHello); u64(b, 0xdeadbeef) })
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		srv := NewRegistryServer(fuzzRegistry())

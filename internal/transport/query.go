@@ -53,8 +53,7 @@ func (c *Client) guard(ctx context.Context) func() {
 // aborts when ctx expires or is cancelled, so an unresponsive collector
 // cannot hang the caller forever.
 func (c *Client) PullSnapshotContext(ctx context.Context) (est.Snapshot, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	defer c.guard(ctx)()
 	if err := c.writeRequestLocked(frameSnapshot); err != nil {
 		return est.Snapshot{}, err
@@ -68,8 +67,7 @@ func (c *Client) PullSnapshotContext(ctx context.Context) (est.Snapshot, error) 
 // PushSnapshotContext is PushSnapshot bound to a context, exactly as
 // PullSnapshotContext.
 func (c *Client) PushSnapshotContext(ctx context.Context, s est.Snapshot) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	defer c.guard(ctx)()
 	if err := WriteMerge(c.bw, s); err != nil {
 		return err
@@ -78,6 +76,77 @@ func (c *Client) PushSnapshotContext(ctx context.Context, s est.Snapshot) error 
 		return err
 	}
 	return c.readAck("collector rejected snapshot merge")
+}
+
+// SendContext is Send bound to a context, exactly as PullSnapshotContext:
+// cancellation or expiry aborts the exchange instead of hanging on an
+// unresponsive collector.
+func (c *Client) SendContext(ctx context.Context, rep est.Report) error {
+	defer c.begin()()
+	defer c.guard(ctx)()
+	if err := c.writeReport(rep); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	return c.readAck("collector rejected report")
+}
+
+// SendBatchContext is SendBatch bound to a context.
+func (c *Client) SendBatchContext(ctx context.Context, reps []est.Report) (accepted int, err error) {
+	defer c.begin()()
+	defer c.guard(ctx)()
+	n, err := c.sendBatchLocked("", reps)
+	if err != nil {
+		return 0, err
+	}
+	return c.readBatchAckLocked(n)
+}
+
+// EstimateContext is Estimate bound to a context.
+func (c *Client) EstimateContext(ctx context.Context) ([]float64, error) {
+	defer c.begin()()
+	defer c.guard(ctx)()
+	if err := c.writeRequestLocked(frameEstimate); err != nil {
+		return nil, err
+	}
+	return readFloats(c.br)
+}
+
+// CountsContext is Counts bound to a context.
+func (c *Client) CountsContext(ctx context.Context) ([]int64, error) {
+	defer c.begin()()
+	defer c.guard(ctx)()
+	if err := c.writeRequestLocked(frameCounts); err != nil {
+		return nil, err
+	}
+	return readInts(c.br)
+}
+
+// EnhancedContext is Enhanced bound to a context.
+func (c *Client) EnhancedContext(ctx context.Context) ([]float64, error) {
+	defer c.begin()()
+	defer c.guard(ctx)()
+	if err := c.writeRequestLocked(frameEnhanced); err != nil {
+		return nil, err
+	}
+	if err := c.readAck("collector cannot serve an enhanced estimate"); err != nil {
+		return nil, err
+	}
+	return readFloats(c.br)
+}
+
+// CheckpointContext is Checkpoint bound to a context. Note that a
+// context abort only stops the wait: the collector may still complete
+// the checkpoint after the client has given up on the reply.
+func (c *Client) CheckpointContext(ctx context.Context) error {
+	defer c.begin()()
+	defer c.guard(ctx)()
+	if err := c.writeRequestLocked(frameCheckpoint); err != nil {
+		return err
+	}
+	return c.readReasonedAck("collector rejected checkpoint")
 }
 
 // Query is a client-side handle on one named query of a multi-query
@@ -115,8 +184,7 @@ func (c *Client) Query(name string) *Query { return &Query{c: c, name: name} }
 // rejection (name taken, budget exceeded, bad spec) comes back as an
 // error carrying the collector's reason.
 func (c *Client) Open(spec est.QuerySpec) (*Query, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := WriteOpenQuery(c.bw, spec); err != nil {
 		return nil, err
 	}
@@ -135,8 +203,7 @@ func (q *Query) Name() string { return q.name }
 // Send submits one report to the query and waits for the acknowledgement.
 func (q *Query) Send(rep est.Report) error {
 	c := q.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := q.routeLocked(); err != nil {
 		return err
 	}
@@ -153,8 +220,7 @@ func (q *Query) Send(rep est.Report) error {
 // returns how many the collector accepted, exactly as Client.SendBatch.
 func (q *Query) SendBatch(reps []est.Report) (accepted int, err error) {
 	c := q.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := q.routeLocked(); err != nil {
 		return 0, err
 	}
@@ -173,8 +239,7 @@ func (q *Query) Estimate() ([]float64, error) {
 // Counts asks the collector for the query's per-dimension report counts.
 func (q *Query) Counts() ([]int64, error) {
 	c := q.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := q.requestLocked(frameCounts); err != nil {
 		return nil, err
 	}
@@ -190,8 +255,7 @@ func (q *Query) Enhanced() ([]float64, error) {
 // PullSnapshot fetches the query's current estimator snapshot.
 func (q *Query) PullSnapshot() (est.Snapshot, error) {
 	c := q.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := q.requestLocked(frameSnapshot); err != nil {
 		return est.Snapshot{}, err
 	}
@@ -203,8 +267,7 @@ func (q *Query) PullSnapshot() (est.Snapshot, error) {
 // reject merges).
 func (q *Query) PushSnapshot(s est.Snapshot) error {
 	c := q.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := q.routeLocked(); err != nil {
 		return err
 	}
@@ -221,8 +284,7 @@ func (q *Query) PushSnapshot(s est.Snapshot) error {
 // ENHANCED).
 func (q *Query) vector(frame byte) ([]float64, error) {
 	c := q.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	defer c.begin()()
 	if err := q.requestLocked(frame); err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hdr4me/hdr4me/internal/est"
@@ -60,7 +61,45 @@ type Server struct {
 	// Leave it false in production.
 	LegacyIngest bool
 
+	// IdleTimeout bounds how long a connection may sit between (or
+	// inside) frames: the read deadline is re-armed before every frame
+	// and covers its body, so a stalled or trickling client is
+	// force-closed — and counted in Stats — instead of pinning its
+	// goroutine forever. Zero disables the deadline.
+	IdleTimeout time.Duration
+
+	// WriteTimeout bounds the replies of one exchange: the write
+	// deadline is armed when a frame arrives and covers every reply
+	// write through the final flush, so a client that stops reading
+	// cannot wedge the server behind a full socket buffer. Zero
+	// disables the deadline.
+	WriteTimeout time.Duration
+
+	// MaxConns caps concurrently served connections. An over-limit
+	// accept is answered with a single retryable-NACK byte and closed —
+	// shed, not queued — so admission failures are prompt and explicit.
+	// Zero means unlimited.
+	MaxConns int
+
+	// MaxInflight caps the total reports being decoded and accumulated
+	// across all connections at once, in report units. A batch that
+	// would exceed it is consumed and NACKed retryable instead of
+	// queuing behind the estimator; a batch bigger than the whole cap
+	// is still admitted when the server is otherwise idle, so oversized
+	// batches degrade to serial ingest rather than starving forever.
+	// Zero means unlimited.
+	MaxInflight int
+
+	// SessionTTL bounds how long a disconnected replay session's state
+	// is retained for resumption (default 2m). Sessions are swept
+	// lazily on HELLO traffic.
+	SessionTTL time.Duration
+
 	reg *est.Registry
+
+	stats    serverStats
+	sessions sessionTable
+	inflight atomic.Int64
 
 	wg   sync.WaitGroup
 	stop chan struct{}
@@ -69,6 +108,54 @@ type Server struct {
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
+}
+
+// serverStats aggregates the failure-path counters under atomics — they
+// are bumped from connection goroutines and read by Stats.
+type serverStats struct {
+	connsShed        atomic.Uint64
+	deadlinesTripped atomic.Uint64
+	batchesShed      atomic.Uint64
+	sessionsOpened   atomic.Uint64
+	sessionsResumed  atomic.Uint64
+	batchesDeduped   atomic.Uint64
+}
+
+// ServerStats is a point-in-time snapshot of a collector's failure
+// counters: what was shed, what tripped a deadline, and how the
+// exactly-once replay machinery is being exercised.
+type ServerStats struct {
+	// ConnsShed counts accepts refused with a retryable NACK because
+	// MaxConns was reached.
+	ConnsShed uint64 `json:"conns_shed"`
+	// DeadlinesTripped counts connections force-closed by the idle or
+	// write deadline.
+	DeadlinesTripped uint64 `json:"deadlines_tripped"`
+	// BatchesShed counts BATCH frames NACKed retryable — the MaxInflight
+	// admission gate plus sequencing gaps after an earlier shed.
+	BatchesShed uint64 `json:"batches_shed"`
+	// SessionsOpened counts HELLO frames that minted a new replay
+	// session.
+	SessionsOpened uint64 `json:"sessions_opened"`
+	// SessionsResumed counts HELLO frames that re-attached to a live
+	// session — each one a client-side reconnect.
+	SessionsResumed uint64 `json:"sessions_resumed"`
+	// BatchesDeduped counts sequenced batches that were already applied
+	// and acknowledged from the session record — replays the
+	// exactly-once contract suppressed.
+	BatchesDeduped uint64 `json:"batches_deduped"`
+}
+
+// Stats snapshots the server's failure counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		ConnsShed:        s.stats.connsShed.Load(),
+		DeadlinesTripped: s.stats.deadlinesTripped.Load(),
+		BatchesShed:      s.stats.batchesShed.Load(),
+		SessionsOpened:   s.stats.sessionsOpened.Load(),
+		SessionsResumed:  s.stats.sessionsResumed.Load(),
+		BatchesDeduped:   s.stats.batchesDeduped.Load(),
+	}
 }
 
 // NewServer wraps a single estimator in a collector server: a registry
@@ -195,6 +282,13 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			conn.Close()
 			return
 		}
+		if s.MaxConns > 0 && len(s.conns) >= s.MaxConns {
+			s.mu.Unlock()
+			s.stats.connsShed.Add(1)
+			s.wg.Add(1)
+			go s.shedConn(conn)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
@@ -207,9 +301,66 @@ func (s *Server) acceptLoop(ln net.Listener) {
 				s.mu.Unlock()
 			}()
 			if err := s.serveConn(conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.Logf("transport: conn %s: %v", conn.RemoteAddr(), err)
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					s.stats.deadlinesTripped.Add(1)
+					s.Logf("transport: conn %s: deadline tripped (%v); force-closed", conn.RemoteAddr(), err)
+				} else {
+					s.Logf("transport: conn %s: %v", conn.RemoteAddr(), err)
+				}
 			}
 		}()
+	}
+}
+
+// shedWriteTimeout bounds the single-byte NACK write of a shed accept,
+// so a peer that never reads cannot pin the shed goroutine.
+const shedWriteTimeout = 2 * time.Second
+
+// shedConn answers an over-limit accept with one retryable-NACK byte and
+// closes the connection: the client learns immediately that the
+// collector is at capacity (and may back off and redial) instead of
+// queuing behind a listener that will never serve it.
+func (s *Server) shedConn(conn net.Conn) {
+	defer s.wg.Done()
+	conn.SetWriteDeadline(time.Now().Add(shedWriteTimeout))
+	conn.Write([]byte{ackRetry})
+	// The client may have optimistically written a request we will never
+	// read; closing with unread bytes in the receive buffer would turn
+	// into a RST that can destroy the NACK before the client reads it.
+	// Half-close the write side and briefly drain instead, so the NACK
+	// is delivered and the client sees a clean EOF.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+		conn.SetReadDeadline(time.Now().Add(shedWriteTimeout))
+		io.Copy(io.Discard, conn)
+	}
+	conn.Close()
+}
+
+// admit reserves n reports of in-flight ingest capacity, failing fast
+// when the reservation would exceed MaxInflight. A batch larger than the
+// whole cap is admitted when nothing else is in flight (cur == 0), so it
+// degrades to serial ingest instead of being shed forever.
+func (s *Server) admit(n int64) bool {
+	if s.MaxInflight <= 0 {
+		return true
+	}
+	for {
+		cur := s.inflight.Load()
+		if cur > 0 && cur+n > int64(s.MaxInflight) {
+			return false
+		}
+		if s.inflight.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// release returns capacity reserved by admit.
+func (s *Server) release(n int64) {
+	if s.MaxInflight > 0 {
+		s.inflight.Add(-n)
 	}
 }
 
@@ -269,10 +420,29 @@ func (s *Server) serveConn(conn net.Conn) error {
 		lanes[q] = l
 		return l
 	}
+	var sess *connSession
+	defer func() {
+		if sess != nil {
+			s.sessions.detach(sess, conn)
+		}
+	}()
 	for {
+		if s.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+				return err
+			}
+		}
 		ft, err := sc.readFrameType(br)
 		if err != nil {
 			return err
+		}
+		if s.WriteTimeout > 0 {
+			// Armed per exchange, before dispatch: replies bigger than the
+			// write buffer flush mid-exchange, and those writes must be
+			// bounded too, not just the final flush.
+			if err := conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout)); err != nil {
+				return err
+			}
 		}
 		routed := false
 		var q *est.Query
@@ -353,30 +523,14 @@ func (s *Server) serveConn(conn net.Conn) error {
 				return err
 			}
 		case frameBatch:
-			var accepted uint32
-			if s.LegacyIngest {
-				sink := func(est.Report) error { return errNoQuery }
-				if q != nil {
-					sink = q.AddReport
-				}
-				accepted, err = readBatchBody(br, sink)
+			if sess != nil {
+				// A session connection's top-level batches carry explicit
+				// sequence numbers: the exactly-once grammar.
+				err = s.serveSeqBatch(br, bw, sc, conn, sess, q, laneOf)
 			} else {
-				add := func([]est.Report) (int, error) { return 0, errNoQuery }
-				if q != nil {
-					add = laneOf(q).AddReports
-				}
-				accepted, err = readBatchInto(br, sc, add)
+				err = s.serveLegacyBatch(br, bw, sc, q, laneOf)
 			}
 			if err != nil {
-				return err
-			}
-			var reply [5]byte
-			reply[0] = ackOK
-			if q == nil {
-				reply[0] = ackErr
-			}
-			binary.BigEndian.PutUint32(reply[1:], accepted)
-			if _, err := bw.Write(reply[:]); err != nil {
 				return err
 			}
 		case frameEstimate, frameCounts:
@@ -522,6 +676,53 @@ func (s *Server) serveConn(conn net.Conn) error {
 			if _, err := bw.Write(reply[:]); err != nil {
 				return err
 			}
+		case frameHello:
+			if routed {
+				return fmt.Errorf("transport: HELLO cannot be routed")
+			}
+			var tb [8]byte
+			if _, err := io.ReadFull(br, tb[:]); err != nil {
+				return err
+			}
+			token := binary.BigEndian.Uint64(tb[:])
+			if sess != nil {
+				s.sessions.detach(sess, conn)
+				sess = nil
+			}
+			s.sessions.sweep(s.sessionTTL())
+			if token == 0 {
+				ns, oerr := s.sessions.open(conn)
+				if oerr != nil {
+					if err := writeNack(bw, oerr.Error()); err != nil {
+						return err
+					}
+					break
+				}
+				sess = ns
+				s.stats.sessionsOpened.Add(1)
+			} else {
+				ns, displaced, ok := s.sessions.resume(token, conn)
+				if !ok {
+					if err := writeNack(bw, fmt.Sprintf("unknown or expired session token %#x", token)); err != nil {
+						return err
+					}
+					break
+				}
+				if displaced != nil && displaced != conn {
+					// The session's previous connection is still up (a
+					// half-dead link the client gave up on): force it out so
+					// exactly one connection owns the replay state.
+					displaced.Close()
+				}
+				sess = ns
+				s.stats.sessionsResumed.Add(1)
+			}
+			if err := bw.WriteByte(ackOK); err != nil {
+				return err
+			}
+			if err := writeHelloReplyBody(bw, sess.state()); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("unknown frame type 0x%02x", ft)
 		}
@@ -529,6 +730,144 @@ func (s *Server) serveConn(conn net.Conn) error {
 			return err
 		}
 	}
+}
+
+// writeBatchReply writes the 5-byte batch acknowledgement: status plus
+// accepted count.
+func writeBatchReply(bw *bufio.Writer, status byte, accepted uint32) error {
+	var reply [5]byte
+	reply[0] = status
+	binary.BigEndian.PutUint32(reply[1:], accepted)
+	_, err := bw.Write(reply[:])
+	return err
+}
+
+// sessionTTL resolves the effective replay-session retention.
+func (s *Server) sessionTTL() time.Duration {
+	if s.SessionTTL > 0 {
+		return s.SessionTTL
+	}
+	return sessionTTLDefault
+}
+
+// serveSeqBatch handles one sequenced BATCH frame on a session
+// connection: uint64 sequence, uint32 count, embedded report frames. The
+// body is always consumed — decoded for the in-order case, discarded for
+// duplicates, gaps and admission sheds — before any reply, so no outcome
+// desyncs the connection. Unlike the streaming legacy path, the batch is
+// fully decoded before it is applied: either the whole batch lands and
+// the sequence advances, or nothing does, which is what makes a client
+// replay after a mid-batch disconnect exact rather than approximate.
+func (s *Server) serveSeqBatch(br *bufio.Reader, bw *bufio.Writer, sc *decodeScratch, conn net.Conn, sess *connSession, q *est.Query, laneOf func(*est.Query) est.Lane) error {
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return err
+	}
+	seq := binary.BigEndian.Uint64(hdr[:8])
+	cnt := binary.BigEndian.Uint32(hdr[8:])
+	if seq == 0 {
+		return fmt.Errorf("transport: sequenced batch with sequence 0")
+	}
+	if cnt > maxBatch {
+		return fmt.Errorf("transport: batch of %d reports exceeds limit %d", cnt, maxBatch)
+	}
+	// Read side first, writes only after: classify the sequence, then
+	// either fully decode the body (the in-order, admitted case) or
+	// discard it (duplicates, gaps, admission sheds) — every outcome
+	// consumes the body before the first reply byte.
+	class := sess.seqClass(seq)
+	admitted := class == seqApply && s.admit(int64(cnt))
+	if admitted {
+		defer s.release(int64(cnt))
+	}
+	var reps []est.Report
+	var err error
+	if admitted {
+		reps, err = readBatchAll(br, sc, cnt)
+	} else {
+		err = discardBatchReports(br, sc, cnt)
+	}
+	if err != nil {
+		return err
+	}
+	switch {
+	case class == seqDup:
+		// Already applied: repeat the recorded acknowledgement. This is
+		// the replay-suppression half of exactly-once.
+		s.stats.batchesDeduped.Add(1)
+		return writeBatchReply(bw, ackOK, sess.dupAck(seq))
+	case class == seqGap, !admitted:
+		// Either an earlier batch was shed and the client pipelined past
+		// it (it cannot apply in order), or this batch itself failed
+		// admission: NACK retryable, the client re-ships in order.
+		s.stats.batchesShed.Add(1)
+		return bw.WriteByte(ackRetry)
+	}
+	add := func([]est.Report) (int, error) { return 0, errNoQuery }
+	if q != nil {
+		add = laneOf(q).AddReports
+	}
+	status, accepted, err := sess.commit(conn, seq, reps, add)
+	if err != nil {
+		return err
+	}
+	if status == ackRetry {
+		s.stats.batchesShed.Add(1)
+		return bw.WriteByte(ackRetry)
+	}
+	if q == nil {
+		// The batch consumed its sequence slot (it was processed —
+		// rejected, with zero accepted), but the reply must carry the
+		// rejection, exactly as the legacy path does.
+		status = ackErr
+	}
+	return writeBatchReply(bw, status, accepted)
+}
+
+// serveLegacyBatch handles one unsequenced top-level BATCH frame: the
+// original chunked-streaming ingest, now behind the in-flight admission
+// gate. The body is consumed — streamed into the estimator when
+// admitted, discarded when shed — before any reply is written.
+func (s *Server) serveLegacyBatch(br *bufio.Reader, bw *bufio.Writer, sc *decodeScratch, q *est.Query, laneOf func(*est.Query) est.Lane) error {
+	cnt, err := sc.readUint32(br)
+	if err != nil {
+		return err
+	}
+	if cnt > maxBatch {
+		return fmt.Errorf("transport: batch of %d reports exceeds limit %d", cnt, maxBatch)
+	}
+	admitted := s.admit(int64(cnt))
+	if admitted {
+		defer s.release(int64(cnt))
+	}
+	var accepted uint32
+	if !admitted {
+		err = discardBatchReports(br, sc, cnt)
+	} else if s.LegacyIngest {
+		sink := func(est.Report) error { return errNoQuery }
+		if q != nil {
+			sink = q.AddReport
+		}
+		accepted, err = readBatchReports(br, cnt, sink)
+	} else {
+		add := func([]est.Report) (int, error) { return 0, errNoQuery }
+		if q != nil {
+			add = laneOf(q).AddReports
+		}
+		accepted, err = readBatchBuffered(br, sc, cnt, add)
+	}
+	if err != nil {
+		return err
+	}
+	if !admitted {
+		s.stats.batchesShed.Add(1)
+		return bw.WriteByte(ackRetry)
+	}
+	status := byte(ackOK)
+	if q == nil {
+		status = ackErr
+	}
+	return writeBatchReply(bw, status, accepted)
 }
 
 // shutdown closes the listener and every open connection exactly once.

@@ -61,6 +61,17 @@
 //	     status byte; on 0x00 it follows with uint64 generation, one byte
 //	     lifecycle state, one byte epoch-mode flag, and uint64 live epoch
 //	     id (zero when epoch mode is off). Not routable.
+//	0x12 HELLO     uint64 session token (0 opens a new session) — the
+//	     server replies a status byte; on 0x00 it follows with uint64
+//	     token, uint64 last applied batch sequence number, and uint64
+//	     total reports accepted for the session; on 0xFE the collector is
+//	     shedding load (back off and retry); on 0xFF a length-prefixed
+//	     error string follows (unknown or expired token). After a
+//	     successful HELLO, every top-level BATCH frame on the connection
+//	     carries a uint64 sequence number between the type byte and the
+//	     report count, and the server applies each (token, seq) at most
+//	     once — the exactly-once replay contract reconnecting clients
+//	     rely on. Not routable.
 //
 // A report frame (0x01 or 0x05) is acknowledged with a single 0x00 byte
 // (ok) or 0xFF (rejected). Frames are small, so no additional length prefix
@@ -68,6 +79,17 @@
 // is up to the serving estimator family (see est.Report); the classic pair
 // frame 0x01 remains the compact encoding for the mean family where the
 // two lists pair up.
+//
+// Overload shedding. A third status byte, 0xFE (retryable NACK), means
+// the collector refused the exchange for capacity — admission gates on
+// connection count and in-flight batch reports — without failing it: the
+// frame body was consumed, the connection (when one was granted) stays in
+// sync, and the client may retry the identical exchange after backing
+// off. 0xFE replaces the whole 5-byte batch reply (no accepted count
+// follows), and an over-limit accept is answered with a single 0xFE byte
+// before the connection closes. Sequence numbers make the retry safe:
+// a shed sequenced batch never advances the session's applied sequence,
+// so replaying it cannot double-count.
 //
 // Routing (the multi-query service). A collector hosts an est.Registry of
 // named queries; un-routed frames resolve to the query named
@@ -123,9 +145,15 @@ const (
 	frameRotate     = 0x0F
 	frameSelectGen  = 0x10
 	frameQueryInfo  = 0x11
+	frameHello      = 0x12
 
-	ackOK  = 0x00
-	ackErr = 0xFF
+	ackOK = 0x00
+	// ackRetry is the retryable NACK: the collector shed the exchange for
+	// capacity (admission gate, batch ordering gap) and the client may
+	// repeat it verbatim after backing off. It deliberately sits far from
+	// the frame-type range so a desynced stream cannot alias it.
+	ackRetry = 0xFE
+	ackErr   = 0xFF
 )
 
 // maxNameLen caps query names and other short strings on the wire.
@@ -303,6 +331,156 @@ func WriteBatch(w io.Writer, reps []est.Report) error {
 	return err
 }
 
+// WriteSeqBatch serializes one sequenced batch frame: the 0x06 type byte,
+// the session-relative uint64 sequence number, then the report count and
+// embedded frames exactly as WriteBatch. Only valid on a connection that
+// completed a HELLO exchange — the sequence field exists only in that
+// grammar, and the server dedupes on it.
+func WriteSeqBatch(w io.Writer, seq uint64, reps []est.Report) error {
+	if len(reps) > maxBatch {
+		return fmt.Errorf("transport: batch of %d reports exceeds limit %d", len(reps), maxBatch)
+	}
+	bp := encPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, frameBatch)
+	buf = binary.BigEndian.AppendUint64(buf, seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(reps)))
+	for _, rep := range reps {
+		if len(rep.Dims) == len(rep.Values) {
+			buf = appendReport(buf, rep)
+		} else {
+			buf = appendVecReport(buf, rep)
+		}
+	}
+	*bp = buf
+	_, err := w.Write(buf)
+	putEncBuf(bp)
+	return err
+}
+
+// writeHello writes one HELLO frame (0x12): token 0 asks the collector to
+// open a new replay session, a prior token asks to resume it.
+func writeHello(w io.Writer, token uint64) error {
+	var buf [9]byte
+	buf[0] = frameHello
+	binary.BigEndian.PutUint64(buf[1:], token)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// helloReply is the session state an acknowledged HELLO carries back:
+// the (possibly newly minted) token, the last batch sequence number the
+// collector durably applied, and the cumulative reports it accepted for
+// the session. LastSeq tells a reconnecting client which pending batches
+// to drop before replaying; Accepted reconciles its accounting for acks
+// the old connection lost.
+type helloReply struct {
+	Token    uint64
+	LastSeq  uint64
+	Accepted uint64
+}
+
+// writeHelloReplyBody writes the 24-byte body that follows an ackOK HELLO
+// status.
+func writeHelloReplyBody(w io.Writer, h helloReply) error {
+	var buf [24]byte
+	binary.BigEndian.PutUint64(buf[0:], h.Token)
+	binary.BigEndian.PutUint64(buf[8:], h.LastSeq)
+	binary.BigEndian.PutUint64(buf[16:], h.Accepted)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// readHelloReplyBody reads the body written by writeHelloReplyBody.
+func readHelloReplyBody(r io.Reader) (helloReply, error) {
+	var buf [24]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return helloReply{}, err
+	}
+	return helloReply{
+		Token:    binary.BigEndian.Uint64(buf[0:]),
+		LastSeq:  binary.BigEndian.Uint64(buf[8:]),
+		Accepted: binary.BigEndian.Uint64(buf[16:]),
+	}, nil
+}
+
+// maxSeqBatchValues caps the dim/value payload a sequenced batch may
+// carry. Unlike the streaming path, sequenced batches are fully decoded
+// before application (so a connection dying mid-batch can never leave a
+// partially applied batch behind the exactly-once contract), which means
+// the whole batch is resident at once and needs a hard bound.
+const maxSeqBatchValues = 1 << 22
+
+// readBatchAll decodes cnt embedded report frames into sc in full — no
+// chunked hand-off — and returns the decoded reports. It is the decode
+// half of the sequenced-batch path: the caller applies the whole slice
+// atomically after a successful decode, so a wire error mid-batch
+// ingests nothing (contrast readBatchInto, which accumulates the clean
+// prefix). Reports alias sc's arenas and are valid until the next reset.
+func readBatchAll(br *bufio.Reader, sc *decodeScratch, cnt uint32) ([]est.Report, error) {
+	sc.reset()
+	for done := uint32(0); done < cnt; done++ {
+		rep, err := decodeEmbeddedPeek(br, sc)
+		if err != nil {
+			return nil, err
+		}
+		if len(sc.vals) > maxSeqBatchValues || len(sc.dims) > maxSeqBatchValues {
+			return nil, fmt.Errorf("transport: sequenced batch payload exceeds %d values", maxSeqBatchValues)
+		}
+		sc.reps = append(sc.reps, rep)
+	}
+	return sc.reps, nil
+}
+
+// discardBatchReports consumes cnt embedded report frames without
+// decoding them — the shed path's body drain: a NACKed batch must still
+// be read off the wire or the connection desyncs.
+func discardBatchReports(br *bufio.Reader, sc *decodeScratch, cnt uint32) error {
+	for i := uint32(0); i < cnt; i++ {
+		ft, err := sc.readFrameType(br)
+		if err != nil {
+			return err
+		}
+		switch ft {
+		case frameReport:
+			n, err := sc.readUint32(br)
+			if err != nil {
+				return err
+			}
+			if n > maxPairs {
+				return fmt.Errorf("transport: report with %d pairs exceeds limit", n)
+			}
+			if _, err := br.Discard(12 * int(n)); err != nil {
+				return err
+			}
+		case frameVecReport:
+			nd, err := sc.readUint32(br)
+			if err != nil {
+				return err
+			}
+			if nd > maxPairs {
+				return fmt.Errorf("transport: report with %d dims exceeds limit", nd)
+			}
+			if _, err := br.Discard(4 * int(nd)); err != nil {
+				return err
+			}
+			nv, err := sc.readUint32(br)
+			if err != nil {
+				return err
+			}
+			if nv > maxPairs {
+				return fmt.Errorf("transport: report with %d values exceeds limit", nv)
+			}
+			if _, err := br.Discard(8 * int(nv)); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("transport: batch embeds frame type 0x%02x", ft)
+		}
+	}
+	return nil
+}
+
 // readBatchBody streams the embedded reports of a batch frame to fn,
 // one at a time, so the server never holds a whole hostile batch in
 // memory. fn's error marks that report rejected (counted, not fatal);
@@ -322,6 +500,13 @@ func readBatchBody(r io.Reader, fn func(est.Report) error) (accepted uint32, err
 	if cnt > maxBatch {
 		return 0, fmt.Errorf("transport: batch of %d reports exceeds limit %d", cnt, maxBatch)
 	}
+	return readBatchReports(r, cnt, fn)
+}
+
+// readBatchReports is readBatchBody with the count already consumed and
+// validated — the serving path reads the count itself so the admission
+// gate can shed a batch before any report is decoded.
+func readBatchReports(r io.Reader, cnt uint32, fn func(est.Report) error) (accepted uint32, err error) {
 	for i := uint32(0); i < cnt; i++ {
 		ft, err := readFrameType(r)
 		if err != nil {

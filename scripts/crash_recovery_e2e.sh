@@ -20,6 +20,12 @@
 #      ring bitwise-equal to the checkpoint — correct epoch id, window
 #      and decayed estimates, live snapshot — late reports still
 #      bucketing and the renewal budget ledger still gating
+#   6. flaky network: a fresh collector with two identically-configured
+#      queries; the same deterministic reports go into one through a
+#      fault-injection proxy cut twice mid-stream (reconnecting client,
+#      exactly-once replay) and into the other over a clean connection —
+#      the counts must be bitwise-equal, the estimates within the
+#      striped fold's few-ULP tolerance
 #
 # The wire-level assertions live in scripts/crashcheck (go run-able Go,
 # because bitwise snapshot comparison and OPENQUERY probing need the
@@ -161,5 +167,24 @@ grep -q "final epoch rotated" "$WORK/log5" \
     || { cat "$WORK/log5" >&2; fail "SIGTERM drain did not rotate the final epoch"; }
 grep -q "final checkpoint saved" "$WORK/log5" \
     || { cat "$WORK/log5" >&2; fail "SIGTERM drain did not write a final checkpoint"; }
+
+echo "== phase 7: flaky network folds equal to a clean run"
+# A fresh collector with two identically-parameterized queries; the
+# flk/cln specs must match crashcheck's flakySpec. crashcheck streams
+# the same deterministic reports into "flk" through a proxy cut twice
+# mid-stream (reconnect + replay-session recovery) and into "cln"
+# cleanly, then requires the counts bitwise-equal and the estimates
+# within stripe-fold tolerance.
+"$WORK/ldpcollect" -users 0 -addr 127.0.0.1:0 \
+    -query flk,kind=mean,mech=piecewise,eps=0.4,d=8 \
+    -query cln,kind=mean,mech=piecewise,eps=0.4,d=8 \
+    > "$WORK/log6" 2>&1 &
+PID=$!
+ADDR="$(wait_addr "$WORK/log6")"
+echo "   flaky-phase collector up at $ADDR"
+"$WORK/crashcheck" -mode flakyfold -addr "$ADDR"
+kill -TERM "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
 
 echo "crash_recovery_e2e: PASS"

@@ -16,6 +16,15 @@
 //	    have zero accumulated reports — fresh start, no partial restore.
 //	crashcheck -mode corrupt -file PATH
 //	    flip one payload byte of the checkpoint file so its CRC fails.
+//	crashcheck -mode flakyfold -addr HOST:PORT
+//	    against a collector with the flk/cln query pair: stream 4000
+//	    deterministic reports into "flk" through a fault-injection proxy
+//	    whose links are cut twice mid-stream (the reconnecting buffered
+//	    client must resume its replay session and re-ship only unacked
+//	    batches), stream the identical reports into "cln" over a clean
+//	    connection, and require the two queries' counts bitwise-equal
+//	    (and estimates within stripe-fold tolerance) — exactly-once
+//	    delivery through real failures.
 //	crashcheck -mode epochseed -addr HOST:PORT -dir DIR
 //	    against a continual (-window/-horizon) collector: stream reports
 //	    across three epochs driven by ROTATE wire frames, save each
@@ -37,12 +46,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 
 	hdr4me "github.com/hdr4me/hdr4me"
 	"github.com/hdr4me/hdr4me/internal/transport"
+	"github.com/hdr4me/hdr4me/internal/transport/faultconn"
 )
 
 // e2eUsers is how many reports seed streams into each query.
@@ -81,6 +92,8 @@ func main() {
 		err = epochSeed(*addr, *dir)
 	case "epochverify":
 		err = epochVerify(*addr, *dir)
+	case "flakyfold":
+		err = flakyFold(*addr)
 	default:
 		err = fmt.Errorf("unknown -mode %q", *mode)
 	}
@@ -426,6 +439,135 @@ func epochVerify(addr, dir string) error {
 		return fmt.Errorf("over-horizon OPENQUERY failed for the wrong reason: %v", err)
 	}
 	fmt.Printf("over-horizon OPENQUERY rejected by restored renewal ledger: %v\n", err)
+	return nil
+}
+
+// ---- flaky-network phase (flakyfold) ----------------------------------------
+
+// flakyUsers reports stream through the flaky path in flakyBatch-sized
+// BATCH frames — enough batches that both link cuts land mid-stream
+// with unacked batches in flight.
+const (
+	flakyUsers = 4000
+	flakyBatch = 64
+)
+
+// flakySpec builds one of the flaky-phase query pair. The two specs must
+// match the -query flags of the phase-7 collector in
+// scripts/crash_recovery_e2e.sh, and differ only by name: identical
+// parameters, so the identical report stream must fold to identical
+// state on both.
+func flakySpec(name string) hdr4me.QuerySpec {
+	return hdr4me.QuerySpec{Name: name, Kind: hdr4me.KindMean, Mech: "piecewise", Eps: 0.4, D: 8}
+}
+
+// flakyFold streams one deterministic report set into query "flk"
+// through a twice-cut proxy (reconnecting buffered client, replay
+// session) and into query "cln" over a clean connection, then requires
+// both queries' counts bitwise-equal and estimates within stripe-fold
+// tolerance: the failures must have cost nothing and double-counted
+// nothing.
+func flakyFold(addr string) error {
+	// Perturb once, send twice: any divergence is the transport's fault,
+	// not the mechanism's randomness.
+	sess, err := hdr4me.NewFromSpec(flakySpec("flk"), hdr4me.WithSeed(42))
+	if err != nil {
+		return err
+	}
+	reps := make([]hdr4me.Report, flakyUsers)
+	for i := range reps {
+		if reps[i], err = sess.Report(tupleFor(flakySpec("flk"), i)); err != nil {
+			return err
+		}
+	}
+
+	// Flaky path: the buffered client dials the proxy, so every redial
+	// goes back through it; the cuts land while batches are unacked.
+	proxy, err := faultconn.NewProxy(addr)
+	if err != nil {
+		return err
+	}
+	defer proxy.Close()
+	bc, err := hdr4me.DialCollectorBuffered(proxy.Addr(),
+		hdr4me.WithBatchSize(flakyBatch), hdr4me.WithQueryName("flk"),
+		hdr4me.WithReconnect(nil), hdr4me.WithReconnectLimit(20))
+	if err != nil {
+		return err
+	}
+	for i, rep := range reps {
+		if i == flakyUsers/3 || i == 2*flakyUsers/3 {
+			proxy.CutLinks()
+		}
+		if err := bc.Add(rep); err != nil {
+			return fmt.Errorf("flaky path: Add at report %d: %w", i, err)
+		}
+	}
+	if err := bc.Close(); err != nil {
+		return fmt.Errorf("flaky path: close: %w", err)
+	}
+	if got := bc.Accepted(); got != flakyUsers {
+		return fmt.Errorf("flaky path: accepted %d of %d reports", got, flakyUsers)
+	}
+	if bc.Reconnects() < 1 {
+		return fmt.Errorf("flaky path: no reconnects despite two cut links — the faults never landed")
+	}
+	fmt.Printf("flaky path: %d reports delivered through %d reconnects (%d batches replayed)\n",
+		bc.Accepted(), bc.Reconnects(), bc.Replayed())
+
+	// Clean path: the same reports, one direct connection.
+	cl, err := hdr4me.DialCollector(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	accepted, err := cl.Query("cln").SendBatch(reps)
+	if err != nil {
+		return fmt.Errorf("clean path: %w", err)
+	}
+	if accepted != flakyUsers {
+		return fmt.Errorf("clean path: accepted %d of %d reports", accepted, flakyUsers)
+	}
+
+	// Exactly-once, proven bitwise: counts and estimates of the two
+	// queries must be identical.
+	flkCounts, err := cl.Query("flk").Counts()
+	if err != nil {
+		return err
+	}
+	clnCounts, err := cl.Query("cln").Counts()
+	if err != nil {
+		return err
+	}
+	if len(flkCounts) != len(clnCounts) {
+		return fmt.Errorf("count vectors differ in length: %d vs %d", len(flkCounts), len(clnCounts))
+	}
+	for j := range flkCounts {
+		if flkCounts[j] != clnCounts[j] {
+			return fmt.Errorf("dimension %d: flaky path counted %d, clean path %d (lost or doubled reports)",
+				j, flkCounts[j], clnCounts[j])
+		}
+	}
+	// Estimates: each reconnection lands on a fresh ingest stripe
+	// (est.Stripes assigns lanes round-robin per connection), so the
+	// flaky fold's cross-stripe additions associate differently than the
+	// clean single-stripe fold — a few ULPs, never more (the counts
+	// above already proved not one report was lost or doubled).
+	flkEst, err := cl.Query("flk").Estimate()
+	if err != nil {
+		return err
+	}
+	clnEst, err := cl.Query("cln").Estimate()
+	if err != nil {
+		return err
+	}
+	for j := range flkEst {
+		if d := math.Abs(flkEst[j] - clnEst[j]); d > 1e-9 {
+			return fmt.Errorf("dimension %d: flaky estimate %g vs clean %g (|Δ|=%g exceeds stripe-fold tolerance)",
+				j, flkEst[j], clnEst[j], d)
+		}
+	}
+	fmt.Printf("flaky and clean folds agree across %d dimensions (counts exact, estimates within fold tolerance)\n",
+		len(flkCounts))
 	return nil
 }
 
