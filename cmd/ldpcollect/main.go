@@ -114,6 +114,8 @@ func main() {
 		"mechanism: "+strings.Join(hdr4me.MechanismNames(), "|"))
 	conns := flag.Int("conns", 8, "concurrent client connections")
 	batch := flag.Int("batch", 256, "reports per BATCH frame (1 = unbatched per-report sends)")
+	proto := flag.Int("proto", 0,
+		"wire protocol the simulated clients pin: 1 = legacy row batches, 2 = columnar CBATCH, 0 = negotiate")
 	addr := flag.String("addr", "127.0.0.1:0", "collector listen address")
 	mergeInto := flag.String("merge-into", "", "parent collector address to fold this shard's snapshot into")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -157,6 +159,9 @@ func main() {
 	}
 	if *conns < 1 {
 		log.Fatalf("ldpcollect: -conns must be >= 1, have %d", *conns)
+	}
+	if *proto < 0 || *proto > hdr4me.ProtocolV2 {
+		log.Fatalf("ldpcollect: -proto must be 0 (negotiate), 1 or 2, have %d", *proto)
 	}
 	if *mergeInto != "" && *users == 0 {
 		log.Fatalf("ldpcollect: -merge-into with -users 0 is invalid: a serve-only collector has no " +
@@ -231,7 +236,7 @@ func main() {
 	}
 
 	if len(queries) > 0 {
-		multiQuery(ctx, queries, *addr, *users, *batch, *totalEps, *stateDir, *ckptEvery, *seed, ec, hard)
+		multiQuery(ctx, queries, *addr, *users, *batch, *proto, *totalEps, *stateDir, *ckptEvery, *seed, ec, hard)
 		return
 	}
 
@@ -359,7 +364,11 @@ func main() {
 				defer cl.Close()
 				send = cl.Send
 			} else {
-				bc, err := hdr4me.DialCollectorBuffered(bound.String(), hdr4me.WithBatchSize(*batch))
+				bopts := []hdr4me.BufferOption{hdr4me.WithBatchSize(*batch)}
+				if *proto != 0 {
+					bopts = append(bopts, hdr4me.WithProtocolVersion(*proto))
+				}
+				bc, err := hdr4me.DialCollectorBuffered(bound.String(), bopts...)
 				if err != nil {
 					log.Printf("client %d: %v", c, err)
 					return
@@ -517,7 +526,7 @@ func drainAndCheckpoint(srv *hdr4me.CollectorServer, rotate func(), save func() 
 // saved query replays through the ordinary Open path, so restored
 // state passes the same Accountant gating as live registrations — and
 // keeps the state durable (interval, CHECKPOINT frames, shutdown drain).
-func multiQuery(ctx context.Context, queries querySpecs, addr string, users, batch int, totalEps float64, stateDir string, ckptEvery time.Duration, seed uint64, ec continualFlags, hard hardeningFlags) {
+func multiQuery(ctx context.Context, queries querySpecs, addr string, users, batch, proto int, totalEps float64, stateDir string, ckptEvery time.Duration, seed uint64, ec continualFlags, hard hardeningFlags) {
 	var acct *hdr4me.Accountant
 	if totalEps > 0 {
 		var err error
@@ -644,7 +653,7 @@ func multiQuery(ctx context.Context, queries querySpecs, addr string, users, bat
 		wg.Add(1)
 		go func(spec hdr4me.QuerySpec) {
 			defer wg.Done()
-			if err := runQueryRound(ctx, bound.String(), spec, users, batch, seed); err != nil {
+			if err := runQueryRound(ctx, bound.String(), spec, users, batch, proto, seed); err != nil {
 				log.Printf("query %q: %v", spec.Name, err)
 			}
 		}(spec)
@@ -667,7 +676,7 @@ func multiQuery(ctx context.Context, queries querySpecs, addr string, users, bat
 // runQueryRound simulates one query's user population: a spec-built
 // session perturbs on the "device", routed BATCH frames carry the reports,
 // and the query's served estimate is compared against the exact answer.
-func runQueryRound(ctx context.Context, addr string, spec hdr4me.QuerySpec, users, batch int, seed uint64) error {
+func runQueryRound(ctx context.Context, addr string, spec hdr4me.QuerySpec, users, batch, proto int, seed uint64) error {
 	// Derive an independent perturbation stream per query: hashing the
 	// name keeps same-length names from colliding into identical noise.
 	h := fnv.New64a()
@@ -676,7 +685,11 @@ func runQueryRound(ctx context.Context, addr string, spec hdr4me.QuerySpec, user
 	if err != nil {
 		return err
 	}
-	cl, err := hdr4me.DialCollectorContext(ctx, addr)
+	var copts []hdr4me.CollectorClientOption
+	if proto != 0 {
+		copts = append(copts, hdr4me.WithClientProtocolVersion(proto))
+	}
+	cl, err := hdr4me.DialCollectorContext(ctx, addr, copts...)
 	if err != nil {
 		return err
 	}

@@ -96,6 +96,20 @@
 // resets, stalls, partial writes and latency to prove all of it under
 // test. See the README's "Failure model & recovery" section.
 //
+// The wire grammar itself is versioned behind the transport.FrameCodec
+// interface: CodecV1 speaks the classic row-oriented frames, CodecV2
+// adds the columnar CBATCH frame — one header per batch, dimension
+// columns as delta-varint RLE, all float64 values as one contiguous
+// little-endian run the collector bulk-copies into its stripe lanes —
+// and falls back to v1 for ragged batches. Clients negotiate the
+// version on the HELLO exchange (WithProtocolVersion /
+// WithClientProtocolVersion pin it; reconnecting buffered clients
+// negotiate automatically) and un-negotiated connections stay v1, so
+// every legacy peer keeps working unchanged. The deprecated WriteBatch
+// and WriteSeqBatch helpers remain as byte-exact compatibility shims
+// over the v1 grammar. See the README's "Protocol versions &
+// negotiation" section.
+//
 // The invariants all of the above rests on are machine-enforced:
 // cmd/hdrvet, a go vet -vettool multichecker built on the
 // dependency-free go/analysis mirror in internal/analyzers, fails the

@@ -357,6 +357,23 @@ func WithReconnect(redial func() (*CollectorClient, error)) BufferOption {
 // shed-retry rounds) before a BufferedCollectorClient gives up (default 8).
 func WithReconnectLimit(n int) BufferOption { return transport.WithReconnectLimit(n) }
 
+// Wire protocol versions a collector client can pin with
+// WithProtocolVersion.
+const (
+	ProtocolV1 = transport.ProtocolV1 // legacy row-oriented BATCH frames
+	ProtocolV2 = transport.ProtocolV2 // columnar CBATCH frames, negotiated on HELLO
+)
+
+// WithProtocolVersion pins a BufferedCollectorClient's wire protocol:
+// ProtocolV1 forces the legacy row-oriented grammar (no negotiation),
+// ProtocolV2 requires the columnar CBATCH grammar and fails against a
+// collector that cannot negotiate it. By default the protocol is
+// negotiated whenever the client performs a HELLO (so WithReconnect
+// pipelines upgrade to v2 automatically) and stays v1 otherwise.
+func WithProtocolVersion(v int) BufferOption {
+	return transport.WithClientOptions(transport.WithProtocolVersion(v))
+}
+
 // CollectorStats is a CollectorServer's failure-and-recovery counter
 // snapshot (shed connections, tripped deadlines, shed and deduplicated
 // batches, replay sessions), from CollectorServer.Stats.
@@ -372,8 +389,22 @@ var ErrCollectorOverloaded = transport.ErrOverloaded
 // (and the ENHANCED frame where supported).
 func NewCollectorServer(agg *Aggregator) *CollectorServer { return transport.NewServer(agg) }
 
+// CollectorClientOption configures a plain CollectorClient at dial time.
+type CollectorClientOption = transport.ClientOption
+
+// WithClientProtocolVersion is WithProtocolVersion for plain
+// CollectorClients (DialCollector, DialCollectorContext): ProtocolV1
+// forces the legacy grammar, ProtocolV2 requires CBATCH and negotiates
+// it before the first batch, and by default the client stays v1 until a
+// HELLO negotiates otherwise.
+func WithClientProtocolVersion(v int) CollectorClientOption {
+	return transport.WithProtocolVersion(v)
+}
+
 // DialCollector connects to a collector at addr.
-func DialCollector(addr string) (*CollectorClient, error) { return transport.Dial(addr) }
+func DialCollector(addr string, opts ...CollectorClientOption) (*CollectorClient, error) {
+	return transport.Dial(addr, opts...)
+}
 
 // DialCollectorBuffered connects to a collector at addr with an
 // auto-batching client — the high-throughput submission path.

@@ -100,6 +100,55 @@ type BatchAdder interface {
 	AddReports(reps []Report) (accepted int, err error)
 }
 
+// ColumnAdder is implemented by estimators and lanes that can accumulate
+// a columnar batch directly: n rectangular reports laid out row-major, so
+// report i owns dims[i*ndims:(i+1)*ndims] and vals[i*nvals:(i+1)*nvals].
+// It is the accumulation half of the v2 columnar wire frame — decoded
+// dimension columns and the contiguous value run land in stripe lanes
+// without materializing per-report structures. The return contract is
+// BatchAdder's: malformed rows are skipped, accepted counts the rest,
+// err carries the first rejection. All three built-in families (and
+// their lanes) implement ColumnAdder.
+type ColumnAdder interface {
+	AddColumns(n, ndims, nvals int, dims []uint32, vals []float64) (accepted int, err error)
+}
+
+// AddColumns bulk-adds a columnar batch through lane l: via its
+// ColumnAdder fast path when implemented, by materializing per-report
+// views over the columns and batch-adding them otherwise. The layout and
+// return contract are ColumnAdder's.
+func AddColumns(l Lane, n, ndims, nvals int, dims []uint32, vals []float64) (int, error) {
+	if ca, ok := l.(ColumnAdder); ok {
+		return ca.AddColumns(n, ndims, nvals, dims, vals)
+	}
+	if err := CheckColumns(n, ndims, nvals, len(dims), len(vals)); err != nil {
+		return 0, err
+	}
+	reps := make([]Report, n)
+	for i := range reps {
+		reps[i] = Report{
+			Dims:   dims[i*ndims : (i+1)*ndims],
+			Values: vals[i*nvals : (i+1)*nvals],
+		}
+	}
+	return l.AddReports(reps)
+}
+
+// CheckColumns validates the shape invariant shared by every ColumnAdder:
+// n rectangular rows of (ndims, nvals) must fit inside columns of the
+// given lengths. Implementations call it once per batch, hoisting the
+// bounds check out of the per-row loop.
+func CheckColumns(n, ndims, nvals, lenDims, lenVals int) error {
+	if n < 0 || ndims < 0 || nvals < 0 {
+		return fmt.Errorf("est: negative columnar batch shape %d×(%d,%d)", n, ndims, nvals)
+	}
+	if lenDims < n*ndims || lenVals < n*nvals {
+		return fmt.Errorf("est: columnar batch %d×(%d,%d) exceeds column lengths %d/%d",
+			n, ndims, nvals, lenDims, lenVals)
+	}
+	return nil
+}
+
 // Lane is a stripe-bound ingest handle: every report added through one
 // Lane accumulates under the same stripe lock, in arrival order, so a
 // single caller's stream keeps the serial path's exact floating-point

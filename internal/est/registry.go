@@ -142,6 +142,16 @@ func (l queryLane) AddReports(reps []Report) (int, error) {
 	return l.lane.AddReports(reps)
 }
 
+// AddColumns implements ColumnAdder with the same lifecycle gate,
+// forwarding to the inner lane's columnar fast path (or the materializing
+// fallback) so routed columnar ingest keeps the bulk decode benefit.
+func (l queryLane) AddColumns(n, ndims, nvals int, dims []uint32, vals []float64) (int, error) {
+	if st := l.q.State(); st != StateOpen {
+		return 0, fmt.Errorf("est: query %q is %s, not accepting reports", l.q.spec.Name, st)
+	}
+	return AddColumns(l.lane, n, ndims, nvals, dims, vals)
+}
+
 // Merge folds a peer snapshot in, rejecting it unless the query is open.
 func (q *Query) Merge(s Snapshot) error {
 	if st := q.State(); st != StateOpen {

@@ -170,6 +170,36 @@ func (f *Flat) addReportsAt(lane int, reps []est.Report) (accepted int, err erro
 	return accepted, err
 }
 
+// AddColumns implements est.ColumnAdder: a rectangular columnar batch of
+// frequency rows (row i's dims own dims[i*ndims:(i+1)*ndims], its
+// concatenated one-hot frames vals[i*nvals:(i+1)*nvals]) accumulates
+// under one stripe lock, with each row validated by the exact per-report
+// rules (Σ card(j) over the row's dims must equal nvals for the row to
+// land).
+func (f *Flat) AddColumns(n, ndims, nvals int, dims []uint32, vals []float64) (int, error) {
+	return f.addColumnsAt(f.acc.Acquire(), n, ndims, nvals, dims, vals)
+}
+
+func (f *Flat) addColumnsAt(lane, n, ndims, nvals int, dims []uint32, vals []float64) (accepted int, err error) {
+	if cerr := est.CheckColumns(n, ndims, nvals, len(dims), len(vals)); cerr != nil {
+		return 0, cerr
+	}
+	f.acc.Locked(lane, func(sums []mathx.KahanSum, counts []int64) {
+		for i := 0; i < n; i++ {
+			rep := est.Report{Dims: dims[i*ndims : (i+1)*ndims], Values: vals[i*nvals : (i+1)*nvals]}
+			if verr := f.validate(rep); verr != nil {
+				if err == nil {
+					err = verr
+				}
+				continue
+			}
+			f.accumulate(sums, counts, rep)
+			accepted++
+		}
+	})
+	return accepted, err
+}
+
 // AcquireLane implements est.LaneProvider.
 func (f *Flat) AcquireLane() est.Lane { return flatLane{f: f, lane: f.acc.Acquire()} }
 
@@ -182,6 +212,10 @@ type flatLane struct {
 func (l flatLane) AddReport(rep est.Report) error { return l.f.addAt(l.lane, rep) }
 
 func (l flatLane) AddReports(reps []est.Report) (int, error) { return l.f.addReportsAt(l.lane, reps) }
+
+func (l flatLane) AddColumns(n, ndims, nvals int, dims []uint32, vals []float64) (int, error) {
+	return l.f.addColumnsAt(l.lane, n, ndims, nvals, dims, vals)
+}
 
 // Estimate implements est.Estimator: the flattened naive frequency
 // estimates in [0, 1] (unprojected; see ProjectSimplex).

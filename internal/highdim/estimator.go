@@ -196,6 +196,36 @@ func (a *MDAggregator) addReportsAt(lane int, reps []est.Report) (accepted int, 
 	return accepted, err
 }
 
+// AddColumns implements est.ColumnAdder: whole-tuple rows carry no dims
+// (ndims must be 0) and exactly D values each; the batch accumulates
+// under one stripe lock, bitwise-identical to the per-report path.
+func (a *MDAggregator) AddColumns(n, ndims, nvals int, dims []uint32, vals []float64) (int, error) {
+	return a.addColumnsAt(a.acc.Acquire(), n, ndims, nvals, dims, vals)
+}
+
+func (a *MDAggregator) addColumnsAt(lane, n, ndims, nvals int, dims []uint32, vals []float64) (accepted int, err error) {
+	if cerr := est.CheckColumns(n, ndims, nvals, len(dims), len(vals)); cerr != nil {
+		return 0, cerr
+	}
+	a.acc.Locked(lane, func(sums []mathx.KahanSum, counts []int64) {
+		for i := 0; i < n; i++ {
+			rep := est.Report{Dims: dims[i*ndims : (i+1)*ndims], Values: vals[i*nvals : (i+1)*nvals]}
+			if verr := a.validate(rep); verr != nil {
+				if err == nil {
+					err = verr
+				}
+				continue
+			}
+			for j, v := range rep.Values {
+				sums[j].Add(v)
+			}
+			counts[0]++
+			accepted++
+		}
+	})
+	return accepted, err
+}
+
 // AcquireLane implements est.LaneProvider.
 func (a *MDAggregator) AcquireLane() est.Lane { return mdLane{a: a, lane: a.acc.Acquire()} }
 
@@ -208,6 +238,10 @@ type mdLane struct {
 func (l mdLane) AddReport(rep est.Report) error { return l.a.addAt(l.lane, rep) }
 
 func (l mdLane) AddReports(reps []est.Report) (int, error) { return l.a.addReportsAt(l.lane, reps) }
+
+func (l mdLane) AddColumns(n, ndims, nvals int, dims []uint32, vals []float64) (int, error) {
+	return l.a.addColumnsAt(l.lane, n, ndims, nvals, dims, vals)
+}
 
 // Estimate implements est.Estimator: the per-dimension average release.
 func (a *MDAggregator) Estimate() []float64 {

@@ -216,6 +216,38 @@ func (a *Aggregator) addReportsAt(lane int, reps []Report) (accepted int, err er
 	return accepted, err
 }
 
+// AddColumns implements est.ColumnAdder: a rectangular columnar batch
+// (row-major dims and values) accumulates under one stripe lock without
+// materializing per-report structures. Each row is validated with the
+// exact per-report rules, so the accumulation is bitwise-identical to
+// feeding the same rows through AddReports.
+func (a *Aggregator) AddColumns(n, ndims, nvals int, dims []uint32, vals []float64) (int, error) {
+	return a.addColumnsAt(a.acc.Acquire(), n, ndims, nvals, dims, vals)
+}
+
+func (a *Aggregator) addColumnsAt(lane, n, ndims, nvals int, dims []uint32, vals []float64) (accepted int, err error) {
+	if cerr := est.CheckColumns(n, ndims, nvals, len(dims), len(vals)); cerr != nil {
+		return 0, cerr
+	}
+	a.acc.Locked(lane, func(sums []mathx.KahanSum, counts []int64) {
+		for i := 0; i < n; i++ {
+			rep := Report{Dims: dims[i*ndims : (i+1)*ndims], Values: vals[i*nvals : (i+1)*nvals]}
+			if verr := a.validate(rep); verr != nil {
+				if err == nil {
+					err = verr
+				}
+				continue
+			}
+			for k, j := range rep.Dims {
+				sums[j].Add(rep.Values[k])
+				counts[j]++
+			}
+			accepted++
+		}
+	})
+	return accepted, err
+}
+
 // AcquireLane implements est.LaneProvider: the caller gets its own
 // accumulation stripe for the lifetime of the handle.
 func (a *Aggregator) AcquireLane() est.Lane { return aggLane{a: a, lane: a.acc.Acquire()} }
@@ -229,6 +261,10 @@ type aggLane struct {
 func (l aggLane) AddReport(rep est.Report) error { return l.a.addAt(l.lane, rep) }
 
 func (l aggLane) AddReports(reps []est.Report) (int, error) { return l.a.addReportsAt(l.lane, reps) }
+
+func (l aggLane) AddColumns(n, ndims, nvals int, dims []uint32, vals []float64) (int, error) {
+	return l.a.addColumnsAt(l.lane, n, ndims, nvals, dims, vals)
+}
 
 // merge folds a partial accumulation into the merge lane, leaving every
 // report stripe's association untouched.

@@ -89,16 +89,34 @@ func WithReconnectLimit(n int) BufferOption {
 	}
 }
 
-// pendingBatch is one shipped-but-unsettled BATCH frame. In reconnect
-// mode it keeps its session sequence and its reports until the collector
-// settles it, so a disconnect or a retryable NACK can re-ship exactly
-// these bytes under exactly this sequence.
+// WithClientOptions forwards options to the underlying Client — most
+// usefully WithProtocolVersion, to pin the buffered pipeline's wire
+// protocol. With DialBuffered the options also apply to every reconnect
+// redial.
+func WithClientOptions(opts ...ClientOption) BufferOption {
+	return func(b *BufferedClient) {
+		b.clientOpts = append(b.clientOpts, opts...)
+		if b.c != nil {
+			for _, o := range opts {
+				o(b.c)
+			}
+		}
+	}
+}
+
+// pendingBatch is one shipped-but-unsettled batch frame. It keeps the
+// frame's exact encoded bytes (pooled) until the collector settles it,
+// so a disconnect or a retryable NACK re-ships byte-identical wire data
+// under the same session sequence — replay never re-encodes, so it can
+// never drift from what was originally acknowledged-or-lost. The bytes
+// keep their original protocol version even if a reconnect renegotiates:
+// both grammars are always accepted server-side.
 type pendingBatch struct {
-	seq         uint64 // session sequence; 0 outside reconnect mode
-	n           int    // report count, for ack sanity checks
-	reps        []est.Report
-	needsResend bool // shed (NACKed retryable) or replayed: no ack outstanding
-	resolved    bool // settled this drain pass; compacted out
+	seq         uint64  // session sequence; 0 outside reconnect mode
+	n           int     // report count, for ack sanity checks
+	enc         *[]byte // pooled encoded frame, released on settle
+	needsResend bool    // shed (NACKed retryable) or replayed: no ack outstanding
+	resolved    bool    // settled this drain pass; compacted out
 }
 
 // BufferedClient batches report submission over one Client: Add buffers
@@ -126,9 +144,21 @@ type BufferedClient struct {
 	reconnect    bool
 	redial       func() (*Client, error)
 	recoverLimit int
+	clientOpts   []ClientOption
 
-	mu         sync.Mutex
-	buf        []est.Report
+	mu sync.Mutex
+	// Staging: while every buffered report has the same shape the batch
+	// accumulates directly as columns (dims and values copied row-major
+	// into colDims/colVals), so a v2 ship is a straight CBATCH build with
+	// no per-report encoding work. The first differently-shaped report
+	// spills the columns into buf as rows and the batch continues ragged.
+	buf        []est.Report // row-staged reports (ragged batches only)
+	colN       int          // reports staged columnar
+	colND      int          // dims per columnar report
+	colNV      int          // values per columnar report
+	colDims    []uint32     // colN×colND dims, row-major
+	colVals    []float64    // colN×colNV values, row-major
+	repScratch []est.Report // transient row views for the v1 encoder
 	pending    []*pendingBatch
 	token      uint64
 	nextSeq    uint64
@@ -154,21 +184,29 @@ func NewBufferedClient(c *Client, opts ...BufferOption) *BufferedClient {
 
 // DialBuffered connects to a collector at addr and wraps the connection in
 // a BufferedClient. With WithReconnect(nil), recovery redials addr.
+// Options from WithClientOptions apply to the dial and to every redial.
 func DialBuffered(addr string, opts ...BufferOption) (*BufferedClient, error) {
-	c, err := Dial(addr)
+	b := &BufferedClient{size: defaultBatchSize, recoverLimit: defaultRecoverLimit}
+	for _, opt := range opts {
+		opt(b)
+	}
+	c, err := Dial(addr, b.clientOpts...)
 	if err != nil {
 		return nil, err
 	}
-	b := NewBufferedClient(c, opts...)
+	b.c = c
 	if b.reconnect && b.redial == nil {
-		b.redial = func() (*Client, error) { return Dial(addr) }
+		b.redial = func() (*Client, error) { return Dial(addr, b.clientOpts...) }
 	}
 	return b, nil
 }
 
-// Add buffers one report, shipping a BATCH frame when the buffer fills.
-// The returned error is sticky: once the pipeline fails unrecoverably,
-// every subsequent Add reports it.
+// Add buffers one report, shipping a batch frame when the buffer fills.
+// While the batch stays rectangular the report's dims and values are
+// copied into the columnar staging area (the caller may reuse its
+// slices); a shape break spills to row staging, which retains the
+// report's slices until the batch ships. The returned error is sticky:
+// once the pipeline fails unrecoverably, every subsequent Add reports it.
 func (b *BufferedClient) Add(rep est.Report) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -178,13 +216,45 @@ func (b *BufferedClient) Add(rep est.Report) error {
 	if b.err != nil {
 		return b.err
 	}
-	b.buf = append(b.buf, rep)
-	if len(b.buf) >= b.size {
+	if len(b.buf) == 0 && (b.colN == 0 || (len(rep.Dims) == b.colND && len(rep.Values) == b.colNV)) {
+		if b.colN == 0 {
+			b.colND, b.colNV = len(rep.Dims), len(rep.Values)
+		}
+		b.colDims = append(b.colDims, rep.Dims...)
+		b.colVals = append(b.colVals, rep.Values...)
+		b.colN++
+	} else {
+		if b.colN > 0 {
+			b.spillColumnsLocked()
+		}
+		b.buf = append(b.buf, rep)
+	}
+	if n := b.batchLenLocked(); n >= b.size {
 		b.shipLocked()
-	} else if len(b.buf) == 1 && b.interval > 0 && b.timer == nil {
+	} else if n == 1 && b.interval > 0 && b.timer == nil {
 		b.timer = time.AfterFunc(b.interval, b.timedFlush)
 	}
 	return b.err
+}
+
+// batchLenLocked is the number of reports currently staged, across the
+// columnar lanes and the row buffer (at most one of which is non-empty).
+// Caller holds b.mu.
+func (b *BufferedClient) batchLenLocked() int { return b.colN + len(b.buf) }
+
+// spillColumnsLocked materializes the columnar staging area into row
+// reports when a differently-shaped report breaks the rectangle. The
+// rows alias the staged arrays, which are then orphaned so the next
+// columnar batch cannot clobber the views. Caller holds b.mu.
+func (b *BufferedClient) spillColumnsLocked() {
+	for i := 0; i < b.colN; i++ {
+		b.buf = append(b.buf, est.Report{
+			Dims:   b.colDims[i*b.colND : (i+1)*b.colND : (i+1)*b.colND],
+			Values: b.colVals[i*b.colNV : (i+1)*b.colNV : (i+1)*b.colNV],
+		})
+	}
+	b.colDims, b.colVals = nil, nil
+	b.colN = 0
 }
 
 // Flush ships any buffered reports and drains every outstanding
@@ -271,10 +341,17 @@ func (b *BufferedClient) timedFlush() {
 	b.drainLocked()
 }
 
-// helloLocked establishes the replay session before the first sequenced
-// batch of a reconnect-enabled client. Caller holds b.mu.
+// helloLocked settles the connection's protocol state before the first
+// batch: in reconnect mode it establishes the replay session (the
+// versioned HELLO negotiates the protocol in the same exchange);
+// otherwise it negotiates only when the client is pinned to v2 —
+// exactly Client.SendBatch's rule, so an un-negotiated sessionless
+// pipeline stays on the v1 grammar. Caller holds b.mu.
 func (b *BufferedClient) helloLocked() error {
-	if !b.reconnect || b.token != 0 {
+	if !b.reconnect {
+		return b.c.maybeNegotiate()
+	}
+	if b.token != 0 {
 		return nil
 	}
 	info, err := b.c.Hello(0)
@@ -286,11 +363,11 @@ func (b *BufferedClient) helloLocked() error {
 	return nil
 }
 
-// shipLocked writes the buffered reports as one BATCH frame without
-// waiting for the ack, draining first if the pipeline is at its depth
-// bound. Caller holds b.mu.
+// shipLocked encodes the staged reports as one batch frame and writes it
+// without waiting for the ack, draining first if the pipeline is at its
+// depth bound. Caller holds b.mu.
 func (b *BufferedClient) shipLocked() {
-	if b.err != nil || len(b.buf) == 0 {
+	if b.err != nil || b.batchLenLocked() == 0 {
 		return
 	}
 	b.stopTimerLocked()
@@ -306,12 +383,18 @@ func (b *BufferedClient) shipLocked() {
 			return
 		}
 	}
-	pb := &pendingBatch{n: len(b.buf), reps: b.buf}
-	b.buf = nil
+	pb := &pendingBatch{n: b.batchLenLocked()}
 	if b.reconnect {
 		pb.seq = b.nextSeq
 		b.nextSeq++
 	}
+	if err := b.encodePendingLocked(pb); err != nil {
+		// Encode failures are configuration errors (oversize batch, bad
+		// query name), not transport faults: sticky, nothing on the wire.
+		b.err = err
+		return
+	}
+	b.resetStagingLocked()
 	b.pending = append(b.pending, pb)
 	b.sent += int64(pb.n)
 	if err := b.shipOneLocked(pb); err != nil {
@@ -326,17 +409,82 @@ func (b *BufferedClient) shipLocked() {
 	}
 }
 
-// shipOneLocked writes one pending batch — sequenced in reconnect mode,
-// legacy otherwise. Caller holds b.mu.
+// encodePendingLocked encodes the staged batch into pb.enc with the
+// connection's negotiated codec. A columnar-staged batch on a v2
+// connection builds the CBATCH frame straight from the columns, with no
+// per-report work; on v1 it is encoded through transient row views.
+// Caller holds b.mu.
+func (b *BufferedClient) encodePendingLocked(pb *pendingBatch) error {
+	bp := encPool.Get().(*[]byte)
+	v2 := b.c.ProtocolVersion() >= ProtocolV2
+	var (
+		buf []byte
+		err error
+	)
+	switch {
+	case b.colN > 0 && v2:
+		buf, err = appendCBatchColumns((*bp)[:0], b.query, pb.seq, b.colN, b.colND, b.colNV, b.colDims, b.colVals)
+	case b.colN > 0:
+		buf, err = CodecV1{}.AppendBatch((*bp)[:0], b.query, pb.seq, b.colReportsLocked())
+	case v2:
+		buf, err = CodecV2{}.AppendBatch((*bp)[:0], b.query, pb.seq, b.buf)
+	default:
+		buf, err = CodecV1{}.AppendBatch((*bp)[:0], b.query, pb.seq, b.buf)
+	}
+	if err != nil {
+		putEncBuf(bp)
+		return err
+	}
+	*bp = buf
+	pb.enc = bp
+	return nil
+}
+
+// colReportsLocked builds transient row views over the columnar staging
+// area for the v1 encoder; the views are dead once encoding returns.
+// Caller holds b.mu.
+func (b *BufferedClient) colReportsLocked() []est.Report {
+	reps := b.repScratch[:0]
+	for i := 0; i < b.colN; i++ {
+		reps = append(reps, est.Report{
+			Dims:   b.colDims[i*b.colND : (i+1)*b.colND],
+			Values: b.colVals[i*b.colNV : (i+1)*b.colNV],
+		})
+	}
+	b.repScratch = reps
+	return reps
+}
+
+// resetStagingLocked clears the staged batch for reuse after its bytes
+// were encoded, bounding retained capacity. Caller holds b.mu.
+func (b *BufferedClient) resetStagingLocked() {
+	for i := range b.buf {
+		b.buf[i] = est.Report{}
+	}
+	b.buf = b.buf[:0]
+	for i := range b.repScratch {
+		b.repScratch[i] = est.Report{}
+	}
+	b.repScratch = b.repScratch[:0]
+	b.colN = 0
+	if cap(b.colDims) > maxRetainLanes {
+		b.colDims = nil
+	} else {
+		b.colDims = b.colDims[:0]
+	}
+	if cap(b.colVals) > maxRetainLanes {
+		b.colVals = nil
+	} else {
+		b.colVals = b.colVals[:0]
+	}
+}
+
+// shipOneLocked writes one pending batch's pre-encoded frame. Caller
+// holds b.mu.
 func (b *BufferedClient) shipOneLocked(pb *pendingBatch) error {
 	b.c.mu.Lock()
 	defer b.c.mu.Unlock()
-	if b.reconnect {
-		_, err := b.c.sendSeqBatchLocked(b.query, pb.seq, pb.reps)
-		return err
-	}
-	_, err := b.c.sendBatchLocked(b.query, pb.reps)
-	return err
+	return b.c.writeEncodedLocked(*pb.enc)
 }
 
 // drainLocked settles every outstanding batch: it reads
@@ -383,7 +531,9 @@ func (b *BufferedClient) hasResendLocked() bool {
 }
 
 // reshipLocked re-ships every batch marked for resend, in ship order,
-// over the current connection. Caller holds b.mu.
+// over the current connection — the exact bytes shipped the first time,
+// so a replay can never diverge from the original frame. Caller holds
+// b.mu.
 func (b *BufferedClient) reshipLocked() error {
 	b.c.mu.Lock()
 	defer b.c.mu.Unlock()
@@ -391,13 +541,7 @@ func (b *BufferedClient) reshipLocked() error {
 		if !pb.needsResend {
 			continue
 		}
-		var err error
-		if b.reconnect {
-			_, err = b.c.sendSeqBatchLocked(b.query, pb.seq, pb.reps)
-		} else {
-			_, err = b.c.sendBatchLocked(b.query, pb.reps)
-		}
-		if err != nil {
+		if err := b.c.writeEncodedLocked(*pb.enc); err != nil {
 			return err
 		}
 		pb.needsResend = false
@@ -445,12 +589,17 @@ func (b *BufferedClient) readAcksLocked() (progress bool, ioErr error) {
 }
 
 // compactPendingLocked drops settled batches from the pending list and
-// releases their reports. Caller holds b.mu.
+// returns their encoded frames to the pool. Caller holds b.mu.
 func (b *BufferedClient) compactPendingLocked() {
 	keep := b.pending[:0]
 	for _, pb := range b.pending {
 		if !pb.resolved {
 			keep = append(keep, pb)
+			continue
+		}
+		if pb.enc != nil {
+			putEncBuf(pb.enc)
+			pb.enc = nil
 		}
 	}
 	for i := len(keep); i < len(b.pending); i++ {
@@ -524,7 +673,11 @@ func (b *BufferedClient) recoverLocked(cause error) {
 // deliberately leaves them outside Accepted and Rejected. Caller holds
 // b.mu.
 func (b *BufferedClient) abandonPendingLocked() {
-	for i := range b.pending {
+	for i, pb := range b.pending {
+		if pb.enc != nil {
+			putEncBuf(pb.enc)
+			pb.enc = nil
+		}
 		b.pending[i] = nil
 	}
 	b.pending = b.pending[:0]

@@ -1,0 +1,235 @@
+package transport
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/hdr4me/hdr4me/internal/est"
+	"github.com/hdr4me/hdr4me/internal/highdim"
+	"github.com/hdr4me/hdr4me/internal/ldp"
+)
+
+// newMeanServer boots a mean-family collector on loopback.
+func newCBatchServer(t *testing.T, d int) (*Server, *highdim.Aggregator, string) {
+	t.Helper()
+	p, err := highdim.NewProtocol(ldp.Laplace{}, 1, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := highdim.NewAggregator(p)
+	srv := NewServer(agg)
+	srv.Logf = func(string, ...any) {}
+	bound, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, agg, bound.String()
+}
+
+// TestMixedProtocolClientsInterleaved: v1-pinned and v2-pinned clients
+// hammer the same collector concurrently; every report must land
+// exactly once regardless of grammar, and the server's stats must show
+// both the v2 negotiations and the CBATCH traffic.
+func TestMixedProtocolClientsInterleaved(t *testing.T) {
+	srv, agg, addr := newCBatchServer(t, 16)
+
+	const (
+		perClient = 600
+		chunk     = 50
+	)
+	vers := []int{ProtocolV1, ProtocolV2, ProtocolV1, ProtocolV2}
+	var wg sync.WaitGroup
+	for i, ver := range vers {
+		wg.Add(1)
+		go func(i, ver int) {
+			defer wg.Done()
+			c, err := Dial(addr, WithProtocolVersion(ver))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer c.Close()
+			reps := make([]est.Report, chunk)
+			for j := range reps {
+				reps[j] = est.Report{Dims: []uint32{uint32(i)}, Values: []float64{0.5}}
+			}
+			sent := 0
+			for sent < perClient {
+				acc, err := c.SendBatch(reps)
+				if err != nil {
+					t.Errorf("client %d (v%d): %v", i, ver, err)
+					return
+				}
+				sent += acc
+			}
+			if sent != perClient {
+				t.Errorf("client %d (v%d): accepted %d; want %d", i, ver, sent, perClient)
+			}
+			if got := c.ProtocolVersion(); got != ver {
+				t.Errorf("client %d: ProtocolVersion() = %d; want %d", i, got, ver)
+			}
+		}(i, ver)
+	}
+	wg.Wait()
+
+	counts := agg.Counts()
+	for i := range vers {
+		if counts[i] != perClient {
+			t.Errorf("dimension %d: %d reports; want %d", i, counts[i], perClient)
+		}
+	}
+	stats := srv.Stats()
+	if stats.CBatches == 0 {
+		t.Error("no CBATCH frames counted despite v2 clients")
+	}
+	if stats.HellosV2 < 2 {
+		t.Errorf("HellosV2 = %d; want >= 2 (one per v2 client)", stats.HellosV2)
+	}
+	if stats.ProtocolMax != ProtocolMax {
+		t.Errorf("ProtocolMax = %d; want %d", stats.ProtocolMax, ProtocolMax)
+	}
+}
+
+// TestClientNegotiate pins the negotiation contract: a fresh client is
+// un-negotiated (reports v1), Negotiate lands on the server's maximum,
+// and the result is cached.
+func TestClientNegotiate(t *testing.T) {
+	_, _, addr := newCBatchServer(t, 4)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.ProtocolVersion(); got != ProtocolV1 {
+		t.Fatalf("pre-negotiation ProtocolVersion() = %d; want %d", got, ProtocolV1)
+	}
+	ver, err := c.Negotiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != ProtocolMax {
+		t.Fatalf("Negotiate() = %d; want %d", ver, ProtocolMax)
+	}
+	if got := c.ProtocolVersion(); got != ProtocolMax {
+		t.Fatalf("post-negotiation ProtocolVersion() = %d; want %d", got, ProtocolMax)
+	}
+	if ver2, err := c.Negotiate(); err != nil || ver2 != ver {
+		t.Fatalf("repeat Negotiate() = (%d, %v); want cached (%d, nil)", ver2, err, ver)
+	}
+}
+
+// TestBufferedClientColumnarSession: a reconnect-mode BufferedClient
+// negotiates v2 on its session HELLO and ships sequenced CBATCH frames;
+// the collector must account every report exactly once.
+func TestBufferedClientColumnarSession(t *testing.T) {
+	srv, agg, addr := newCBatchServer(t, 8)
+	bc, err := DialBuffered(addr, WithBatchSize(64), WithReconnect(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := bc.Add(est.Report{Dims: []uint32{uint32(i % 8)}, Values: []float64{0.25}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := bc.c.ProtocolVersion(); got != ProtocolV2 {
+		t.Fatalf("session client negotiated v%d; want v%d", got, ProtocolV2)
+	}
+	if got := bc.Accepted(); got != n {
+		t.Fatalf("Accepted() = %d; want %d", got, n)
+	}
+	if err := bc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range agg.Counts() {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("collector accumulated %d reports; want %d", total, n)
+	}
+	if stats := srv.Stats(); stats.CBatches == 0 {
+		t.Error("no CBATCH frames counted for a negotiated session pipeline")
+	}
+}
+
+// TestBufferedClientShapeSpill: a shape break mid-batch spills the
+// columnar staging to rows and the batch still ships whole; the
+// collector's books must be identical under either protocol pin (the
+// estimator rejects the off-shape reports itself — m=1 here — which is
+// exactly the skip semantics both grammars must agree on).
+func TestBufferedClientShapeSpill(t *testing.T) {
+	const n = 99 // 66 single-pair reports, 33 two-pair shape-breakers
+	for _, ver := range []int{ProtocolV1, ProtocolV2} {
+		_, agg, addr := newCBatchServer(t, 8)
+		bc, err := DialBuffered(addr, WithBatchSize(16),
+			WithClientOptions(WithProtocolVersion(ver)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			rep := est.Report{Dims: []uint32{uint32(i % 8)}, Values: []float64{0.5}}
+			if i%3 == 2 { // every third report breaks the rectangle
+				rep = est.Report{Dims: []uint32{uint32(i % 8), uint32((i + 1) % 8)}, Values: []float64{0.5, -0.5}}
+			}
+			if err := bc.Add(rep); err != nil {
+				t.Fatalf("v%d: %v", ver, err)
+			}
+		}
+		if err := bc.Close(); err != nil {
+			t.Fatalf("v%d: %v", ver, err)
+		}
+		if got := bc.Sent(); got != n {
+			t.Fatalf("v%d: Sent() = %d; want %d", ver, got, n)
+		}
+		want := int64(n - n/3) // the m=1 estimator skips the two-pair reports
+		if got := bc.Accepted(); got != want {
+			t.Fatalf("v%d: Accepted() = %d; want %d", ver, got, want)
+		}
+		var total int64
+		for _, c := range agg.Counts() {
+			total += c
+		}
+		if total != want {
+			t.Fatalf("v%d: collector accumulated %d pairs; want %d", ver, total, want)
+		}
+	}
+}
+
+// TestCBatchRejectsRoutedPrefix: the v2 frame carries its route
+// in-frame, so a SELECT-prefixed CBATCH must be rejected as a grammar
+// error rather than silently re-routed.
+func TestCBatchRejectsRoutedPrefix(t *testing.T) {
+	_, _, addr := newCBatchServer(t, 4)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	frame, err := CodecV2{}.AppendBatch(nil, "", 0, []est.Report{{Dims: []uint32{1}, Values: []float64{0.5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	werr := func() error {
+		if err := writeSelect(c.bw, est.DefaultName); err != nil {
+			return err
+		}
+		return c.writeEncodedLocked(frame)
+	}()
+	c.mu.Unlock()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if _, err := c.SendBatch([]est.Report{{Dims: []uint32{1}, Values: []float64{0.5}}}); err == nil {
+		t.Fatal("connection survived a routed CBATCH; want it torn down")
+	} else if !strings.Contains(err.Error(), "EOF") && !strings.Contains(err.Error(), "closed") && !strings.Contains(err.Error(), "reset") {
+		t.Logf("connection failed as expected: %v", err)
+	}
+}

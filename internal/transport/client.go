@@ -41,21 +41,48 @@ type Client struct {
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	timeout time.Duration
+
+	// protoWant is the version the caller pinned through
+	// WithProtocolVersion: 0 (auto — negotiate up to ProtocolMax), 1
+	// (never negotiate) or 2 (require the columnar frame).
+	protoWant int
+	// proto is the negotiated protocol version; 0 until a versioned
+	// HELLO completes. Un-negotiated connections encode as v1.
+	proto int
+}
+
+// ClientOption configures a Client at construction.
+type ClientOption func(*Client)
+
+// WithProtocolVersion pins the client's wire protocol version: 1 forces
+// the legacy frame grammar (no negotiation is ever attempted), 2
+// requires the columnar batch frame (Hello and SendBatch fail when the
+// collector cannot negotiate it). Without this option the client
+// negotiates automatically — it asks for ProtocolMax on its first HELLO
+// exchange and encodes batches for whatever the collector granted, so
+// it interoperates with collectors of any age. A client that never
+// performs a HELLO (and is not pinned to 2) stays on v1.
+func WithProtocolVersion(v int) ClientOption {
+	return func(c *Client) { c.protoWant = v }
 }
 
 // Dial connects to a collector at addr.
-func Dial(addr string) (*Client, error) {
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	return NewClient(conn, opts...), nil
 }
 
 // NewClient wraps an established connection (e.g. a pipe in tests) in a
 // Client. The Client takes ownership of conn.
-func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+func NewClient(conn net.Conn, opts ...ClientOption) *Client {
+	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // SetTimeout bounds every subsequent exchange on this client: the
@@ -152,6 +179,9 @@ func (c *Client) Send(rep est.Report) error {
 // len(reps) with a nil error means some reports were malformed for the
 // serving estimator. Batches longer than 65536 reports must be split.
 func (c *Client) SendBatch(reps []est.Report) (accepted int, err error) {
+	if err := c.maybeNegotiate(); err != nil {
+		return 0, err
+	}
 	defer c.begin()()
 	n, err := c.sendBatchLocked("", reps)
 	if err != nil {
@@ -160,37 +190,70 @@ func (c *Client) SendBatch(reps []est.Report) (accepted int, err error) {
 	return c.readBatchAckLocked(n)
 }
 
-// sendBatchLocked writes one BATCH frame — prefixed with a SELECT route
-// header when query is non-empty — without reading the ack; the caller
-// holds c.mu. It returns len(reps) for ack bookkeeping.
-func (c *Client) sendBatchLocked(query string, reps []est.Report) (int, error) {
-	if query != "" {
-		if err := writeSelect(c.bw, query); err != nil {
-			return 0, err
-		}
+// maybeNegotiate runs the lazy negotiation a version-2 pin implies:
+// a client constructed with WithProtocolVersion(2) that has not yet
+// negotiated must do so before its first batch, or it would silently
+// ship v1 frames. Auto-mode clients skip this — they negotiate on
+// Hello (or an explicit Negotiate call) and stay v1 otherwise.
+func (c *Client) maybeNegotiate() error {
+	c.mu.Lock()
+	need := c.protoWant == ProtocolV2 && c.proto == 0
+	c.mu.Unlock()
+	if !need {
+		return nil
 	}
-	if err := WriteBatch(c.bw, reps); err != nil {
-		return 0, err
-	}
-	if err := c.bw.Flush(); err != nil {
-		return 0, err
-	}
-	return len(reps), nil
+	_, err := c.Negotiate()
+	return err
 }
 
-// sendSeqBatchLocked writes one sequenced BATCH frame — prefixed with a
-// SELECT route header when query is non-empty — without reading the ack.
-// Only valid after a successful HELLO exchange; the caller holds c.mu.
-func (c *Client) sendSeqBatchLocked(query string, seq uint64, reps []est.Report) (int, error) {
-	if query != "" {
-		if err := writeSelect(c.bw, query); err != nil {
-			return 0, err
-		}
+// codecLocked returns the batch codec for the connection's effective
+// protocol version; the caller holds c.mu.
+func (c *Client) codecLocked() FrameCodec {
+	if c.proto >= ProtocolV2 {
+		return CodecV2{}
 	}
-	if err := WriteSeqBatch(c.bw, seq, reps); err != nil {
+	return CodecV1{}
+}
+
+// writeEncodedLocked writes one pre-marshaled frame and flushes; the
+// caller holds c.mu.
+func (c *Client) writeEncodedLocked(frame []byte) error {
+	if _, err := c.bw.Write(frame); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// sendBatchLocked marshals one un-sequenced batch frame through the
+// connection's negotiated codec — routed to query when non-empty — and
+// writes it without reading the ack; the caller holds c.mu. It returns
+// len(reps) for ack bookkeeping.
+func (c *Client) sendBatchLocked(query string, reps []est.Report) (int, error) {
+	return c.sendSeqBatchLocked(query, 0, reps)
+}
+
+// sendSeqBatchLocked marshals one batch frame through the negotiated
+// codec, carrying seq when non-zero (only valid after a successful
+// HELLO exchange), and writes it without reading the ack. Caller holds
+// c.mu.
+func (c *Client) sendSeqBatchLocked(query string, seq uint64, reps []est.Report) (int, error) {
+	return c.encodeAndSendLocked(c.codecLocked(), query, seq, reps)
+}
+
+// encodeAndSendLocked marshals one batch frame through an explicit
+// codec into a pooled buffer and writes it with a single flush; the
+// caller holds c.mu.
+func (c *Client) encodeAndSendLocked(codec FrameCodec, query string, seq uint64, reps []est.Report) (int, error) {
+	bp := encPool.Get().(*[]byte)
+	buf, err := codec.AppendBatch((*bp)[:0], query, seq, reps)
+	if err != nil {
+		putEncBuf(bp)
 		return 0, err
 	}
-	if err := c.bw.Flush(); err != nil {
+	*bp = buf
+	err = c.writeEncodedLocked(buf)
+	putEncBuf(bp)
+	if err != nil {
 		return 0, err
 	}
 	return len(reps), nil
@@ -250,18 +313,36 @@ type SessionInfo struct {
 	Token    uint64
 	LastSeq  uint64
 	Accepted uint64
+	// Proto is the wire protocol version the HELLO exchange negotiated
+	// (ProtocolV1 when the client is pinned to v1 and negotiation was
+	// skipped).
+	Proto int
 }
 
 // Hello opens (token 0) or resumes a replay session on the collector
 // (the HELLO frame). After a successful Hello, every batch this client
 // ships carries a session sequence number and the collector applies each
 // at most once — the exactly-once contract BufferedClient's reconnect
-// logic is built on. An overloaded collector sheds the exchange with
-// ErrOverloaded; an unknown or expired token comes back wrapped in
-// ErrSessionRejected.
+// logic is built on. Unless the client is pinned to protocol v1, the
+// exchange also negotiates the wire protocol version (the client asks
+// for its pin, or ProtocolMax in auto mode) and the connection's batch
+// encoding follows the collector's answer from then on. An overloaded
+// collector sheds the exchange with ErrOverloaded; an unknown or
+// expired token comes back wrapped in ErrSessionRejected.
 func (c *Client) Hello(token uint64) (SessionInfo, error) {
 	defer c.begin()()
-	if err := writeHello(c.bw, token); err != nil {
+	versioned := c.protoWant != ProtocolV1
+	want := c.protoWant
+	if want == 0 {
+		want = ProtocolMax
+	}
+	var err error
+	if versioned {
+		err = writeHelloVersioned(c.bw, token, want, false)
+	} else {
+		err = writeHello(c.bw, token)
+	}
+	if err != nil {
 		return SessionInfo{}, err
 	}
 	if err := c.bw.Flush(); err != nil {
@@ -282,11 +363,92 @@ func (c *Client) Hello(token uint64) (SessionInfo, error) {
 		}
 		return SessionInfo{}, fmt.Errorf("%w: %s", ErrSessionRejected, msg)
 	}
-	h, err := readHelloReplyBody(c.br)
+	var h helloReply
+	ver := ProtocolV1
+	if versioned {
+		h, ver, err = readHelloReplyBodyV(c.br)
+	} else {
+		h, err = readHelloReplyBody(c.br)
+	}
 	if err != nil {
 		return SessionInfo{}, err
 	}
-	return SessionInfo(h), nil
+	if versioned {
+		if ver < ProtocolV1 || ver > ProtocolMax {
+			return SessionInfo{}, fmt.Errorf("transport: collector negotiated unsupported protocol version %d", ver)
+		}
+		if c.protoWant == ProtocolV2 && ver < ProtocolV2 {
+			return SessionInfo{}, fmt.Errorf("transport: collector does not speak protocol v2")
+		}
+	}
+	c.proto = ver
+	return SessionInfo{Token: h.Token, LastSeq: h.LastSeq, Accepted: h.Accepted, Proto: ver}, nil
+}
+
+// Negotiate pins the connection's wire protocol version without
+// touching session state: a versioned HELLO with the no-session flag,
+// asking for the client's pinned version (or ProtocolMax in auto mode).
+// The result is cached — negotiating twice, or after a Hello already
+// negotiated, is free. A client pinned to v1 never negotiates and
+// reports ProtocolV1.
+func (c *Client) Negotiate() (int, error) {
+	defer c.begin()()
+	if c.proto != 0 {
+		return c.proto, nil
+	}
+	if c.protoWant == ProtocolV1 {
+		c.proto = ProtocolV1
+		return c.proto, nil
+	}
+	want := c.protoWant
+	if want == 0 {
+		want = ProtocolMax
+	}
+	if err := writeHelloVersioned(c.bw, 0, want, true); err != nil {
+		return 0, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, err
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(c.br, ack[:]); err != nil {
+		return 0, err
+	}
+	switch ack[0] {
+	case ackOK:
+	case ackRetry:
+		return 0, ErrOverloaded
+	default:
+		msg, err := readString(c.br, maxErrLen)
+		if err != nil {
+			return 0, err
+		}
+		return 0, fmt.Errorf("transport: negotiation rejected: %s", msg)
+	}
+	_, ver, err := readHelloReplyBodyV(c.br)
+	if err != nil {
+		return 0, err
+	}
+	if ver < ProtocolV1 || ver > ProtocolMax {
+		return 0, fmt.Errorf("transport: collector negotiated unsupported protocol version %d", ver)
+	}
+	if c.protoWant == ProtocolV2 && ver < ProtocolV2 {
+		return 0, fmt.Errorf("transport: collector does not speak protocol v2")
+	}
+	c.proto = ver
+	return ver, nil
+}
+
+// ProtocolVersion reports the wire protocol version this client encodes
+// batches in right now: the negotiated version, or ProtocolV1 while no
+// negotiation has happened.
+func (c *Client) ProtocolVersion() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.proto == 0 {
+		return ProtocolV1
+	}
+	return c.proto
 }
 
 // Estimate asks the collector for its current naive aggregation.

@@ -288,10 +288,12 @@ func FuzzRoundTripSnapshot(f *testing.F) {
 	})
 }
 
-// FuzzRoundTripHello covers both halves of the session handshake codec:
-// the fixed 9-byte HELLO request (frameHello + token) and the 24-byte
-// reply body must survive decode→encode→decode bit-exactly for any
-// token and progress values the fuzzer invents.
+// FuzzRoundTripHello covers both halves of the session handshake codec
+// in both wire shapes: the fixed 9-byte legacy HELLO request and its
+// 24-byte reply body, plus the versioned request (flags + protocol
+// version + 48-bit token packed into the same field) and its 25-byte
+// reply, must survive decode→encode→decode bit-exactly for any token
+// and progress values the fuzzer invents.
 func FuzzRoundTripHello(f *testing.F) {
 	f.Add(uint64(0), uint64(0), uint64(0))
 	f.Add(uint64(0xdeadbeef), uint64(1), uint64(7))
@@ -324,6 +326,47 @@ func FuzzRoundTripHello(f *testing.F) {
 		}
 		if got != h {
 			t.Fatalf("reply round trip: %+v vs %+v", got, h)
+		}
+
+		// Versioned request: the flag/version/token packing must be
+		// lossless for any 48-bit token and 8-bit version.
+		ver := int(lastSeq%255) + 1
+		noSession := accepted%2 == 1
+		var vreq bytes.Buffer
+		if err := writeHelloVersioned(&vreq, token, ver, noSession); err != nil {
+			t.Fatalf("writeHelloVersioned: %v", err)
+		}
+		if ft, err := readFrameType(&vreq); err != nil || ft != frameHello {
+			t.Fatalf("versioned frame type 0x%02x, err %v; want frameHello", ft, err)
+		}
+		if _, err := io.ReadFull(&vreq, tok[:]); err != nil {
+			t.Fatalf("versioned token field: %v", err)
+		}
+		raw := binary.BigEndian.Uint64(tok[:])
+		if raw&helloFlagVersioned == 0 {
+			t.Fatal("versioned flag lost")
+		}
+		if gotNS := raw&helloFlagNoSession != 0; gotNS != noSession {
+			t.Fatalf("noSession flag %v; want %v", gotNS, noSession)
+		}
+		if gotVer := int(raw & helloVersionMask >> helloVersionShift); gotVer != ver {
+			t.Fatalf("version %d; want %d", gotVer, ver)
+		}
+		if gotTok := raw & helloTokenMask; gotTok != token&helloTokenMask {
+			t.Fatalf("token bits %#x; want %#x", gotTok, token&helloTokenMask)
+		}
+
+		// Versioned 25-byte reply body.
+		var vreply bytes.Buffer
+		if err := writeHelloReplyBodyV(&vreply, h, ver); err != nil {
+			t.Fatalf("writeHelloReplyBodyV: %v", err)
+		}
+		vh, gotVer, err := readHelloReplyBodyV(&vreply)
+		if err != nil {
+			t.Fatalf("readHelloReplyBodyV: %v", err)
+		}
+		if vh != h || gotVer != ver%256 {
+			t.Fatalf("versioned reply round trip: (%+v, %d) vs (%+v, %d)", vh, gotVer, h, ver)
 		}
 	})
 }

@@ -131,6 +131,27 @@ func FuzzFrameExchange(f *testing.F) {
 	})
 	// HELLO with an unknown token: the reasoned-rejection path.
 	seed(func(b *bytes.Buffer) { b.WriteByte(frameHello); u64(b, 0xdeadbeef) })
+	// Versioned HELLO (negotiation ping and session open), and the v2
+	// columnar frameCBatch grammar: bare, sequenced under a session, and
+	// with a degenerate shape.
+	seed(func(b *bytes.Buffer) { _ = writeHelloVersioned(b, 0, ProtocolMax, true) })
+	seed(func(b *bytes.Buffer) {
+		frame, _ := CodecV2{}.AppendBatch(nil, "", 0, []est.Report{rep})
+		b.Write(frame)
+	})
+	seed(func(b *bytes.Buffer) {
+		_ = writeHelloVersioned(b, 0, ProtocolMax, false)
+		frame, _ := CodecV2{}.AppendBatch(nil, est.DefaultName, 1, []est.Report{rep, rep})
+		b.Write(frame)
+	})
+	seed(func(b *bytes.Buffer) {
+		b.WriteByte(frameCBatch)
+		u32(b, 0) // default route
+		u64(b, 0) // unsequenced
+		u32(b, 0) // zero reports
+		u32(b, 0) // zero dims
+		u32(b, 0) // zero values
+	})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		srv := NewRegistryServer(fuzzRegistry())

@@ -20,22 +20,21 @@ import (
 // counts reports; client framing is pre-paid, the client-side encode
 // path has its own benchmarks in BENCH_transport.json).
 //
-// The striped variants exercise the production path — zero-copy pooled
-// decode plus one stripe-lock acquisition per decoded chunk, each
+// The striped variants exercise the production v1 path — zero-copy
+// pooled decode plus one stripe-lock acquisition per decoded chunk, each
 // connection pinned to its own stripe. The legacy variants flip
 // Server.LegacyIngest back to the PR 3 baseline — three allocations per
 // report to decode and one estimator-lock acquisition per report — so
 // one run A/Bs the two ingest paths (scripts/benchdiff.sh and the
-// README table consume the ratio).
+// README table consume the ratio). The cbatch variants ship the same
+// reports as v2 columnar CBATCH frames — bulk column decode straight
+// into the stripe lanes. Every cell also reports wirebytes/report, the
+// on-the-wire cost the v2 frame exists to shrink.
 func BenchmarkIngest(b *testing.B) {
-	for _, legacy := range []bool{true, false} {
-		mode := "striped"
-		if legacy {
-			mode = "legacy"
-		}
+	for _, mode := range []string{"legacy", "striped", "cbatch"} {
 		for _, conns := range []int{1, 4, 16} {
 			b.Run(fmt.Sprintf("%s/conns=%d", mode, conns), func(b *testing.B) {
-				benchIngest(b, conns, legacy)
+				benchIngest(b, conns, mode == "legacy", mode == "cbatch")
 			})
 		}
 	}
@@ -43,14 +42,22 @@ func BenchmarkIngest(b *testing.B) {
 
 const ingestBatchSize = 1024
 
-// encodeIngestFrame pre-encodes one BATCH frame of n single-pair mean
-// reports (the classic m=1 LDP report shape).
-func encodeIngestFrame(b *testing.B, n int) []byte {
+// encodeIngestFrame pre-encodes one batch frame of n single-pair mean
+// reports (the classic m=1 LDP report shape) — a v1 BATCH frame, or the
+// v2 columnar CBATCH equivalent.
+func encodeIngestFrame(b *testing.B, n int, cbatch bool) []byte {
 	b.Helper()
 	rep := est.Report{Dims: []uint32{7}, Values: []float64{0.5}}
 	reps := make([]est.Report, n)
 	for i := range reps {
 		reps[i] = rep
+	}
+	if cbatch {
+		buf, err := CodecV2{}.AppendBatch(nil, "", 0, reps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return buf
 	}
 	var buf bytes.Buffer
 	if err := WriteBatch(&buf, reps); err != nil {
@@ -59,7 +66,7 @@ func encodeIngestFrame(b *testing.B, n int) []byte {
 	return buf.Bytes()
 }
 
-func benchIngest(b *testing.B, conns int, legacy bool) {
+func benchIngest(b *testing.B, conns int, legacy, cbatch bool) {
 	p, err := highdim.NewProtocol(ldp.Laplace{}, 1, 32, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -74,20 +81,26 @@ func benchIngest(b *testing.B, conns int, legacy bool) {
 	}
 	b.Cleanup(func() { srv.Close() })
 
-	frame := encodeIngestFrame(b, ingestBatchSize)
+	frame := encodeIngestFrame(b, ingestBatchSize, cbatch)
 
 	// Split b.N into whole batches per connection; conn 0 takes the
 	// remainder as one short batch so exactly b.N reports are ingested.
 	batches := make([]int, conns)
 	rem := b.N
+	fullFrames := 0
 	for c := range batches {
 		share := b.N / conns / ingestBatchSize
 		batches[c] = share
+		fullFrames += share
 		rem -= share * ingestBatchSize
 	}
-	tail := encodeIngestFrame(b, rem) // rem < ingestBatchSize*conns + remainder; one frame is enough only if rem <= maxBatch
+	tail := encodeIngestFrame(b, rem, cbatch) // rem < ingestBatchSize*conns + remainder; one frame is enough only if rem <= maxBatch
 	if rem > maxBatch {
 		b.Fatalf("remainder %d exceeds one frame", rem)
+	}
+	wireBytes := int64(len(frame)) * int64(fullFrames)
+	if rem > 0 {
+		wireBytes += int64(len(tail))
 	}
 
 	conns_ := make([]net.Conn, conns)
@@ -161,6 +174,7 @@ func benchIngest(b *testing.B, conns int, legacy bool) {
 	wg.Wait()
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+	b.ReportMetric(float64(wireBytes)/float64(b.N), "wirebytes/report")
 	if accepted != int64(b.N) {
 		b.Fatalf("accepted %d of %d reports", accepted, b.N)
 	}

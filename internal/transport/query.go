@@ -12,13 +12,13 @@ import (
 // DialContext connects to a collector at addr under ctx: a cancelled or
 // expired context aborts the dial. The returned Client's exchanges are
 // not bound to ctx — use the *Context exchange variants for that.
-func DialContext(ctx context.Context, addr string) (*Client, error) {
+func DialContext(ctx context.Context, addr string, opts ...ClientOption) (*Client, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	return NewClient(conn, opts...), nil
 }
 
 // guard binds the connection to ctx for the duration of one exchange: the
@@ -216,15 +216,23 @@ func (q *Query) Send(rep est.Report) error {
 	return c.readAck(fmt.Sprintf("query %q rejected report", q.name))
 }
 
-// SendBatch submits reps to the query as one routed BATCH frame and
+// SendBatch submits reps to the query as one routed batch frame and
 // returns how many the collector accepted, exactly as Client.SendBatch.
+// On a v2 connection the route travels in-frame (CBATCH carries its
+// query name); generation-pinned handles keep the v1 SELECTGEN grammar,
+// whose pin has no columnar equivalent.
 func (q *Query) SendBatch(reps []est.Report) (accepted int, err error) {
 	c := q.c
 	defer c.begin()()
-	if err := q.routeLocked(); err != nil {
-		return 0, err
+	var n int
+	if q.pinned {
+		if err := q.routeLocked(); err != nil {
+			return 0, err
+		}
+		n, err = c.encodeAndSendLocked(CodecV1{}, "", 0, reps)
+	} else {
+		n, err = c.sendBatchLocked(q.name, reps)
 	}
-	n, err := c.sendBatchLocked("", reps)
 	if err != nil {
 		return 0, err
 	}

@@ -119,6 +119,8 @@ type serverStats struct {
 	sessionsOpened   atomic.Uint64
 	sessionsResumed  atomic.Uint64
 	batchesDeduped   atomic.Uint64
+	hellosV2         atomic.Uint64
+	cbatchFrames     atomic.Uint64
 }
 
 // ServerStats is a point-in-time snapshot of a collector's failure
@@ -144,6 +146,17 @@ type ServerStats struct {
 	// and acknowledged from the session record — replays the
 	// exactly-once contract suppressed.
 	BatchesDeduped uint64 `json:"batches_deduped"`
+	// HellosV2 counts HELLO exchanges that negotiated protocol version 2
+	// or higher — how much of the client population speaks the columnar
+	// frame.
+	HellosV2 uint64 `json:"hellos_v2"`
+	// CBatches counts columnar batch (0x13 CBATCH) frames served,
+	// whatever their outcome.
+	CBatches uint64 `json:"cbatch_frames"`
+	// ProtocolMax is the highest wire protocol version this collector
+	// speaks (constant per build, carried here so /debug/collector
+	// reports it).
+	ProtocolMax int `json:"protocol_max"`
 }
 
 // Stats snapshots the server's failure counters.
@@ -155,6 +168,9 @@ func (s *Server) Stats() ServerStats {
 		SessionsOpened:   s.stats.sessionsOpened.Load(),
 		SessionsResumed:  s.stats.sessionsResumed.Load(),
 		BatchesDeduped:   s.stats.batchesDeduped.Load(),
+		HellosV2:         s.stats.hellosV2.Load(),
+		CBatches:         s.stats.cbatchFrames.Load(),
+		ProtocolMax:      ProtocolMax,
 	}
 }
 
@@ -680,47 +696,14 @@ func (s *Server) serveConn(conn net.Conn) error {
 			if routed {
 				return fmt.Errorf("transport: HELLO cannot be routed")
 			}
-			var tb [8]byte
-			if _, err := io.ReadFull(br, tb[:]); err != nil {
+			if sess, err = s.serveHello(br, bw, conn, sess); err != nil {
 				return err
 			}
-			token := binary.BigEndian.Uint64(tb[:])
-			if sess != nil {
-				s.sessions.detach(sess, conn)
-				sess = nil
+		case frameCBatch:
+			if routed {
+				return fmt.Errorf("transport: CBATCH cannot be routed (its route is in-frame)")
 			}
-			s.sessions.sweep(s.sessionTTL())
-			if token == 0 {
-				ns, oerr := s.sessions.open(conn)
-				if oerr != nil {
-					if err := writeNack(bw, oerr.Error()); err != nil {
-						return err
-					}
-					break
-				}
-				sess = ns
-				s.stats.sessionsOpened.Add(1)
-			} else {
-				ns, displaced, ok := s.sessions.resume(token, conn)
-				if !ok {
-					if err := writeNack(bw, fmt.Sprintf("unknown or expired session token %#x", token)); err != nil {
-						return err
-					}
-					break
-				}
-				if displaced != nil && displaced != conn {
-					// The session's previous connection is still up (a
-					// half-dead link the client gave up on): force it out so
-					// exactly one connection owns the replay state.
-					displaced.Close()
-				}
-				sess = ns
-				s.stats.sessionsResumed.Add(1)
-			}
-			if err := bw.WriteByte(ackOK); err != nil {
-				return err
-			}
-			if err := writeHelloReplyBody(bw, sess.state()); err != nil {
+			if err := s.serveCBatch(br, bw, sc, conn, sess, laneOf); err != nil {
 				return err
 			}
 		default:
@@ -748,6 +731,182 @@ func (s *Server) sessionTTL() time.Duration {
 		return s.SessionTTL
 	}
 	return sessionTTLDefault
+}
+
+// serveHello handles one HELLO frame — legacy or versioned — and returns
+// the connection's (possibly changed) session. A versioned request
+// (helloFlagVersioned set in the token field) carries the client's
+// maximum protocol version and is answered with the 25-byte reply body
+// whose trailing byte is min(client max, ProtocolMax); the noSession
+// flag short-circuits into a pure negotiation ping that opens, resumes
+// and touches nothing. Legacy 8-byte-token requests get the legacy
+// 24-byte reply, byte for byte as before.
+func (s *Server) serveHello(br *bufio.Reader, bw *bufio.Writer, conn net.Conn, sess *connSession) (*connSession, error) {
+	var tb [8]byte
+	if _, err := io.ReadFull(br, tb[:]); err != nil {
+		return sess, err
+	}
+	raw := binary.BigEndian.Uint64(tb[:])
+	versioned := raw&helloFlagVersioned != 0
+	token := raw
+	negotiated := 0
+	if versioned {
+		token = raw & helloTokenMask
+		clientMax := int(raw & helloVersionMask >> helloVersionShift)
+		if clientMax == 0 {
+			return sess, writeNack(bw, "versioned HELLO with protocol version 0")
+		}
+		negotiated = min(clientMax, ProtocolMax)
+		if negotiated >= ProtocolV2 {
+			s.stats.hellosV2.Add(1)
+		}
+		if raw&helloFlagNoSession != 0 {
+			// Negotiation-only ping: no session is opened or resumed, the
+			// session fields of the reply stay zero.
+			if err := bw.WriteByte(ackOK); err != nil {
+				return sess, err
+			}
+			return sess, writeHelloReplyBodyV(bw, helloReply{}, negotiated)
+		}
+	}
+	if sess != nil {
+		s.sessions.detach(sess, conn)
+		sess = nil
+	}
+	s.sessions.sweep(s.sessionTTL())
+	if token == 0 {
+		ns, oerr := s.sessions.open(conn)
+		if oerr != nil {
+			return sess, writeNack(bw, oerr.Error())
+		}
+		sess = ns
+		s.stats.sessionsOpened.Add(1)
+	} else {
+		ns, displaced, ok := s.sessions.resume(token, conn)
+		if !ok {
+			return sess, writeNack(bw, fmt.Sprintf("unknown or expired session token %#x", token))
+		}
+		if displaced != nil && displaced != conn {
+			// The session's previous connection is still up (a half-dead
+			// link the client gave up on): force it out so exactly one
+			// connection owns the replay state.
+			displaced.Close()
+		}
+		sess = ns
+		s.stats.sessionsResumed.Add(1)
+	}
+	if err := bw.WriteByte(ackOK); err != nil {
+		return sess, err
+	}
+	if versioned {
+		return sess, writeHelloReplyBodyV(bw, sess.state(), negotiated)
+	}
+	return sess, writeHelloReplyBody(bw, sess.state())
+}
+
+// serveCBatch handles one columnar batch frame (0x13). The server is
+// deliberately stateless about protocol negotiation — it accepts CBATCH
+// from any connection; only clients gate their encoder on the HELLO
+// outcome. The route is in-frame (an empty name resolves to the default
+// query). Sequencing follows the session grammar exactly as a 0x06
+// batch: on a session connection seq must be ≥ 1 and dedupes through
+// the same ring; outside one it must be 0. Every outcome — decode,
+// duplicate, gap, admission shed — consumes the body before the first
+// reply byte. Decoded columns land in the estimator through
+// est.AddColumns, which for the built-in families is one stripe-lock
+// hold for the whole frame and no per-report materialization.
+func (s *Server) serveCBatch(br *bufio.Reader, bw *bufio.Writer, sc *decodeScratch, conn net.Conn, sess *connSession, laneOf func(*est.Query) est.Lane) error {
+	nameLen, err := sc.readUint32(br)
+	if err != nil {
+		return err
+	}
+	if nameLen > maxNameLen {
+		return fmt.Errorf("transport: string of %d bytes exceeds limit %d", nameLen, maxNameLen)
+	}
+	var q *est.Query
+	if nameLen == 0 {
+		q = s.reg.Default()
+	} else {
+		raw := sc.bytes(int(nameLen))
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return err
+		}
+		q = s.reg.Get(string(raw))
+	}
+	var hdr [20]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return err
+	}
+	seq := binary.BigEndian.Uint64(hdr[:8])
+	cnt := binary.BigEndian.Uint32(hdr[8:12])
+	ndims := binary.BigEndian.Uint32(hdr[12:16])
+	nvals := binary.BigEndian.Uint32(hdr[16:20])
+	if cnt > maxBatch || ndims > maxPairs || nvals > maxPairs {
+		return fmt.Errorf("transport: cbatch shape %d×(%d,%d) exceeds limits", cnt, ndims, nvals)
+	}
+	n, nd, nv := int(cnt), int(ndims), int(nvals)
+	if err := checkCBatchShape(n, nd, nv); err != nil {
+		return err
+	}
+	if sess != nil && seq == 0 {
+		return fmt.Errorf("transport: sequenced cbatch with sequence 0")
+	}
+	if sess == nil && seq != 0 {
+		return fmt.Errorf("transport: cbatch with sequence %d outside a session", seq)
+	}
+	s.stats.cbatchFrames.Add(1)
+	class := seqApply
+	if sess != nil {
+		class = sess.seqClass(seq)
+	}
+	admitted := class == seqApply && s.admit(int64(cnt))
+	if admitted {
+		defer s.release(int64(cnt))
+	}
+	var dims []uint32
+	var vals []float64
+	if admitted {
+		dims, vals, err = decodeCBatchBody(br, sc, n, nd, nv)
+	} else {
+		err = discardCBatchBody(br, sc, n, nd, nv)
+	}
+	if err != nil {
+		return err
+	}
+	switch {
+	case class == seqDup:
+		s.stats.batchesDeduped.Add(1)
+		return writeBatchReply(bw, ackOK, sess.dupAck(seq))
+	case class == seqGap, !admitted:
+		s.stats.batchesShed.Add(1)
+		return bw.WriteByte(ackRetry)
+	}
+	if sess == nil {
+		if q == nil {
+			return writeBatchReply(bw, ackErr, 0)
+		}
+		accepted, _ := est.AddColumns(laneOf(q), n, nd, nv, dims, vals)
+		return writeBatchReply(bw, ackOK, uint32(accepted))
+	}
+	apply := func() (int, error) { return 0, errNoQuery }
+	if q != nil {
+		lane := laneOf(q)
+		apply = func() (int, error) { return est.AddColumns(lane, n, nd, nv, dims, vals) }
+	}
+	status, accepted, err := sess.commitApply(conn, seq, apply)
+	if err != nil {
+		return err
+	}
+	if status == ackRetry {
+		s.stats.batchesShed.Add(1)
+		return bw.WriteByte(ackRetry)
+	}
+	if q == nil {
+		// The frame consumed its sequence slot (processed, zero accepted)
+		// but the reply must carry the rejection, as the 0x06 path does.
+		status = ackErr
+	}
+	return writeBatchReply(bw, status, accepted)
 }
 
 // serveSeqBatch handles one sequenced BATCH frame on a session

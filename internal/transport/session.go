@@ -97,6 +97,15 @@ func (ss *connSession) dupAck(seq uint64) uint32 {
 // replay to double-count. A non-nil error means the connection lost the
 // session to a takeover and must abort without replying.
 func (ss *connSession) commit(conn net.Conn, seq uint64, reps []est.Report, add func([]est.Report) (int, error)) (status byte, accepted uint32, err error) {
+	return ss.commitApply(conn, seq, func() (int, error) { return add(reps) })
+}
+
+// commitApply is commit with the accumulation abstracted to a closure —
+// the shared exactly-once core for both sequenced batch shapes (0x06
+// applies decoded report slices, 0x13 applies decoded columns). apply
+// runs at most once, under the session lock, only when conn still owns
+// the session and seq is the next in line.
+func (ss *connSession) commitApply(conn net.Conn, seq uint64, apply func() (int, error)) (status byte, accepted uint32, err error) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if ss.conn != conn {
@@ -104,7 +113,7 @@ func (ss *connSession) commit(conn net.Conn, seq uint64, reps []est.Report, add 
 	}
 	switch {
 	case seq == ss.lastSeq+1:
-		n, _ := add(reps)
+		n, _ := apply()
 		ss.lastSeq = seq
 		ss.accepted += uint64(n)
 		ss.acks[seq%ackRingSize] = ackRec{seq: seq, accepted: uint32(n)}
@@ -193,14 +202,18 @@ func (t *sessionTable) sweep(ttl time.Duration) {
 }
 
 // newSessionToken draws a nonzero random token (zero is the
-// open-a-new-session sentinel on the wire).
+// open-a-new-session sentinel on the wire). Tokens live in the low 48
+// bits of the HELLO token field — the high 16 carry the versioned-HELLO
+// flags and protocol version (see cbatch.go) — so 48 bits is the full
+// token space, still far beyond collision range for the session counts
+// one collector holds.
 func newSessionToken() (uint64, error) {
 	var b [8]byte
 	for {
 		if _, err := rand.Read(b[:]); err != nil {
 			return 0, err
 		}
-		if token := binary.BigEndian.Uint64(b[:]); token != 0 {
+		if token := binary.BigEndian.Uint64(b[:]) & helloTokenMask; token != 0 {
 			return token, nil
 		}
 	}

@@ -71,7 +71,15 @@
 //	     carries a uint64 sequence number between the type byte and the
 //	     report count, and the server applies each (token, seq) at most
 //	     once — the exactly-once replay contract reconnecting clients
-//	     rely on. Not routable.
+//	     rely on. Not routable. A client may also set flag bits in the
+//	     token field to negotiate a protocol version (see cbatch.go);
+//	     the acknowledged reply then grows a trailing version byte.
+//	0x13 CBATCH    the protocol-v2 columnar batch frame: in-frame route,
+//	     uint64 sequence number, a rectangular (n × ndims × nvals)
+//	     shape, delta-varint RLE dimension columns and one contiguous
+//	     little-endian float64 value run. Full grammar in cbatch.go.
+//	     Replied to exactly like BATCH. Not routable by SELECT (the
+//	     route is in-frame) and not embeddable in EPOCH.
 //
 // A report frame (0x01 or 0x05) is acknowledged with a single 0x00 byte
 // (ok) or 0xFF (rejected). Frames are small, so no additional length prefix
@@ -146,6 +154,7 @@ const (
 	frameSelectGen  = 0x10
 	frameQueryInfo  = 0x11
 	frameHello      = 0x12
+	frameCBatch     = 0x13
 
 	ackOK = 0x00
 	// ackRetry is the retryable NACK: the collector shed the exchange for
@@ -305,28 +314,23 @@ func readVecReportBody(r io.Reader) (est.Report, error) {
 	return rep, nil
 }
 
-// WriteBatch serializes one batch frame (0x06): a uint32 report count
-// followed by that many embedded report frames. Pair-shaped reports embed
-// as 0x01 frames, all others as 0x05, exactly as Client.Send would pick.
-// The whole frame is marshaled into one pooled buffer and written with a
-// single Write, so the steady-state batch encode path allocates nothing.
+// WriteBatch serializes one un-routed, un-sequenced batch frame (0x06)
+// through a pooled marshal buffer and a single Write.
+//
+// Deprecated: batch marshaling is versioned now — use the FrameCodec
+// surface (CodecV1{}.AppendBatch, or CodecFor on the connection's
+// negotiated version) so callers compose with routing, sequencing and
+// the v2 columnar frame. WriteBatch remains as a thin wrapper over
+// CodecV1 and keeps its exact wire bytes.
 func WriteBatch(w io.Writer, reps []est.Report) error {
-	if len(reps) > maxBatch {
-		return fmt.Errorf("transport: batch of %d reports exceeds limit %d", len(reps), maxBatch)
-	}
 	bp := encPool.Get().(*[]byte)
-	buf := (*bp)[:0]
-	buf = append(buf, frameBatch)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(reps)))
-	for _, rep := range reps {
-		if len(rep.Dims) == len(rep.Values) {
-			buf = appendReport(buf, rep)
-		} else {
-			buf = appendVecReport(buf, rep)
-		}
+	buf, err := CodecV1{}.AppendBatch((*bp)[:0], "", 0, reps)
+	if err != nil {
+		putEncBuf(bp)
+		return err
 	}
 	*bp = buf
-	_, err := w.Write(buf)
+	_, err = w.Write(buf)
 	putEncBuf(bp)
 	return err
 }
@@ -336,6 +340,11 @@ func WriteBatch(w io.Writer, reps []est.Report) error {
 // embedded frames exactly as WriteBatch. Only valid on a connection that
 // completed a HELLO exchange — the sequence field exists only in that
 // grammar, and the server dedupes on it.
+//
+// Deprecated: use the FrameCodec surface, which marshals the sequence
+// field whenever seq is non-zero (sessions number batches from 1, so 0
+// never names a real sequence). WriteSeqBatch keeps its historical
+// behavior of writing the field even for seq 0.
 func WriteSeqBatch(w io.Writer, seq uint64, reps []est.Report) error {
 	if len(reps) > maxBatch {
 		return fmt.Errorf("transport: batch of %d reports exceeds limit %d", len(reps), maxBatch)

@@ -67,8 +67,8 @@ func NewRegistryServer(reg *Registry) *CollectorServer {
 
 // DialCollectorContext connects to a collector at addr under ctx: a
 // cancelled or expired context aborts the dial.
-func DialCollectorContext(ctx context.Context, addr string) (*CollectorClient, error) {
-	return transport.DialContext(ctx, addr)
+func DialCollectorContext(ctx context.Context, addr string, opts ...CollectorClientOption) (*CollectorClient, error) {
+	return transport.DialContext(ctx, addr, opts...)
 }
 
 // estimatorForSpec is the registry factory: one validated QuerySpec in,

@@ -48,17 +48,19 @@ emit_json() {
         name = $1
         iters = $2
         ns = ""; bytes = ""; allocs = ""
-        rps = ""
+        rps = ""; wbr = ""
         for (i = 3; i < NF; i++) {
-            if ($(i+1) == "ns/op")     ns = $i
-            if ($(i+1) == "B/op")      bytes = $i
-            if ($(i+1) == "allocs/op") allocs = $i
-            if ($(i+1) == "reports/s") rps = $i
+            if ($(i+1) == "ns/op")             ns = $i
+            if ($(i+1) == "B/op")              bytes = $i
+            if ($(i+1) == "allocs/op")         allocs = $i
+            if ($(i+1) == "reports/s")         rps = $i
+            if ($(i+1) == "wirebytes/report")  wbr = $i
         }
         if (n++) printf ","
         printf "\n    {\"name\": \"%s\", \"iterations\": %s", name, iters
         if (ns != "")     printf ", \"ns_per_op\": %s", ns
         if (rps != "")    printf ", \"reports_per_s\": %s", rps
+        if (wbr != "")    printf ", \"wire_bytes_per_report\": %s", wbr
         if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
         if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
         printf "}"

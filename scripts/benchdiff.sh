@@ -1,10 +1,12 @@
 #!/usr/bin/env sh
 # Compares fresh benchmark runs against the committed baselines and
 # warns — loudly, but non-blockingly — when reports/s regresses more
-# than 20% on any benchmark. Every committed BENCH_*.json participates
-# (transport, ingest, epoch, whatever future suites add); the
-# striped/legacy ratio check at 16 connections — the PR 4 headline
-# guarantee — additionally runs against the ingest file.
+# than 20% on any benchmark, or when wirebytes/report grows more than
+# 20% on any benchmark that reports it. Every committed BENCH_*.json
+# participates (transport, ingest, epoch, whatever future suites add);
+# the striped/legacy throughput ratio and the striped/cbatch wire-cost
+# ratio at 16 connections — the PR 4 and PR 10 headline guarantees —
+# additionally run against the ingest file.
 #
 #   sh scripts/benchdiff.sh                       # compare every BENCH_*.json
 #   sh scripts/benchdiff.sh base.json cur.json    # compare one explicit pair
@@ -46,6 +48,19 @@ extract() {
     }' "$1" 2>/dev/null || true
 }
 
+# extract_wire FILE — same, but "name wire_bytes_per_report" pairs
+# (present only in suites whose benchmarks report the metric).
+extract_wire() {
+    awk -F'"' '/"name":/ {
+        name = $4
+        sub(/-[0-9]+$/, "", name)
+        if (match($0, /"wire_bytes_per_report": [0-9.eE+]+/)) {
+            wbr = substr($0, RSTART + 25, RLENGTH - 25)
+            print name, wbr
+        }
+    }' "$1" 2>/dev/null || true
+}
+
 warned=0
 
 # compare_pair LABEL BASELINE CURRENT — warns on every >20% reports/s
@@ -71,11 +86,29 @@ compare_pair() {
             warned=1
         fi
     done < "$base_pairs"
+    # Wire-cost regression: unlike reports/s (noisy on shared runners),
+    # wirebytes/report is deterministic per frame grammar, so a >20%
+    # growth means an encoding change made every report fatter.
+    extract_wire "$2" > "$base_pairs"
+    extract_wire "$3" > "$cur_pairs"
+    if [ -s "$base_pairs" ] && [ -s "$cur_pairs" ]; then
+        while read -r name base; do
+            cur="$(awk -v n="$name" '$1 == n { print $2; exit }' "$cur_pairs")"
+            [ -z "$cur" ] && continue
+            fatter="$(awk -v b="$base" -v c="$cur" 'BEGIN { print (b > 0 && c > 1.2 * b) ? 1 : 0 }')"
+            if [ "$fatter" = "1" ]; then
+                echo "::warning::$label benchmark $name wire cost regressed: $cur wirebytes/report vs baseline $base (>20% growth)"
+                warned=1
+            fi
+        done < "$base_pairs"
+    fi
     return 0
 }
 
 # ratio_check CURRENT — the PR 4 headline guarantee: striped vs legacy
-# ingest at 16 connections must hold 4x (ingest suite only).
+# ingest at 16 connections must hold 4x, and the PR 10 guarantee: the
+# v2 CBATCH frame must carry a report in at most half the wire bytes of
+# the v1 striped path (ingest suite only).
 ratio_check() {
     extract "$1" > "$cur_pairs"
     ratio="$(awk '
@@ -83,13 +116,29 @@ ratio_check() {
         $1 ~ /legacy\/conns=16$/  { l = $2 }
         END { if (s > 0 && l > 0) printf "%.2f", s / l }
     ' "$cur_pairs")"
-    [ -n "$ratio" ] || return 0
-    below="$(awk -v r="$ratio" 'BEGIN { print (r < 4.0) ? 1 : 0 }')"
-    if [ "$below" = "1" ]; then
-        echo "::warning::striped/legacy ingest ratio at 16 conns is ${ratio}x (< 4x target)"
-        warned=1
-    else
-        echo "benchdiff: striped/legacy ingest ratio at 16 conns: ${ratio}x"
+    if [ -n "$ratio" ]; then
+        below="$(awk -v r="$ratio" 'BEGIN { print (r < 4.0) ? 1 : 0 }')"
+        if [ "$below" = "1" ]; then
+            echo "::warning::striped/legacy ingest ratio at 16 conns is ${ratio}x (< 4x target)"
+            warned=1
+        else
+            echo "benchdiff: striped/legacy ingest ratio at 16 conns: ${ratio}x"
+        fi
+    fi
+    extract_wire "$1" > "$cur_pairs"
+    wratio="$(awk '
+        $1 ~ /striped\/conns=16$/ { s = $2 }
+        $1 ~ /cbatch\/conns=16$/  { c = $2 }
+        END { if (s > 0 && c > 0) printf "%.2f", s / c }
+    ' "$cur_pairs")"
+    if [ -n "$wratio" ]; then
+        below="$(awk -v r="$wratio" 'BEGIN { print (r < 2.0) ? 1 : 0 }')"
+        if [ "$below" = "1" ]; then
+            echo "::warning::striped/cbatch wire-cost ratio at 16 conns is ${wratio}x (< 2x target)"
+            warned=1
+        else
+            echo "benchdiff: striped/cbatch wire-cost ratio at 16 conns: ${wratio}x"
+        fi
     fi
     return 0
 }
